@@ -1,0 +1,70 @@
+// Command fg-bench regenerates the paper's evaluation tables and
+// figures (see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for paper-vs-measured notes).
+//
+// Usage:
+//
+//	fg-bench                  # everything, default scale
+//	fg-bench -exp fig8        # one experiment
+//	fg-bench -scale-add 2     # 4x larger datasets
+//	fg-bench -no-throttle     # devices at memory speed (fast smoke)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"flashgraph/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fg-bench: ")
+	var (
+		exp        = flag.String("exp", "all", "all | table1 | fig8 | fig9 | fig10 | fig11 | table2 | fig12 | fig13 | fig14 | ablations")
+		scaleAdd   = flag.Int("scale-add", 0, "log2 dataset scale adjustment")
+		threads    = flag.Int("threads", 8, "engine worker threads")
+		noThrottle = flag.Bool("no-throttle", false, "disable device timing")
+		seed       = flag.Uint64("seed", 0, "generator seed offset")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		ScaleAdd:   *scaleAdd,
+		Threads:    *threads,
+		NoThrottle: *noThrottle,
+		Seed:       *seed,
+	}
+	start := time.Now()
+	w := os.Stdout
+	switch *exp {
+	case "all":
+		bench.RunAll(cfg, w)
+	case "table1":
+		bench.Table1(cfg, w)
+	case "fig8":
+		bench.Fig8(cfg, w)
+	case "fig9":
+		bench.Fig9(cfg, w)
+	case "fig10":
+		bench.Fig10(cfg, w)
+	case "fig11":
+		bench.Fig11(cfg, w)
+	case "table2":
+		bench.Table2(cfg, w)
+	case "fig12":
+		bench.Fig12(cfg, w)
+	case "fig13":
+		bench.Fig13(cfg, w)
+	case "fig14":
+		bench.Fig14(cfg, w)
+	case "ablations":
+		bench.Ablations(cfg, w)
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+	fmt.Fprintf(os.Stderr, "fg-bench: done in %v\n", time.Since(start).Round(time.Millisecond))
+}

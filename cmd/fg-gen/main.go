@@ -1,0 +1,75 @@
+// Command fg-gen generates synthetic graph edge lists (text, one
+// "src dst" per line) with the generators used for the paper's dataset
+// stand-ins.
+//
+// Usage:
+//
+//	fg-gen -kind rmat -scale 16 -epv 16 -seed 1 -out twitter.el
+//	fg-gen -kind clustered -domains 512 -domain-size 96 -epv 12 -out page.el
+//	fg-gen -kind er -n 100000 -m 1000000 -out uniform.el
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"flashgraph/internal/gen"
+	"flashgraph/internal/graph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fg-gen: ")
+	var (
+		kind       = flag.String("kind", "rmat", "generator: rmat | er | clustered | ring | grid")
+		scale      = flag.Int("scale", 14, "rmat: log2 of vertex count")
+		epv        = flag.Int("epv", 16, "edges per vertex (rmat, clustered)")
+		n          = flag.Int("n", 1<<14, "er/ring: vertex count")
+		m          = flag.Int("m", 1<<18, "er: edge count")
+		domains    = flag.Int("domains", 256, "clustered: number of domains")
+		domainSize = flag.Int("domain-size", 96, "clustered: vertices per domain")
+		rows       = flag.Int("rows", 128, "grid: rows")
+		cols       = flag.Int("cols", 128, "grid: cols")
+		chords     = flag.Int("chords", 0, "ring: extra shortcut edges")
+		seed       = flag.Uint64("seed", 1, "generator seed")
+		out        = flag.String("out", "", "output path (default stdout)")
+	)
+	flag.Parse()
+
+	var edges []graph.Edge
+	switch *kind {
+	case "rmat":
+		edges = gen.RMAT(*scale, *epv, *seed)
+	case "er":
+		edges = gen.ER(*n, *m, *seed)
+	case "clustered":
+		edges = gen.Clustered(gen.ClusteredConfig{
+			Domains:        *domains,
+			DomainSize:     *domainSize,
+			EdgesPerVertex: *epv,
+			Seed:           *seed,
+		})
+	case "ring":
+		edges = gen.Ring(*n, *chords, *seed)
+	case "grid":
+		edges = gen.Grid(*rows, *cols)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := graph.WriteEdgeList(w, edges); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fg-gen: wrote %d edges\n", len(edges))
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a small graph, open a semi-external-memory engine
+// (simulated SSD array + SAFS + page cache), and run BFS — the paper's
+// Figure 4 program — plus PageRank through the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flashgraph"
+)
+
+func main() {
+	// A small directed graph: two communities bridged by vertex 4.
+	edges := []flashgraph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, // triangle A
+		{Src: 2, Dst: 4}, {Src: 4, Dst: 5}, // bridge
+		{Src: 5, Dst: 6}, {Src: 6, Dst: 7}, {Src: 7, Dst: 5}, // triangle B
+		{Src: 3, Dst: 0}, // a pendant
+	}
+	g := flashgraph.NewGraph(8, edges, flashgraph.Directed)
+	fmt.Printf("graph: %d vertices, %d edges, %s on SSD, %s index in RAM\n",
+		g.NumVertices(), g.NumEdges(), humanBytes(g.SizeBytes()), humanBytes(g.IndexBytes()))
+
+	// Open in semi-external memory: vertex state in RAM, edge lists on
+	// the (simulated) SSD array behind the SAFS page cache.
+	eng, err := flashgraph.Open(g, flashgraph.Options{Threads: 2, CacheBytes: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// BFS from vertex 0 (the paper's running example).
+	bfs := flashgraph.NewBFS(0)
+	st, err := eng.Run(bfs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBFS from 0 finished in %v (%d iterations):\n", st.Elapsed, st.Iterations)
+	for v, l := range bfs.Level {
+		fmt.Printf("  vertex %d: level %d\n", v, l)
+	}
+
+	// PageRank on the same engine: the image stays loaded, the paper's
+	// single-image-for-all-algorithms design.
+	pr := flashgraph.NewPageRank()
+	if _, err := eng.Run(pr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPageRank (damping %.2f, %d iterations max):\n", pr.Damping, pr.Iters)
+	for v, s := range pr.Scores {
+		fmt.Printf("  vertex %d: %.4f\n", v, s)
+	}
+}
+
+func humanBytes(n int64) string {
+	if n < 1024 {
+		return fmt.Sprintf("%dB", n)
+	}
+	return fmt.Sprintf("%.1fKB", float64(n)/1024)
+}

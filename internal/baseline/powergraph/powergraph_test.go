@@ -1,0 +1,112 @@
+package powergraph
+
+import (
+	"math"
+	"testing"
+
+	"flashgraph/internal/baseline/galois"
+	"flashgraph/internal/csr"
+	"flashgraph/internal/gen"
+	"flashgraph/internal/graph"
+)
+
+func rmatCSR(t *testing.T, scale, epv int, seed uint64) *csr.Graph {
+	t.Helper()
+	a := graph.FromEdges(1<<scale, gen.RMAT(scale, epv, seed), true)
+	a.Dedup()
+	return csr.FromAdjacency(a)
+}
+
+func TestBFSMatchesGalois(t *testing.T) {
+	g := rmatCSR(t, 10, 8, 1)
+	want := galois.BFS(g, 0)
+	got := RunBFS(New(g, 4), 0)
+	for v := range want {
+		if got.Level[v] != want[v] {
+			t.Fatalf("level[%d] = %d, want %d", v, got.Level[v], want[v])
+		}
+	}
+}
+
+func TestPageRankMatchesGalois(t *testing.T) {
+	g := rmatCSR(t, 9, 8, 2)
+	want := galois.PageRankDelta(g, 30, 0.85, 1e-7)
+	got := RunPageRank(New(g, 4), 30, 0.85, 1e-7)
+	for v := range want {
+		if math.Abs(got.Scores[v]-want[v]) > 1e-5*(1+want[v]) {
+			t.Fatalf("pr[%d] = %v, want %v", v, got.Scores[v], want[v])
+		}
+	}
+}
+
+func TestWCCMatchesGalois(t *testing.T) {
+	var edges []graph.Edge
+	for b := 0; b < 3; b++ {
+		for _, e := range gen.RMAT(7, 4, uint64(b+5)) {
+			off := graph.VertexID(b << 7)
+			edges = append(edges, graph.Edge{Src: e.Src + off, Dst: e.Dst + off})
+		}
+	}
+	a := graph.FromEdges(3<<7, edges, true)
+	a.Dedup()
+	g := csr.FromAdjacency(a)
+	want := galois.WCC(g)
+	got := RunWCC(New(g, 4)).Labels()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestBCMatchesGalois(t *testing.T) {
+	g := rmatCSR(t, 9, 6, 3)
+	want := galois.BC(g, 0)
+	got := RunBC(New(g, 4), 0)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-6*(1+want[v]) {
+			t.Fatalf("bc[%d] = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestTCMatchesGalois(t *testing.T) {
+	g := rmatCSR(t, 8, 6, 4)
+	want, _ := galois.TriangleCount(g)
+	if got := RunTC(New(g, 4)); got != want {
+		t.Fatalf("tc = %d, want %d", got, want)
+	}
+}
+
+func TestScanStatMatchesGalois(t *testing.T) {
+	g := rmatCSR(t, 8, 6, 5)
+	want, _ := galois.ScanStat(g)
+	if got := RunScanStat(New(g, 4)); got != want {
+		t.Fatalf("scan = %d, want %d", got, want)
+	}
+}
+
+func TestEngineCountsEdgeWork(t *testing.T) {
+	g := rmatCSR(t, 8, 6, 6)
+	e := New(g, 4)
+	st := e.Run(&wccProg{app: &WCCApp{labels: initLabels(g.N)}}, nil, true, 0)
+	if st.Supersteps == 0 || st.EdgesGather == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func initLabels(n int) []int32 {
+	l := make([]int32, n)
+	for i := range l {
+		l[i] = int32(i)
+	}
+	return l
+}
+
+func TestMaxItersBounds(t *testing.T) {
+	g := rmatCSR(t, 8, 6, 7)
+	st := New(g, 4).Run(&wccProg{app: &WCCApp{labels: initLabels(g.N)}}, nil, true, 2)
+	if st.Supersteps > 2 {
+		t.Fatalf("supersteps = %d, want <= 2", st.Supersteps)
+	}
+}

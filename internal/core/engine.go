@@ -1,0 +1,466 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flashgraph/internal/graph"
+	"flashgraph/internal/safs"
+	"flashgraph/internal/util"
+)
+
+// MergeMode selects where edge-list I/O requests are merged (§3.6,
+// Figure 12).
+type MergeMode int
+
+const (
+	// MergeFG merges in FlashGraph: each worker globally sorts the
+	// requests of its running vertices and merges those touching the
+	// same or adjacent pages — the paper's design (lightweight, global
+	// view).
+	MergeFG MergeMode = iota
+	// MergeSAFS issues one request per edge list and lets SAFS stage,
+	// sort and merge adjacent page loads.
+	MergeSAFS
+	// MergeNone issues one request per edge list with no cross-request
+	// merging anywhere.
+	MergeNone
+)
+
+// SchedMode selects vertex execution order within a worker (§3.7).
+type SchedMode int
+
+const (
+	// SchedByID processes vertices ordered by vertex ID, alternating
+	// scan direction between iterations (the default scheduler: edge
+	// lists are ID-sorted on SSDs, so this maximizes merging, and the
+	// alternation re-touches recently cached pages).
+	SchedByID SchedMode = iota
+	// SchedRandom shuffles each iteration's active vertices (the
+	// Figure 12 "random" baseline).
+	SchedRandom
+	// SchedCustom delegates ordering to the algorithm's CustomScheduler.
+	SchedCustom
+)
+
+// Config configures an engine.
+type Config struct {
+	// Threads is the number of worker threads / horizontal partitions.
+	// Default 8.
+	Threads int
+	// MaxRunning bounds vertices in the running state per thread
+	// (paper: no gains past 4000). Default 4000.
+	MaxRunning int
+	// RangeShift is r in the range-partitioning function
+	// partition(v) = (v >> r) % Threads (paper: 12–18 for 100M+
+	// vertices; scaled default 8 for bench-sized graphs).
+	RangeShift uint
+	// Merge selects the I/O merging mode. Default MergeFG.
+	Merge MergeMode
+	// Sched selects the vertex scheduler. Default SchedByID.
+	Sched SchedMode
+	// NoAlternateSweep disables alternating the ID-scan direction
+	// between iterations.
+	NoAlternateSweep bool
+	// NoWorkStealing disables dynamic load balancing.
+	NoWorkStealing bool
+	// MaxIterations caps iterations (0 = run to convergence). PageRank
+	// uses 30, matching Pregel.
+	MaxIterations int
+	// InMemory runs with memory-resident edge lists instead of SAFS
+	// (the FG-mem baseline of §5.1).
+	InMemory bool
+	// FS is the SAFS instance for semi-external-memory mode. Required
+	// unless InMemory.
+	FS *safs.FS
+	// GraphName names the image's files inside FS. Default "graph".
+	GraphName string
+	// MsgFlushThreshold is the per-destination buffered-message count
+	// that triggers a flush (§3.4.1 bundling). Default 256.
+	MsgFlushThreshold int
+	// RandomSeed seeds SchedRandom shuffles.
+	RandomSeed uint64
+}
+
+func (c *Config) setDefaults() {
+	if c.Threads == 0 {
+		c.Threads = 8
+	}
+	if c.MaxRunning == 0 {
+		c.MaxRunning = 4000
+	}
+	if c.RangeShift == 0 {
+		c.RangeShift = 8
+	}
+	if c.GraphName == "" {
+		c.GraphName = "graph"
+	}
+	if c.MsgFlushThreshold == 0 {
+		c.MsgFlushThreshold = 256
+	}
+	if c.RandomSeed == 0 {
+		c.RandomSeed = 1
+	}
+}
+
+// Engine executes vertex programs over one loaded graph image. Create
+// once per (graph, mode) and reuse across algorithm runs; the graph
+// stays loaded (FlashGraph amortizes image construction across
+// algorithms and minimizes SSD wearout by writing once).
+type Engine struct {
+	cfg   Config
+	img   *graph.Image
+	files *graph.FSFiles // nil in in-memory mode
+
+	workers []*worker
+	ctxs    []*Ctx
+
+	activeCur  *util.Bitmap
+	activeNext *util.Bitmap
+	nextCount  int64 // atomic: activations recorded for next iteration
+
+	alg       Algorithm
+	iteration int
+	sweepFwd  bool
+
+	stats    runCounters
+	loadTime time.Duration
+}
+
+// runCounters aggregates per-run statistics.
+type runCounters struct {
+	edgeRequests   int64 // vertex edge-list requests (pre-merge)
+	mergedRequests int64 // ReadTasks issued (post-merge)
+	messages       int64
+	steals         int64
+	waitNS         int64 // worker time blocked on I/O
+	computeNS      int64 // worker time doing work
+}
+
+func (rc *runCounters) addEdgeRequests(n int64) { atomic.AddInt64(&rc.edgeRequests, n) }
+
+// RunStats reports what a Run cost — the numbers behind every figure in
+// the paper's evaluation.
+type RunStats struct {
+	Algorithm  string
+	Iterations int
+	Elapsed    time.Duration
+
+	// I/O (semi-external-memory mode; zero in-memory).
+	EdgeRequests   int64 // edge lists requested by vertex programs
+	MergedRequests int64 // I/O requests after FlashGraph merging
+	DeviceReads    int64 // requests that reached the SSDs
+	BytesRead      int64
+	CacheHits      int64
+	CacheMisses    int64
+	DeviceBusy     time.Duration // summed virtual device busy time
+
+	// Compute.
+	Messages int64
+	Steals   int64
+	WaitTime time.Duration // worker time blocked waiting for I/O
+	CPUUtil  float64       // compute time / (elapsed × threads)
+
+	// MemoryBytes estimates the resident footprint: page cache + graph
+	// index + algorithm vertex state (+ in-memory edge data when
+	// InMemory).
+	MemoryBytes int64
+}
+
+// IOThroughput returns the mean read bandwidth in bytes/second.
+func (s RunStats) IOThroughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.BytesRead) / s.Elapsed.Seconds()
+}
+
+// IOPS returns mean device read operations per second.
+func (s RunStats) IOPS() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.DeviceReads) / s.Elapsed.Seconds()
+}
+
+// CacheHitRate returns page-cache hits / lookups.
+func (s RunStats) CacheHitRate() float64 {
+	t := s.CacheHits + s.CacheMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(t)
+}
+
+// NewEngine loads img and prepares workers. In SEM mode the image's
+// edge-list files are written into cfg.FS (the one SSD write FlashGraph
+// performs); in in-memory mode the image's byte slices are used
+// directly.
+func NewEngine(img *graph.Image, cfg Config) (*Engine, error) {
+	cfg.setDefaults()
+	e := &Engine{cfg: cfg, img: img, sweepFwd: true}
+	start := time.Now()
+	if !cfg.InMemory {
+		if cfg.FS == nil {
+			return nil, fmt.Errorf("core: semi-external-memory mode requires Config.FS")
+		}
+		files, err := img.LoadToFS(cfg.FS, cfg.GraphName)
+		if err != nil {
+			return nil, fmt.Errorf("core: loading image: %w", err)
+		}
+		e.files = files
+	}
+	e.loadTime = time.Since(start)
+	e.activeCur = util.NewBitmap(img.NumV)
+	e.activeNext = util.NewBitmap(img.NumV)
+	e.workers = make([]*worker, cfg.Threads)
+	e.ctxs = make([]*Ctx, cfg.Threads)
+	for i := range e.workers {
+		e.workers[i] = newWorker(e, i)
+		e.ctxs[i] = &Ctx{eng: e, w: e.workers[i]}
+	}
+	return e, nil
+}
+
+// Image returns the loaded graph image.
+func (e *Engine) Image() *graph.Image { return e.img }
+
+// NumVertices returns the vertex count.
+func (e *Engine) NumVertices() int { return e.img.NumV }
+
+// Directed reports whether the graph is directed.
+func (e *Engine) Directed() bool { return e.img.Directed }
+
+// LoadTime returns how long loading the image onto the SSDs took
+// (Table 2's "init time").
+func (e *Engine) LoadTime() time.Duration { return e.loadTime }
+
+// Iteration returns the current iteration (valid during Run).
+func (e *Engine) Iteration() int { return e.iteration }
+
+// OutDegree returns v's out-degree from the compact index.
+func (e *Engine) OutDegree(v graph.VertexID) uint32 {
+	return e.img.OutIndex.Degree(v)
+}
+
+// InDegree returns v's in-degree (undirected graphs: same as OutDegree).
+func (e *Engine) InDegree(v graph.VertexID) uint32 {
+	if e.img.InIndex == nil {
+		return e.img.OutIndex.Degree(v)
+	}
+	return e.img.InIndex.Degree(v)
+}
+
+// index returns the index for a direction.
+func (e *Engine) index(dir graph.EdgeDir) *graph.Index {
+	if dir == graph.InEdges && e.img.InIndex != nil {
+		return e.img.InIndex
+	}
+	return e.img.OutIndex
+}
+
+// file returns the SAFS file for a direction (SEM mode).
+func (e *Engine) file(dir graph.EdgeDir) *safs.File {
+	if dir == graph.InEdges && e.files.In != nil {
+		return e.files.In
+	}
+	return e.files.Out
+}
+
+// data returns the in-memory bytes for a direction (in-memory mode).
+func (e *Engine) data(dir graph.EdgeDir) []byte {
+	if dir == graph.InEdges && e.img.InData != nil {
+		return e.img.InData
+	}
+	return e.img.OutData
+}
+
+// Threads returns the number of workers / horizontal partitions.
+func (e *Engine) Threads() int { return e.cfg.Threads }
+
+// PendingActivations returns how many vertices are activated for the
+// next iteration so far. Iteration hooks use it to detect phase ends
+// (e.g. betweenness centrality switching from forward BFS to back
+// propagation when the frontier empties).
+func (e *Engine) PendingActivations() int64 {
+	return atomic.LoadInt64(&e.nextCount)
+}
+
+// ActivateSeed activates v for the first iteration (call from
+// Algorithm.Init) or for the next iteration (call from an
+// IterationHook).
+func (e *Engine) ActivateSeed(v graph.VertexID) { e.activateNext(v) }
+
+// ActivateAllSeeds activates every vertex for the first iteration.
+func (e *Engine) ActivateAllSeeds() {
+	e.activeNext.SetAll()
+	atomic.StoreInt64(&e.nextCount, int64(e.img.NumV))
+}
+
+// activateNext marks v active for the next iteration. Idempotent and
+// safe for concurrent use (multicast activation collapses duplicates).
+func (e *Engine) activateNext(v graph.VertexID) {
+	if e.activeNext.Set(int(v)) {
+		atomic.AddInt64(&e.nextCount, 1)
+	}
+}
+
+// partitionOf maps a vertex to its horizontal partition:
+// (v >> RangeShift) % Threads (§3.8).
+func (e *Engine) partitionOf(v graph.VertexID) int {
+	return int((uint(v) >> e.cfg.RangeShift) % uint(e.cfg.Threads))
+}
+
+// phase runs fn on every worker in parallel and waits for completion.
+func (e *Engine) phase(fn func(w *worker)) {
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		w := w
+		w.cmds <- func() {
+			defer wg.Done()
+			fn(w)
+		}
+	}
+	wg.Wait()
+}
+
+// Run executes alg to completion and returns its statistics. An engine
+// runs one algorithm at a time.
+func (e *Engine) Run(alg Algorithm) (RunStats, error) {
+	e.alg = alg
+	e.iteration = 0
+	e.sweepFwd = true
+	e.stats = runCounters{}
+	e.activeCur.Clear()
+	e.activeNext.Clear()
+	atomic.StoreInt64(&e.nextCount, 0)
+
+	// Snapshot substrate counters so stats reflect this run only.
+	var cacheBase, arrayBase struct{ hits, misses, reads, bytes, busyNS int64 }
+	if !e.cfg.InMemory {
+		cs := e.cfg.FS.Cache().Stats()
+		as := e.cfg.FS.Array().Stats()
+		cacheBase.hits, cacheBase.misses = cs.Hits, cs.Misses
+		arrayBase.reads, arrayBase.bytes, arrayBase.busyNS = as.Reads, as.BytesRead, int64(as.Busy)
+	}
+
+	for _, w := range e.workers {
+		w.start()
+	}
+	defer func() {
+		for _, w := range e.workers {
+			w.stop()
+		}
+	}()
+
+	start := time.Now()
+	alg.Init(e)
+
+	maxIters := e.cfg.MaxIterations
+	if lim, ok := alg.(IterationLimiter); ok {
+		if m := lim.MaxIterations(); m > 0 && (maxIters == 0 || m < maxIters) {
+			maxIters = m
+		}
+	}
+	hook, _ := alg.(IterationHook)
+	for {
+		if maxIters > 0 && e.iteration >= maxIters {
+			break
+		}
+		if atomic.LoadInt64(&e.nextCount) == 0 {
+			break
+		}
+		// Swap active sets.
+		e.activeCur, e.activeNext = e.activeNext, e.activeCur
+		e.activeNext.Clear()
+		atomic.StoreInt64(&e.nextCount, 0)
+
+		// Build per-worker ordered active lists.
+		e.phase(func(w *worker) { w.buildActiveList() })
+
+		// Vertical partitioning: all parts of phase p run before p+1.
+		maxParts := 1
+		if vp, ok := alg.(VerticallyPartitioned); ok {
+			for _, w := range e.workers {
+				for _, v := range w.iterActive {
+					if n := vp.NumParts(e, v); n > maxParts {
+						maxParts = n
+					}
+				}
+			}
+		}
+		for part := 0; part < maxParts; part++ {
+			p := part
+			// Queue reset is its own barrier phase: work stealing may
+			// probe any victim the moment the run phase starts, so every
+			// queue must be loaded before any worker begins.
+			e.phase(func(w *worker) { w.resetQueue() })
+			e.phase(func(w *worker) { w.runPart(p) })
+		}
+
+		// Message phase: repeat until no worker produced new messages.
+		for {
+			var delivered int64
+			e.phase(func(w *worker) {
+				atomic.AddInt64(&delivered, w.messagePhase())
+			})
+			if delivered == 0 {
+				break
+			}
+		}
+
+		// Per-vertex end-of-iteration notifications.
+		if _, ok := alg.(IterationEnder); ok {
+			e.phase(func(w *worker) { w.iterEndPhase() })
+		}
+		if hook != nil {
+			hook.OnIterationEnd(e)
+		}
+		e.iteration++
+	}
+	e.phase(func(w *worker) { w.commitTimes() })
+	elapsed := time.Since(start)
+
+	st := RunStats{
+		Iterations:     e.iteration,
+		Elapsed:        elapsed,
+		EdgeRequests:   atomic.LoadInt64(&e.stats.edgeRequests),
+		MergedRequests: atomic.LoadInt64(&e.stats.mergedRequests),
+		Messages:       atomic.LoadInt64(&e.stats.messages),
+		Steals:         atomic.LoadInt64(&e.stats.steals),
+		WaitTime:       time.Duration(atomic.LoadInt64(&e.stats.waitNS)),
+	}
+	compute := time.Duration(atomic.LoadInt64(&e.stats.computeNS))
+	if elapsed > 0 {
+		st.CPUUtil = float64(compute) / (elapsed.Seconds() * float64(e.cfg.Threads) * float64(time.Second))
+	}
+	if !e.cfg.InMemory {
+		cs := e.cfg.FS.Cache().Stats()
+		as := e.cfg.FS.Array().Stats()
+		st.CacheHits = cs.Hits - cacheBase.hits
+		st.CacheMisses = cs.Misses - cacheBase.misses
+		st.DeviceReads = as.Reads - arrayBase.reads
+		st.BytesRead = as.BytesRead - arrayBase.bytes
+		st.DeviceBusy = as.Busy - time.Duration(arrayBase.busyNS)
+	}
+	st.MemoryBytes = e.memoryFootprint()
+	return st, nil
+}
+
+// memoryFootprint estimates resident bytes: index + vertex state +
+// cache (SEM) or edge data (in-memory).
+func (e *Engine) memoryFootprint() int64 {
+	m := e.img.IndexMemory()
+	if ss, ok := e.alg.(StateSized); ok {
+		m += ss.StateBytes()
+	}
+	if e.cfg.InMemory {
+		m += e.img.DataSize()
+	} else {
+		m += int64(e.cfg.FS.Cache().Capacity()) * int64(e.cfg.FS.PageSize())
+	}
+	return m
+}

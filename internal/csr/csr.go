@@ -1,0 +1,109 @@
+// Package csr provides a compressed-sparse-row in-memory graph. It is
+// the substrate for the in-memory baseline engines (the paper's Galois
+// and PowerGraph comparisons, §5.2) and the correctness oracle for the
+// FlashGraph algorithms.
+package csr
+
+import (
+	"sort"
+
+	"flashgraph/internal/graph"
+)
+
+// Graph is a CSR-encoded graph. For directed graphs both directions are
+// materialized; undirected graphs use Out only (each edge appears in
+// both endpoints' rows).
+type Graph struct {
+	N        int
+	Directed bool
+	OutPtr   []int64
+	OutAdj   []graph.VertexID
+	InPtr    []int64
+	InAdj    []graph.VertexID
+}
+
+// FromAdjacency flattens adjacency lists into CSR form.
+func FromAdjacency(a *graph.Adjacency) *Graph {
+	g := &Graph{N: a.N, Directed: a.Directed}
+	g.OutPtr, g.OutAdj = flatten(a.Out)
+	if a.Directed {
+		g.InPtr, g.InAdj = flatten(a.In)
+	}
+	return g
+}
+
+func flatten(lists [][]graph.VertexID) ([]int64, []graph.VertexID) {
+	ptr := make([]int64, len(lists)+1)
+	var total int64
+	for i, l := range lists {
+		ptr[i] = total
+		total += int64(len(l))
+	}
+	ptr[len(lists)] = total
+	adj := make([]graph.VertexID, total)
+	off := int64(0)
+	for _, l := range lists {
+		copy(adj[off:], l)
+		off += int64(len(l))
+	}
+	return ptr, adj
+}
+
+// Out returns v's out-neighbors (sorted by ID).
+func (g *Graph) Out(v graph.VertexID) []graph.VertexID {
+	return g.OutAdj[g.OutPtr[v]:g.OutPtr[v+1]]
+}
+
+// In returns v's in-neighbors; for undirected graphs this is Out.
+func (g *Graph) In(v graph.VertexID) []graph.VertexID {
+	if !g.Directed {
+		return g.Out(v)
+	}
+	return g.InAdj[g.InPtr[v]:g.InPtr[v+1]]
+}
+
+// OutDegree returns len(Out(v)).
+func (g *Graph) OutDegree(v graph.VertexID) int {
+	return int(g.OutPtr[v+1] - g.OutPtr[v])
+}
+
+// InDegree returns len(In(v)).
+func (g *Graph) InDegree(v graph.VertexID) int {
+	if !g.Directed {
+		return g.OutDegree(v)
+	}
+	return int(g.InPtr[v+1] - g.InPtr[v])
+}
+
+// NumEdges returns the number of directed edges (undirected: each edge
+// counted once).
+func (g *Graph) NumEdges() int64 {
+	n := g.OutPtr[g.N]
+	if !g.Directed {
+		return n / 2
+	}
+	return n
+}
+
+// Neighbors returns v's neighbors ignoring direction, sorted and
+// deduplicated, appended to buf. Triangle counting and scan statistics
+// operate on this undirected view.
+func (g *Graph) Neighbors(v graph.VertexID, buf []graph.VertexID) []graph.VertexID {
+	buf = buf[:0]
+	buf = append(buf, g.Out(v)...)
+	if g.Directed {
+		buf = append(buf, g.In(v)...)
+		sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	}
+	// Dedup (and drop self loops).
+	out := buf[:0]
+	var prev graph.VertexID = graph.InvalidVertex
+	for _, u := range buf {
+		if u == v || u == prev {
+			continue
+		}
+		out = append(out, u)
+		prev = u
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package csr
+
+import (
+	"testing"
+
+	"flashgraph/internal/gen"
+	"flashgraph/internal/graph"
+)
+
+func TestFromAdjacencyDirected(t *testing.T) {
+	a := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 3, Dst: 0}}, true)
+	g := FromAdjacency(a)
+	if g.OutDegree(0) != 2 || g.InDegree(0) != 1 {
+		t.Fatalf("degrees of 0: out=%d in=%d", g.OutDegree(0), g.InDegree(0))
+	}
+	out := g.Out(0)
+	if len(out) != 2 || out[0] != 1 || out[1] != 2 {
+		t.Fatalf("out(0) = %v", out)
+	}
+	in := g.In(0)
+	if len(in) != 1 || in[0] != 3 {
+		t.Fatalf("in(0) = %v", in)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}
+
+func TestFromAdjacencyUndirected(t *testing.T) {
+	a := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, false)
+	g := FromAdjacency(a)
+	if g.NumEdges() != 2 {
+		t.Fatalf("undirected edges = %d, want 2", g.NumEdges())
+	}
+	if g.InDegree(1) != g.OutDegree(1) || g.OutDegree(1) != 2 {
+		t.Fatalf("degree(1) = %d", g.OutDegree(1))
+	}
+}
+
+func TestNeighborsMergesAndDedups(t *testing.T) {
+	// 0 <-> 1 mutual edge plus 0 -> 2: undirected neighbors of 0 are
+	// {1, 2} exactly once each.
+	a := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 0, Dst: 2}}, true)
+	g := FromAdjacency(a)
+	nbrs := g.Neighbors(0, nil)
+	if len(nbrs) != 2 || nbrs[0] != 1 || nbrs[1] != 2 {
+		t.Fatalf("neighbors(0) = %v", nbrs)
+	}
+}
+
+func TestNeighborsExcludesSelfLoop(t *testing.T) {
+	a := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 0}, {Src: 0, Dst: 1}}, true)
+	g := FromAdjacency(a)
+	nbrs := g.Neighbors(0, nil)
+	if len(nbrs) != 1 || nbrs[0] != 1 {
+		t.Fatalf("neighbors(0) = %v", nbrs)
+	}
+}
+
+func TestCSRMatchesAdjacency(t *testing.T) {
+	a := graph.FromEdges(1<<9, gen.RMAT(9, 6, 1), true)
+	a.Dedup()
+	g := FromAdjacency(a)
+	for v := 0; v < a.N; v++ {
+		out := g.Out(graph.VertexID(v))
+		if len(out) != len(a.Out[v]) {
+			t.Fatalf("out(%d): %d vs %d", v, len(out), len(a.Out[v]))
+		}
+		for i := range out {
+			if out[i] != a.Out[v][i] {
+				t.Fatalf("out(%d)[%d] mismatch", v, i)
+			}
+		}
+	}
+}

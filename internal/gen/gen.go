@@ -1,0 +1,167 @@
+// Package gen generates synthetic graphs that stand in for the paper's
+// datasets (Table 1), which we cannot redistribute:
+//
+//   - RMAT produces Kronecker-style power-law graphs — the degree skew of
+//     the Twitter and subdomain web graphs is what drives FlashGraph's
+//     merging, load balancing, and caching behaviour, and RMAT reproduces
+//     it;
+//   - Clustered produces a domain-clustered web-like graph (the page
+//     graph is "clustered by domain, generating good cache hit rates"):
+//     vertex IDs group into domains, most edges stay within a domain or
+//     reach nearby domains, giving ID-locality and a long diameter;
+//   - ER produces uniform random graphs (no skew control);
+//   - Ring produces a cycle with optional chords (diameter tests).
+//
+// All generators are deterministic in their seed.
+package gen
+
+import (
+	"flashgraph/internal/graph"
+	"flashgraph/internal/util"
+)
+
+// RMAT generates 2^scale vertices and approximately edgesPerVertex ×
+// 2^scale directed edges with power-law degree distributions, using the
+// standard R-MAT recursive quadrant probabilities (a=0.57, b=0.19,
+// c=0.19, d=0.05) with light noise per level.
+func RMAT(scale, edgesPerVertex int, seed uint64) []graph.Edge {
+	n := 1 << scale
+	m := n * edgesPerVertex
+	r := util.NewRNG(seed)
+	edges := make([]graph.Edge, 0, m)
+	const a, b, c = 0.57, 0.19, 0.19
+	for i := 0; i < m; i++ {
+		src, dst := 0, 0
+		for lvl := 0; lvl < scale; lvl++ {
+			// ±10% noise keeps the graph from being exactly self-similar.
+			noise := 0.9 + 0.2*r.Float64()
+			p := r.Float64()
+			switch {
+			case p < a*noise:
+				// top-left: no bits set
+			case p < (a+b)*noise:
+				dst |= 1 << lvl
+			case p < (a+b+c)*noise:
+				src |= 1 << lvl
+			default:
+				src |= 1 << lvl
+				dst |= 1 << lvl
+			}
+		}
+		if src == dst {
+			dst = (dst + 1) % n // avoid self loops
+		}
+		edges = append(edges, graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)})
+	}
+	return edges
+}
+
+// ER generates m uniform random directed edges over n vertices
+// (self-loops excluded).
+func ER(n, m int, seed uint64) []graph.Edge {
+	r := util.NewRNG(seed)
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		src := graph.VertexID(r.Intn(n))
+		dst := graph.VertexID(r.Intn(n))
+		if src == dst {
+			dst = graph.VertexID((int(dst) + 1) % n)
+		}
+		edges = append(edges, graph.Edge{Src: src, Dst: dst})
+	}
+	return edges
+}
+
+// ClusteredConfig parameterizes the web-like clustered generator.
+type ClusteredConfig struct {
+	// Domains is the number of vertex clusters ("web domains").
+	Domains int
+	// DomainSize is the number of vertices per domain.
+	DomainSize int
+	// EdgesPerVertex is the average out-degree.
+	EdgesPerVertex int
+	// IntraProb is the probability an edge stays within its domain
+	// (default 0.85; the remainder go to one of the next few domains,
+	// which chains domains together and yields a long diameter).
+	IntraProb float64
+	// Seed drives the RNG.
+	Seed uint64
+}
+
+// Clustered generates a domain-clustered directed graph. Vertex v lives
+// in domain v/DomainSize, so sorting by vertex ID clusters edge lists by
+// domain on SSD — the page-graph property that gives FlashGraph good
+// cache hit rates (Table 2).
+func Clustered(cfg ClusteredConfig) []graph.Edge {
+	if cfg.IntraProb == 0 {
+		cfg.IntraProb = 0.85
+	}
+	n := cfg.Domains * cfg.DomainSize
+	m := n * cfg.EdgesPerVertex
+	r := util.NewRNG(cfg.Seed)
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		src := r.Intn(n)
+		dom := src / cfg.DomainSize
+		var dstDom int
+		if r.Float64() < cfg.IntraProb {
+			dstDom = dom
+		} else {
+			// Mostly forward links to the next 1..4 domains; occasional
+			// long-range link.
+			if r.Float64() < 0.9 {
+				dstDom = (dom + 1 + r.Intn(4)) % cfg.Domains
+			} else {
+				dstDom = r.Intn(cfg.Domains)
+			}
+		}
+		// Within a domain, prefer low-ID "hub" pages (front pages):
+		// squaring the uniform sample skews toward 0.
+		u := r.Float64()
+		dst := dstDom*cfg.DomainSize + int(u*u*float64(cfg.DomainSize))
+		if dst >= n {
+			dst = n - 1
+		}
+		if dst == src {
+			dst = (dst + 1) % n
+		}
+		edges = append(edges, graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)})
+	}
+	return edges
+}
+
+// Ring generates a directed cycle of n vertices with `chords` extra
+// random shortcut edges. Diameter without chords is n-1.
+func Ring(n, chords int, seed uint64) []graph.Edge {
+	edges := make([]graph.Edge, 0, n+chords)
+	for v := 0; v < n; v++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID((v + 1) % n)})
+	}
+	r := util.NewRNG(seed)
+	for i := 0; i < chords; i++ {
+		src := graph.VertexID(r.Intn(n))
+		dst := graph.VertexID(r.Intn(n))
+		if src != dst {
+			edges = append(edges, graph.Edge{Src: src, Dst: dst})
+		}
+	}
+	return edges
+}
+
+// Grid generates a directed 2D grid (rows×cols) with edges right and
+// down. Useful for predictable-diameter tests.
+func Grid(rows, cols int) []graph.Edge {
+	var edges []graph.Edge
+	id := func(r, c int) graph.VertexID { return graph.VertexID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{Src: id(r, c), Dst: id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{Src: id(r, c), Dst: id(r+1, c)})
+			}
+		}
+	}
+	return edges
+}

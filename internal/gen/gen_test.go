@@ -1,0 +1,160 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+
+	"flashgraph/internal/graph"
+)
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(10, 8, 42)
+	b := RMAT(10, 8, 42)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := RMAT(10, 8, 43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATShape(t *testing.T) {
+	const scale, epv = 12, 16
+	edges := RMAT(scale, epv, 7)
+	n := 1 << scale
+	if len(edges) != n*epv {
+		t.Fatalf("edges = %d, want %d", len(edges), n*epv)
+	}
+	for _, e := range edges {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			t.Fatalf("edge %v out of range", e)
+		}
+		if e.Src == e.Dst {
+			t.Fatalf("self loop %v", e)
+		}
+	}
+}
+
+func TestRMATPowerLaw(t *testing.T) {
+	// Power law: the max degree should dwarf the average, and the
+	// degree distribution should be heavily skewed (top 1% of vertices
+	// owning a large share of edges).
+	const scale, epv = 13, 16
+	edges := RMAT(scale, epv, 3)
+	n := 1 << scale
+	deg := make([]int, n)
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	maxDeg := deg[0]
+	if maxDeg < epv*10 {
+		t.Fatalf("max degree %d too uniform for a power law (avg %d)", maxDeg, epv)
+	}
+	top := 0
+	for _, d := range deg[:n/100] {
+		top += d
+	}
+	if frac := float64(top) / float64(len(edges)); frac < 0.10 {
+		t.Fatalf("top 1%% of vertices own %.2f of edges, want >= 0.10", frac)
+	}
+}
+
+func TestERUniform(t *testing.T) {
+	edges := ER(1000, 10000, 5)
+	if len(edges) != 10000 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	deg := make([]int, 1000)
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			t.Fatalf("self loop %v", e)
+		}
+		deg[e.Src]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	// Uniform graphs have no big hubs: max degree should be close to
+	// the mean (10), far from power-law tails.
+	if deg[0] > 40 {
+		t.Fatalf("ER max degree %d looks skewed", deg[0])
+	}
+}
+
+func TestClusteredLocality(t *testing.T) {
+	cfg := ClusteredConfig{Domains: 50, DomainSize: 100, EdgesPerVertex: 8, Seed: 9}
+	edges := Clustered(cfg)
+	n := cfg.Domains * cfg.DomainSize
+	intra := 0
+	for _, e := range edges {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			t.Fatalf("edge %v out of range", e)
+		}
+		if int(e.Src)/cfg.DomainSize == int(e.Dst)/cfg.DomainSize {
+			intra++
+		}
+	}
+	frac := float64(intra) / float64(len(edges))
+	if frac < 0.7 || frac > 0.95 {
+		t.Fatalf("intra-domain fraction = %.2f, want ~0.85", frac)
+	}
+}
+
+func TestClusteredDeterministic(t *testing.T) {
+	cfg := ClusteredConfig{Domains: 10, DomainSize: 50, EdgesPerVertex: 4, Seed: 11}
+	a := Clustered(cfg)
+	b := Clustered(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("clustered generator not deterministic")
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	edges := Ring(10, 0, 0)
+	if len(edges) != 10 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	for i, e := range edges {
+		if e.Src != graph.VertexID(i) || e.Dst != graph.VertexID((i+1)%10) {
+			t.Fatalf("edge %d = %v", i, e)
+		}
+	}
+	withChords := Ring(10, 5, 1)
+	if len(withChords) < 10 || len(withChords) > 15 {
+		t.Fatalf("chorded ring edges = %d", len(withChords))
+	}
+}
+
+func TestGrid(t *testing.T) {
+	edges := Grid(3, 4)
+	// 3 rows x 4 cols: right edges 3*3=9, down edges 2*4=8.
+	if len(edges) != 17 {
+		t.Fatalf("grid edges = %d, want 17", len(edges))
+	}
+}
+
+func TestGeneratorsFeedImageBuilder(t *testing.T) {
+	edges := RMAT(8, 4, 1)
+	a := graph.FromEdges(1<<8, edges, true)
+	a.Dedup()
+	img := graph.BuildImage(a, 0, nil)
+	if img.NumV != 1<<8 {
+		t.Fatalf("NumV = %d", img.NumV)
+	}
+	if img.NumEdges == 0 || img.NumEdges > int64(len(edges)) {
+		t.Fatalf("NumEdges = %d", img.NumEdges)
+	}
+}

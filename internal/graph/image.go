@@ -1,0 +1,313 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"flashgraph/internal/safs"
+)
+
+// Adjacency is the intermediate in-memory form used to build images.
+type Adjacency struct {
+	N        int
+	Directed bool
+	// Out[v] lists v's out-neighbors (or all neighbors when undirected).
+	Out [][]VertexID
+	// In[v] lists v's in-neighbors; nil for undirected graphs.
+	In [][]VertexID
+}
+
+// FromEdges builds adjacency lists from an edge list. For undirected
+// graphs each edge lands in both endpoints' Out lists. Neighbor lists
+// are sorted by vertex ID (triangle counting relies on this) and
+// duplicate edges are kept as given.
+func FromEdges(n int, edges []Edge, directed bool) *Adjacency {
+	a := &Adjacency{N: n, Directed: directed, Out: make([][]VertexID, n)}
+	outDeg := make([]uint32, n)
+	var inDeg []uint32
+	if directed {
+		a.In = make([][]VertexID, n)
+		inDeg = make([]uint32, n)
+	}
+	for _, e := range edges {
+		outDeg[e.Src]++
+		if directed {
+			inDeg[e.Dst]++
+		} else {
+			outDeg[e.Dst]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if outDeg[v] > 0 {
+			a.Out[v] = make([]VertexID, 0, outDeg[v])
+		}
+		if directed && inDeg[v] > 0 {
+			a.In[v] = make([]VertexID, 0, inDeg[v])
+		}
+	}
+	for _, e := range edges {
+		a.Out[e.Src] = append(a.Out[e.Src], e.Dst)
+		if directed {
+			a.In[e.Dst] = append(a.In[e.Dst], e.Src)
+		} else {
+			a.Out[e.Dst] = append(a.Out[e.Dst], e.Src)
+		}
+	}
+	a.Sort()
+	return a
+}
+
+// Sort orders every neighbor list by vertex ID.
+func (a *Adjacency) Sort() {
+	for _, l := range a.Out {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	}
+	for _, l := range a.In {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	}
+}
+
+// Dedup removes duplicate neighbors (lists must be sorted) and
+// self-loops.
+func (a *Adjacency) Dedup() {
+	dedup := func(v int, l []VertexID) []VertexID {
+		out := l[:0]
+		for i, u := range l {
+			if u == VertexID(v) {
+				continue // self-loop
+			}
+			if i > 0 && u == l[i-1] {
+				continue
+			}
+			out = append(out, u)
+		}
+		return out
+	}
+	for v := range a.Out {
+		a.Out[v] = dedup(v, a.Out[v])
+	}
+	for v := range a.In {
+		a.In[v] = dedup(v, a.In[v])
+	}
+}
+
+// AttrFunc produces the fixed-size attribute bytes for edge (src, dst).
+// Deterministic functions keep images reproducible without storing
+// attributes in the builder.
+type AttrFunc func(src, dst VertexID, buf []byte)
+
+// Image is a complete FlashGraph graph image: serialized edge-list files
+// plus their compact indexes. OutData/InData are the exact bytes stored
+// on SSDs.
+type Image struct {
+	Directed bool
+	NumV     int
+	NumEdges int64 // directed: #edges; undirected: #undirected edges
+	AttrSize int
+
+	OutData  []byte
+	InData   []byte // nil if undirected
+	OutIndex *Index
+	InIndex  *Index // nil if undirected
+}
+
+// encodeLists serializes adjacency lists into an edge-list file:
+// concatenated records ordered by vertex ID.
+func encodeLists(lists [][]VertexID, n int, attrSize int, src bool, attr AttrFunc) ([]byte, []uint32) {
+	degrees := make([]uint32, n)
+	var total int64
+	for v := 0; v < n; v++ {
+		degrees[v] = uint32(len(lists[v]))
+		total += RecordSize(degrees[v], attrSize)
+	}
+	data := make([]byte, total)
+	off := 0
+	for v := 0; v < n; v++ {
+		binary.LittleEndian.PutUint32(data[off:], degrees[v])
+		off += headerSize
+		for _, u := range lists[v] {
+			binary.LittleEndian.PutUint32(data[off:], u)
+			off += edgeSize
+		}
+		if attrSize > 0 {
+			for _, u := range lists[v] {
+				if attr != nil {
+					if src {
+						attr(VertexID(v), u, data[off:off+attrSize])
+					} else {
+						attr(u, VertexID(v), data[off:off+attrSize])
+					}
+				}
+				off += attrSize
+			}
+		}
+	}
+	return data, degrees
+}
+
+// BuildImage serializes adjacency lists into an image. attr may be nil
+// when attrSize is zero.
+func BuildImage(a *Adjacency, attrSize int, attr AttrFunc) *Image {
+	img := &Image{Directed: a.Directed, NumV: a.N, AttrSize: attrSize}
+	outData, outDeg := encodeLists(a.Out, a.N, attrSize, true, attr)
+	img.OutData = outData
+	img.OutIndex = BuildIndex(outDeg, attrSize)
+	if a.Directed {
+		inData, inDeg := encodeLists(a.In, a.N, attrSize, false, attr)
+		img.InData = inData
+		img.InIndex = BuildIndex(inDeg, attrSize)
+		img.NumEdges = img.OutIndex.NumEdges()
+	} else {
+		img.NumEdges = img.OutIndex.NumEdges() / 2
+	}
+	return img
+}
+
+// IndexMemory returns the total in-memory index footprint in bytes.
+func (img *Image) IndexMemory() int64 {
+	m := img.OutIndex.MemoryFootprint()
+	if img.InIndex != nil {
+		m += img.InIndex.MemoryFootprint()
+	}
+	return m
+}
+
+// DataSize returns the on-SSD byte size of all edge-list files.
+func (img *Image) DataSize() int64 {
+	return int64(len(img.OutData)) + int64(len(img.InData))
+}
+
+// FSFiles is the pair of SAFS files holding an image's edge lists.
+type FSFiles struct {
+	Out *safs.File
+	In  *safs.File // nil if undirected
+}
+
+// LoadToFS writes the image's edge-list files into the filesystem
+// (FlashGraph's only SSD write: loading a graph for processing).
+func (img *Image) LoadToFS(fs *safs.FS, name string) (*FSFiles, error) {
+	out, err := fs.Create(name+".adj-out", int64(len(img.OutData)))
+	if err != nil {
+		return nil, err
+	}
+	if err := out.WriteAt(img.OutData, 0); err != nil {
+		return nil, err
+	}
+	files := &FSFiles{Out: out}
+	if img.Directed {
+		in, err := fs.Create(name+".adj-in", int64(len(img.InData)))
+		if err != nil {
+			return nil, err
+		}
+		if err := in.WriteAt(img.InData, 0); err != nil {
+			return nil, err
+		}
+		files.In = in
+	}
+	return files, nil
+}
+
+const imageMagic = "FGIMG001"
+
+// Encode serializes the image to a host file (fg-convert output).
+func (img *Image) Encode(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString(imageMagic); err != nil {
+		return err
+	}
+	var flags uint8
+	if img.Directed {
+		flags = 1
+	}
+	hdr := []interface{}{
+		flags,
+		uint32(img.AttrSize),
+		uint64(img.NumV),
+		uint64(img.NumEdges),
+		uint64(len(img.OutData)),
+		uint64(len(img.InData)),
+	}
+	for _, f := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(img.OutData); err != nil {
+		return err
+	}
+	if _, err := bw.Write(img.InData); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Decode deserializes an image written by Encode, rebuilding the
+// in-memory indexes by scanning record headers.
+func Decode(r io.Reader) (*Image, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic := make([]byte, len(imageMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != imageMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var flags uint8
+	var attrSize uint32
+	var numV, numEdges, outLen, inLen uint64
+	for _, f := range []interface{}{&flags, &attrSize, &numV, &numEdges, &outLen, &inLen} {
+		if err := binary.Read(br, binary.LittleEndian, f); err != nil {
+			return nil, fmt.Errorf("graph: reading header: %w", err)
+		}
+	}
+	img := &Image{
+		Directed: flags&1 != 0,
+		NumV:     int(numV),
+		NumEdges: int64(numEdges),
+		AttrSize: int(attrSize),
+		OutData:  make([]byte, outLen),
+	}
+	if _, err := io.ReadFull(br, img.OutData); err != nil {
+		return nil, fmt.Errorf("graph: reading out-edge data: %w", err)
+	}
+	if inLen > 0 {
+		img.InData = make([]byte, inLen)
+		if _, err := io.ReadFull(br, img.InData); err != nil {
+			return nil, fmt.Errorf("graph: reading in-edge data: %w", err)
+		}
+	}
+	var err error
+	img.OutIndex, err = scanIndex(img.OutData, img.NumV, img.AttrSize)
+	if err != nil {
+		return nil, fmt.Errorf("graph: out-edge file: %w", err)
+	}
+	if img.Directed {
+		img.InIndex, err = scanIndex(img.InData, img.NumV, img.AttrSize)
+		if err != nil {
+			return nil, fmt.Errorf("graph: in-edge file: %w", err)
+		}
+	}
+	return img, nil
+}
+
+// scanIndex walks an edge-list file's record headers to recover degrees
+// and build the index.
+func scanIndex(data []byte, n, attrSize int) (*Index, error) {
+	degrees := make([]uint32, n)
+	off := int64(0)
+	for v := 0; v < n; v++ {
+		if off+headerSize > int64(len(data)) {
+			return nil, fmt.Errorf("truncated at vertex %d", v)
+		}
+		d := binary.LittleEndian.Uint32(data[off:])
+		degrees[v] = d
+		off += RecordSize(d, attrSize)
+	}
+	if off != int64(len(data)) {
+		return nil, fmt.Errorf("trailing bytes: scanned %d of %d", off, len(data))
+	}
+	return BuildIndex(degrees, attrSize), nil
+}

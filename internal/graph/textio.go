@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseEdgeList reads a whitespace-separated text edge list ("src dst"
+// per line; '#' and '%' start comments) and returns the edges and the
+// number of vertices (max ID + 1).
+func ParseEdgeList(r io.Reader) ([]Edge, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := VertexID(0)
+	seen := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("graph: line %d: want 'src dst', got %q", line, text)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: bad src: %w", line, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graph: line %d: bad dst: %w", line, err)
+		}
+		edges = append(edges, Edge{Src: VertexID(src), Dst: VertexID(dst)})
+		if VertexID(src) > maxID {
+			maxID = VertexID(src)
+		}
+		if VertexID(dst) > maxID {
+			maxID = VertexID(dst)
+		}
+		seen = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	n := 0
+	if seen {
+		n = int(maxID) + 1
+	}
+	return edges, n, nil
+}
+
+// WriteEdgeList writes edges as text, one "src dst" per line.
+func WriteEdgeList(w io.Writer, edges []Edge) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.Src, e.Dst); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

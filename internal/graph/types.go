@@ -1,0 +1,35 @@
+// Package graph implements FlashGraph's graph representations (FAST'15
+// §3.5): the compact external-memory image stored on SSDs (separate
+// in-edge and out-edge list files sorted by vertex ID, each record being
+// a header, edges, and optional edge attributes) and the compact
+// in-memory graph index (degrees in 1–2 bytes per vertex, exact offsets
+// for every 32nd vertex, large degrees spilled to a hash table).
+package graph
+
+import "math"
+
+// VertexID identifies a vertex. 32 bits cover the paper's largest graph
+// (3.4 billion vertices).
+type VertexID = uint32
+
+// InvalidVertex is a sentinel non-vertex.
+const InvalidVertex VertexID = math.MaxUint32
+
+// Edge is a directed edge (for undirected graphs, an edge is stored in
+// both endpoints' lists).
+type Edge struct {
+	Src, Dst VertexID
+}
+
+// headerSize is the per-record header: a uint32 edge count. Edge-list
+// records on SSD are [count u32][edges count×u32][attrs count×attrSize].
+const headerSize = 4
+
+// edgeSize is the on-SSD size of one edge endpoint.
+const edgeSize = 4
+
+// RecordSize returns the on-SSD size of a vertex record with the given
+// degree and per-edge attribute size.
+func RecordSize(degree uint32, attrSize int) int64 {
+	return headerSize + int64(degree)*int64(edgeSize+attrSize)
+}

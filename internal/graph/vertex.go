@@ -1,0 +1,100 @@
+package graph
+
+import "encoding/binary"
+
+// Span is a read-only window of edge-list bytes. safs.View implements it
+// (semi-external memory: bytes live in the page cache); ByteSpan
+// implements it over plain memory (in-memory FlashGraph). PageVertex
+// decodes vertex records from either, so vertex programs are agnostic to
+// where edge lists live.
+type Span interface {
+	Len() int64
+	Uint32(rel int64) uint32
+	Slice(rel, n int64, scratch []byte) []byte
+}
+
+// ByteSpan is a Span over a contiguous in-memory byte slice.
+type ByteSpan []byte
+
+// Len returns the span length.
+func (b ByteSpan) Len() int64 { return int64(len(b)) }
+
+// Uint32 decodes a little-endian uint32 at rel.
+func (b ByteSpan) Uint32(rel int64) uint32 {
+	return binary.LittleEndian.Uint32(b[rel:])
+}
+
+// Slice returns b[rel:rel+n] without copying.
+func (b ByteSpan) Slice(rel, n int64, _ []byte) []byte {
+	return b[rel : rel+n]
+}
+
+// PageVertex is the decoded form of one vertex's edge-list record — the
+// object handed to RunOnVertex ("page_vertex" in the paper's API). The
+// record layout is [count u32][edges count×u32][attrs count×attrSize].
+type PageVertex struct {
+	// ID is the vertex whose edge list this is.
+	ID VertexID
+	// Dir reports which list this is for directed graphs.
+	Dir EdgeDir
+
+	span     Span
+	attrSize int
+}
+
+// EdgeDir selects an edge-list direction.
+type EdgeDir uint8
+
+const (
+	// OutEdges selects the out-edge list (the only list of an undirected
+	// graph).
+	OutEdges EdgeDir = iota
+	// InEdges selects the in-edge list of a directed graph.
+	InEdges
+)
+
+// NewPageVertex wraps a record span.
+func NewPageVertex(id VertexID, dir EdgeDir, span Span, attrSize int) PageVertex {
+	return PageVertex{ID: id, Dir: dir, span: span, attrSize: attrSize}
+}
+
+// NumEdges returns the record's edge count.
+func (pv *PageVertex) NumEdges() int {
+	return int(pv.span.Uint32(0))
+}
+
+// Edge returns the i-th neighbor.
+func (pv *PageVertex) Edge(i int) VertexID {
+	return pv.span.Uint32(headerSize + int64(i)*edgeSize)
+}
+
+// Edges decodes all neighbors, appending to dst (reusing its capacity)
+// and using scratch for page-crossing copies. The returned slice aliases
+// dst's backing array.
+func (pv *PageVertex) Edges(dst []VertexID, scratch []byte) []VertexID {
+	n := pv.NumEdges()
+	dst = dst[:0]
+	if n == 0 {
+		return dst
+	}
+	raw := pv.span.Slice(headerSize, int64(n)*edgeSize, scratch)
+	for i := 0; i < n; i++ {
+		dst = append(dst, binary.LittleEndian.Uint32(raw[i*edgeSize:]))
+	}
+	return dst
+}
+
+// AttrBytes returns the raw attribute bytes of the i-th edge. It uses
+// scratch when the attribute crosses a page boundary.
+func (pv *PageVertex) AttrBytes(i int, scratch []byte) []byte {
+	n := int64(pv.NumEdges())
+	off := headerSize + n*edgeSize + int64(i)*int64(pv.attrSize)
+	return pv.span.Slice(off, int64(pv.attrSize), scratch)
+}
+
+// AttrUint32 decodes the i-th edge attribute as a little-endian uint32
+// (used for weights).
+func (pv *PageVertex) AttrUint32(i int) uint32 {
+	var buf [4]byte
+	return binary.LittleEndian.Uint32(pv.AttrBytes(i, buf[:]))
+}

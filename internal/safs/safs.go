@@ -1,0 +1,435 @@
+// Package safs implements the set-associative file system (SAFS) of
+// Zheng et al. ("Toward millions of file system IOPS on low-cost,
+// commodity hardware", SC'13), the substrate FlashGraph runs on
+// (FAST'15 §3.1).
+//
+// SAFS is a user-space filesystem library layered over an SSD array. It
+// contributes three things FlashGraph depends on:
+//
+//   - dedicated per-SSD I/O goroutines fed by message passing (the ssd
+//     package), avoiding kernel block-layer lock contention;
+//   - a scalable set-associative page cache (the pagecache package);
+//   - an asynchronous *user-task* I/O interface: instead of reading into
+//     caller-allocated buffers, the caller attaches a task to each read
+//     request, and the task executes against the cache pages directly
+//     once they are resident — no buffer allocation, no copy, and
+//     computation overlaps I/O.
+//
+// Completion tasks are executed on the goroutine that polls the caller's
+// IOContext (mirroring SAFS delivering AIO completions to the issuing
+// thread), so a graph-engine worker always runs its vertex programs
+// itself.
+package safs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"flashgraph/internal/pagecache"
+	"flashgraph/internal/ssd"
+)
+
+// MergeMode controls where adjacent page loads are merged into larger
+// device requests. FlashGraph's design (§3.6, Figure 12) merges in the
+// graph engine; merging in SAFS and not merging at all are retained for
+// the ablation.
+type MergeMode int
+
+const (
+	// MergeNone issues one device request per page run within a single
+	// ReadTask only (no cross-request merging).
+	MergeNone MergeMode = iota
+	// MergeSAFS defers page loads until Flush, then sorts and merges
+	// adjacent loads across all staged requests of the IOContext.
+	MergeSAFS
+)
+
+// Config configures a filesystem instance.
+type Config struct {
+	// PageSize is the cache/IO granularity (default 4KiB). The paper
+	// sweeps this in Figure 13.
+	PageSize int
+	// CacheBytes sizes the page cache (default 64MiB).
+	CacheBytes int64
+	// CacheAssoc is the page-cache associativity (default 8).
+	CacheAssoc int
+	// Merge selects where loads are merged (default MergeNone; the
+	// engine's own merging makes its requests contiguous already).
+	Merge MergeMode
+}
+
+// FS is one SAFS instance over an SSD array.
+type FS struct {
+	array    *ssd.Array
+	cache    *pagecache.Cache
+	pageSize int
+	merge    MergeMode
+
+	mu     sync.Mutex
+	files  map[string]*File
+	nextID uint32
+	alloc  int64 // next free array offset (page aligned)
+}
+
+// New creates a filesystem over array.
+func New(array *ssd.Array, cfg Config) *FS {
+	if cfg.PageSize == 0 {
+		cfg.PageSize = pagecache.DefaultPageSize
+	}
+	cache := pagecache.New(pagecache.Config{
+		TotalBytes: cfg.CacheBytes,
+		PageSize:   cfg.PageSize,
+		Assoc:      cfg.CacheAssoc,
+	})
+	return &FS{
+		array:    array,
+		cache:    cache,
+		pageSize: cfg.PageSize,
+		merge:    cfg.Merge,
+		files:    make(map[string]*File),
+	}
+}
+
+// PageSize returns the I/O granularity in bytes.
+func (fs *FS) PageSize() int { return fs.pageSize }
+
+// Cache exposes the page cache (stats, capacity).
+func (fs *FS) Cache() *pagecache.Cache { return fs.cache }
+
+// Array exposes the underlying device array (stats).
+func (fs *FS) Array() *ssd.Array { return fs.array }
+
+// File is a write-once SAFS file: graph images are written during load
+// and only read during computation (FlashGraph minimizes SSD wearout by
+// never writing during execution).
+type File struct {
+	fs   *FS
+	id   uint32
+	name string
+	base int64
+	size int64
+}
+
+// Create allocates a file of the given size (rounded up to whole pages).
+func (fs *FS) Create(name string, size int64) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("safs: file %q exists", name)
+	}
+	ps := int64(fs.pageSize)
+	alloc := (size + ps - 1) / ps * ps
+	f := &File{fs: fs, id: fs.nextID, name: name, base: fs.alloc, size: size}
+	fs.nextID++
+	fs.alloc += alloc
+	fs.files[name] = f
+	return f, nil
+}
+
+// Open returns an existing file.
+func (fs *FS) Open(name string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("safs: file %q not found", name)
+	}
+	return f, nil
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the file length in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// WriteAt writes synchronously through to the array, bypassing the cache.
+// Files must be fully written before the first ReadTask (write-once).
+func (f *File) WriteAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > f.size {
+		return fmt.Errorf("safs: write [%d,%d) outside file %q of size %d", off, off+int64(len(p)), f.name, f.size)
+	}
+	return f.fs.array.WriteAt(p, f.base+off)
+}
+
+// ReadAt reads synchronously, bypassing the cache (setup and testing
+// paths; the engine uses IOContext.ReadTask).
+func (f *File) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > f.size {
+		return fmt.Errorf("safs: read [%d,%d) outside file %q of size %d", off, off+int64(len(p)), f.name, f.size)
+	}
+	return f.fs.array.ReadAt(p, f.base+off)
+}
+
+// TaskFunc is a user task attached to an async read. It runs against the
+// page cache via the View once all covered pages are resident. The View
+// is valid only for the duration of the call.
+type TaskFunc func(v *View, err error)
+
+// pageHandle abstracts a cache frame or a private bypass buffer.
+type pageHandle interface {
+	Data() []byte
+	OnReady(func(error))
+	Complete(error)
+	Unpin()
+}
+
+// bypassPage is a private, uncached frame used when a cache set is fully
+// pinned.
+type bypassPage struct {
+	mu      sync.Mutex
+	buf     []byte
+	ready   bool
+	err     error
+	waiters []func(error)
+}
+
+func (b *bypassPage) Data() []byte { return b.buf }
+func (b *bypassPage) Unpin()       {}
+func (b *bypassPage) OnReady(fn func(error)) {
+	b.mu.Lock()
+	if b.ready {
+		err := b.err
+		b.mu.Unlock()
+		fn(err)
+		return
+	}
+	b.waiters = append(b.waiters, fn)
+	b.mu.Unlock()
+}
+func (b *bypassPage) Complete(err error) {
+	b.mu.Lock()
+	b.ready = true
+	b.err = err
+	ws := b.waiters
+	b.waiters = nil
+	b.mu.Unlock()
+	for _, fn := range ws {
+		fn(err)
+	}
+}
+
+// load is one page that needs device I/O.
+type load struct {
+	fileID uint32
+	base   int64 // array base of the file
+	pageNo int64
+	page   pageHandle
+}
+
+// completed is a finished request ready to run its task.
+type completed struct {
+	task TaskFunc
+	view *View
+	err  error
+}
+
+// IOContext is a per-worker I/O issue/completion context. It is not safe
+// for concurrent use; each engine worker owns one (mirroring SAFS
+// per-thread I/O instances).
+type IOContext struct {
+	fs *FS
+
+	mu       sync.Mutex
+	ready    []completed
+	signal   chan struct{}
+	staged   []load // loads awaiting Flush (MergeSAFS) or end of ReadTask
+	inflight int64  // atomic: issued but not yet delivered to ready
+
+	// PendingTasks limits nothing by itself; the engine bounds issued
+	// requests by its running-vertex cap.
+}
+
+// NewContext creates an I/O context on fs.
+func (fs *FS) NewContext() *IOContext {
+	return &IOContext{fs: fs, signal: make(chan struct{}, 1)}
+}
+
+// Pending returns the number of issued-but-unprocessed requests.
+func (ctx *IOContext) Pending() int {
+	ctx.mu.Lock()
+	n := len(ctx.ready)
+	ctx.mu.Unlock()
+	return n + int(atomic.LoadInt64(&ctx.inflight))
+}
+
+func (ctx *IOContext) push(c completed) {
+	ctx.mu.Lock()
+	ctx.ready = append(ctx.ready, c)
+	ctx.mu.Unlock()
+	atomic.AddInt64(&ctx.inflight, -1)
+	select {
+	case ctx.signal <- struct{}{}:
+	default:
+	}
+}
+
+// ReadTask issues an asynchronous read of [off, off+length) of f and
+// associates task with it. The task runs when the caller next calls Poll
+// or WaitAny after all covered pages are resident.
+//
+// In MergeNone mode the page loads are dispatched immediately (grouped
+// into contiguous runs within this request only). In MergeSAFS mode the
+// loads are staged until Flush, allowing SAFS to merge across requests.
+func (ctx *IOContext) ReadTask(f *File, off, length int64, task TaskFunc) {
+	if length <= 0 {
+		panic("safs: ReadTask with non-positive length")
+	}
+	if off < 0 || off+length > f.size {
+		panic(fmt.Sprintf("safs: ReadTask [%d,%d) outside file %q of size %d", off, off+length, f.name, f.size))
+	}
+	atomic.AddInt64(&ctx.inflight, 1)
+	ps := int64(ctx.fs.pageSize)
+	p0 := off / ps
+	p1 := (off + length - 1) / ps
+	n := int(p1 - p0 + 1)
+
+	view := &View{
+		pageSize: ctx.fs.pageSize,
+		head:     int(off - p0*ps),
+		length:   length,
+		frames:   make([]pageHandle, 0, n),
+	}
+
+	// pending counts page-ready events plus one sentinel so the task
+	// cannot fire before all pages are examined.
+	var pending int32 = 1
+	var errMu sync.Mutex
+	var firstErr error
+	done := func(err error) {
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+		}
+		if atomic.AddInt32(&pending, -1) == 0 {
+			errMu.Lock()
+			e := firstErr
+			errMu.Unlock()
+			ctx.push(completed{task: task, view: view, err: e})
+		}
+	}
+
+	for pn := p0; pn <= p1; pn++ {
+		var h pageHandle
+		pg, loader, ok := ctx.fs.cache.Acquire(pagecache.Key{FileID: f.id, PageNo: pn})
+		if ok {
+			h = pg
+		} else {
+			bp := &bypassPage{buf: make([]byte, ctx.fs.pageSize)}
+			h = bp
+			loader = true
+		}
+		view.frames = append(view.frames, h)
+		atomic.AddInt32(&pending, 1)
+		h.OnReady(done)
+		if loader {
+			ctx.staged = append(ctx.staged, load{fileID: f.id, base: f.base, pageNo: pn, page: h})
+		}
+	}
+	if ctx.fs.merge != MergeSAFS {
+		ctx.flushStaged()
+	}
+	done(nil) // release sentinel
+}
+
+// Flush dispatches staged page loads. In MergeSAFS mode, staged loads
+// from many requests are sorted by (file, page) and adjacent pages merge
+// into single vectored device reads — SAFS-level merging (Figure 12).
+func (ctx *IOContext) Flush() {
+	if ctx.fs.merge == MergeSAFS {
+		sort.Slice(ctx.staged, func(i, j int) bool {
+			a, b := ctx.staged[i], ctx.staged[j]
+			if a.fileID != b.fileID {
+				return a.fileID < b.fileID
+			}
+			return a.pageNo < b.pageNo
+		})
+	}
+	ctx.flushStaged()
+}
+
+// flushStaged groups consecutive staged loads (same file, adjacent pages)
+// into single vectored array reads and dispatches them.
+func (ctx *IOContext) flushStaged() {
+	// Take ownership of the staged slice: completion closures below hold
+	// sub-slices of it, so the context must not reuse the backing array.
+	staged := ctx.staged
+	ctx.staged = nil
+	ps := int64(ctx.fs.pageSize)
+	for i := 0; i < len(staged); {
+		j := i + 1
+		for j < len(staged) &&
+			staged[j].fileID == staged[i].fileID &&
+			staged[j].pageNo == staged[j-1].pageNo+1 {
+			j++
+		}
+		group := staged[i:j]
+		vec := make([][]byte, len(group))
+		for k, ld := range group {
+			vec[k] = ld.page.Data()
+		}
+		off := group[0].base + group[0].pageNo*ps
+		ctx.fs.array.SubmitReadVec(off, vec, func(err error) {
+			for _, ld := range group {
+				ld.page.Complete(err)
+			}
+		})
+		i = j
+	}
+}
+
+// Poll runs all currently-completed tasks on the calling goroutine and
+// returns how many ran. It never blocks.
+func (ctx *IOContext) Poll() int {
+	ctx.mu.Lock()
+	batch := ctx.ready
+	ctx.ready = nil
+	ctx.mu.Unlock()
+	for _, c := range batch {
+		c.task(c.view, c.err)
+		c.view.release()
+	}
+	return len(batch)
+}
+
+// WaitAny blocks until at least one task has run (or nothing is in
+// flight), then returns the number of tasks run.
+func (ctx *IOContext) WaitAny() int {
+	for {
+		if n := ctx.Poll(); n > 0 {
+			return n
+		}
+		if atomic.LoadInt64(&ctx.inflight) == 0 {
+			return 0
+		}
+		<-ctx.signal
+	}
+}
+
+// WaitSignal blocks until a completion is delivered (or returns
+// immediately when nothing is in flight) WITHOUT running tasks. Callers
+// that need to attribute time to I/O wait versus computation use
+// Poll + WaitSignal instead of WaitAny.
+func (ctx *IOContext) WaitSignal() {
+	if atomic.LoadInt64(&ctx.inflight) == 0 {
+		return
+	}
+	<-ctx.signal
+}
+
+// Drain runs tasks until no requests remain in flight.
+func (ctx *IOContext) Drain() {
+	ctx.Flush()
+	for {
+		ctx.Poll()
+		if atomic.LoadInt64(&ctx.inflight) == 0 && ctx.Pending() == 0 {
+			return
+		}
+		<-ctx.signal
+	}
+}

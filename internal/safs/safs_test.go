@@ -1,0 +1,399 @@
+package safs
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"flashgraph/internal/ssd"
+)
+
+func newFS(t *testing.T, cfg Config) (*FS, *ssd.Array) {
+	t.Helper()
+	a := ssd.NewArray(ssd.ArrayParams{Devices: 4, StripeSize: 16 * 4096})
+	t.Cleanup(a.Close)
+	return New(a, cfg), a
+}
+
+func writePattern(t *testing.T, f *File, size int64) []byte {
+	t.Helper()
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i*31 + 7)
+	}
+	if err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestCreateOpen(t *testing.T) {
+	fs, _ := newFS(t, Config{})
+	f, err := fs.Create("graph.adj", 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 100000 || f.Name() != "graph.adj" {
+		t.Fatalf("file = %q size %d", f.Name(), f.Size())
+	}
+	if _, err := fs.Create("graph.adj", 10); err == nil {
+		t.Fatal("duplicate Create should fail")
+	}
+	g, err := fs.Open("graph.adj")
+	if err != nil || g != f {
+		t.Fatalf("Open = %v, %v", g, err)
+	}
+	if _, err := fs.Open("missing"); err == nil {
+		t.Fatal("Open missing should fail")
+	}
+}
+
+func TestFilesDoNotOverlap(t *testing.T) {
+	fs, _ := newFS(t, Config{})
+	a, _ := fs.Create("a", 5000) // 2 pages
+	b, _ := fs.Create("b", 5000)
+	da := bytes.Repeat([]byte{0xAA}, 5000)
+	db := bytes.Repeat([]byte{0xBB}, 5000)
+	if err := a.WriteAt(da, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteAt(db, 0); err != nil {
+		t.Fatal(err)
+	}
+	ga := make([]byte, 5000)
+	gb := make([]byte, 5000)
+	if err := a.ReadAt(ga, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ReadAt(gb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ga, da) || !bytes.Equal(gb, db) {
+		t.Fatal("files overlap or corrupt")
+	}
+}
+
+func TestWriteBounds(t *testing.T) {
+	fs, _ := newFS(t, Config{})
+	f, _ := fs.Create("f", 100)
+	if err := f.WriteAt(make([]byte, 101), 0); err == nil {
+		t.Fatal("out-of-bounds write should fail")
+	}
+	if err := f.ReadAt(make([]byte, 10), 95); err == nil {
+		t.Fatal("out-of-bounds read should fail")
+	}
+}
+
+func TestReadTaskBasic(t *testing.T) {
+	fs, _ := newFS(t, Config{})
+	f, _ := fs.Create("f", 64<<10)
+	data := writePattern(t, f, 64<<10)
+
+	ctx := fs.NewContext()
+	got := make([]byte, 1000)
+	ran := false
+	ctx.ReadTask(f, 5000, 1000, func(v *View, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		if v.Len() != 1000 {
+			t.Errorf("view len = %d", v.Len())
+		}
+		v.ReadAt(got, 0)
+		ran = true
+	})
+	ctx.Drain()
+	if !ran {
+		t.Fatal("task did not run")
+	}
+	if !bytes.Equal(got, data[5000:6000]) {
+		t.Fatal("task saw wrong bytes")
+	}
+}
+
+func TestReadTaskCrossesPages(t *testing.T) {
+	fs, _ := newFS(t, Config{})
+	f, _ := fs.Create("f", 64<<10)
+	data := writePattern(t, f, 64<<10)
+
+	ctx := fs.NewContext()
+	// Range spans pages 0..3 with odd head/tail.
+	const off, n = 4090, 3*4096 + 13
+	got := make([]byte, n)
+	ctx.ReadTask(f, off, n, func(v *View, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		v.ReadAt(got, 0)
+	})
+	ctx.Drain()
+	if !bytes.Equal(got, data[off:off+n]) {
+		t.Fatal("cross-page read mismatch")
+	}
+}
+
+func TestReadTaskCacheHitSecondTime(t *testing.T) {
+	fs, _ := newFS(t, Config{})
+	f, _ := fs.Create("f", 1<<20)
+	writePattern(t, f, 1<<20)
+
+	ctx := fs.NewContext()
+	run := func() {
+		ctx.ReadTask(f, 0, 8192, func(v *View, err error) {})
+		ctx.Drain()
+	}
+	run()
+	missesAfterFirst := fs.Cache().Stats().Misses
+	readsAfterFirst := fs.Array().Stats().Reads
+	run()
+	if got := fs.Cache().Stats().Misses; got != missesAfterFirst {
+		t.Fatalf("second read missed cache: %d -> %d", missesAfterFirst, got)
+	}
+	if got := fs.Array().Stats().Reads; got != readsAfterFirst {
+		t.Fatalf("second read hit the device: %d -> %d", readsAfterFirst, got)
+	}
+	if fs.Cache().Stats().Hits == 0 {
+		t.Fatal("no cache hits recorded")
+	}
+}
+
+func TestReadTaskContiguousRunIsOneRequest(t *testing.T) {
+	// 8 pages within one stripe must be fetched as a single device
+	// request (vectored), not 8.
+	a := ssd.NewArray(ssd.ArrayParams{Devices: 1, StripeSize: 64 * 4096})
+	defer a.Close()
+	fs := New(a, Config{})
+	f, _ := fs.Create("f", 1<<20)
+	if err := f.WriteAt(make([]byte, 1<<20), 0); err != nil {
+		t.Fatal(err)
+	}
+	a.ResetStats()
+	ctx := fs.NewContext()
+	ctx.ReadTask(f, 0, 8*4096, func(v *View, err error) {})
+	ctx.Drain()
+	if got := a.Stats().Reads; got != 1 {
+		t.Fatalf("device reads = %d, want 1 (vectored fill)", got)
+	}
+}
+
+func TestMergeSAFSCombinesAcrossRequests(t *testing.T) {
+	// Two per-vertex requests on adjacent pages: with MergeSAFS they
+	// become one device request at Flush; with MergeNone, two.
+	countReads := func(merge MergeMode) int64 {
+		a := ssd.NewArray(ssd.ArrayParams{Devices: 1, StripeSize: 64 * 4096})
+		defer a.Close()
+		fs := New(a, Config{Merge: merge})
+		f, _ := fs.Create("f", 1<<20)
+		if err := f.WriteAt(make([]byte, 1<<20), 0); err != nil {
+			t.Fatal(err)
+		}
+		a.ResetStats()
+		ctx := fs.NewContext()
+		ctx.ReadTask(f, 0, 4096, func(v *View, err error) {})
+		ctx.ReadTask(f, 4096, 4096, func(v *View, err error) {})
+		ctx.Drain()
+		return a.Stats().Reads
+	}
+	if got := countReads(MergeNone); got != 2 {
+		t.Fatalf("MergeNone reads = %d, want 2", got)
+	}
+	if got := countReads(MergeSAFS); got != 1 {
+		t.Fatalf("MergeSAFS reads = %d, want 1", got)
+	}
+}
+
+func TestManyInflightTasks(t *testing.T) {
+	fs, _ := newFS(t, Config{CacheBytes: 1 << 20})
+	f, _ := fs.Create("f", 4<<20)
+	data := writePattern(t, f, 4<<20)
+
+	ctx := fs.NewContext()
+	var completedCount int64
+	const tasks = 500
+	for i := 0; i < tasks; i++ {
+		off := int64(i) * 8000 % (4<<20 - 128)
+		want := data[off]
+		ctx.ReadTask(f, off, 128, func(v *View, err error) {
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if v.Byte(0) != want {
+				t.Errorf("task at %d saw %d want %d", off, v.Byte(0), want)
+			}
+			atomic.AddInt64(&completedCount, 1)
+		})
+	}
+	ctx.Drain()
+	if completedCount != tasks {
+		t.Fatalf("completed %d of %d tasks", completedCount, tasks)
+	}
+}
+
+func TestWaitAnyAndPoll(t *testing.T) {
+	fs, _ := newFS(t, Config{})
+	f, _ := fs.Create("f", 1<<20)
+	writePattern(t, f, 1<<20)
+	ctx := fs.NewContext()
+	if n := ctx.Poll(); n != 0 {
+		t.Fatalf("Poll on idle ctx = %d", n)
+	}
+	if n := ctx.WaitAny(); n != 0 {
+		t.Fatalf("WaitAny on idle ctx = %d", n)
+	}
+	ran := 0
+	for i := 0; i < 10; i++ {
+		ctx.ReadTask(f, int64(i)*4096, 100, func(v *View, err error) { ran++ })
+	}
+	total := 0
+	for total < 10 {
+		n := ctx.WaitAny()
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	if ran != 10 || total != 10 {
+		t.Fatalf("ran=%d total=%d", ran, total)
+	}
+}
+
+func TestViewSliceZeroCopy(t *testing.T) {
+	fs, _ := newFS(t, Config{})
+	f, _ := fs.Create("f", 64<<10)
+	data := writePattern(t, f, 64<<10)
+	ctx := fs.NewContext()
+	ctx.ReadTask(f, 100, 8000, func(v *View, err error) {
+		// Within one page: no copy needed.
+		s := v.Slice(0, 100, nil)
+		if !bytes.Equal(s, data[100:200]) {
+			t.Error("slice mismatch (single page)")
+		}
+		// Crossing a page boundary (page 0 ends at file offset 4096,
+		// i.e. rel 3996).
+		s2 := v.Slice(3990, 20, nil)
+		if !bytes.Equal(s2, data[4090:4110]) {
+			t.Error("slice mismatch (crossing)")
+		}
+	})
+	ctx.Drain()
+}
+
+func TestViewIntegers(t *testing.T) {
+	fs, _ := newFS(t, Config{})
+	f, _ := fs.Create("f", 64<<10)
+	data := make([]byte, 64<<10)
+	for i := 0; i+4 <= len(data); i += 4 {
+		binary.LittleEndian.PutUint32(data[i:], uint32(i))
+	}
+	if err := f.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	ctx := fs.NewContext()
+	ctx.ReadTask(f, 0, 16<<10, func(v *View, err error) {
+		if got := v.Uint32(0); got != 0 {
+			t.Errorf("Uint32(0) = %d", got)
+		}
+		if got := v.Uint32(4096 - 2); got != binary.LittleEndian.Uint32(data[4094:]) {
+			t.Errorf("cross-page Uint32 = %d", got)
+		}
+		if got := v.Uint64(8); got != binary.LittleEndian.Uint64(data[8:]) {
+			t.Errorf("Uint64 = %d", got)
+		}
+	})
+	ctx.Drain()
+}
+
+func TestViewSub(t *testing.T) {
+	fs, _ := newFS(t, Config{})
+	f, _ := fs.Create("f", 64<<10)
+	data := writePattern(t, f, 64<<10)
+	ctx := fs.NewContext()
+	ctx.ReadTask(f, 0, 32<<10, func(v *View, err error) {
+		sub := v.Sub(10000, 500)
+		if sub.Len() != 500 {
+			t.Errorf("sub len = %d", sub.Len())
+		}
+		got := make([]byte, 500)
+		sub.ReadAt(got, 0)
+		if !bytes.Equal(got, data[10000:10500]) {
+			t.Error("sub-view mismatch")
+		}
+		if sub.Byte(499) != data[10499] {
+			t.Error("sub Byte mismatch")
+		}
+	})
+	ctx.Drain()
+}
+
+func TestViewQuickReadAt(t *testing.T) {
+	fs, _ := newFS(t, Config{})
+	f, _ := fs.Create("f", 1<<20)
+	data := writePattern(t, f, 1<<20)
+	ctx := fs.NewContext()
+	prop := func(offRaw, lenRaw uint32, relRaw uint16) bool {
+		off := int64(offRaw) % (1<<20 - 20000)
+		n := int64(lenRaw)%19000 + 1
+		rel := int64(relRaw) % n
+		okResult := true
+		ctx.ReadTask(f, off, n, func(v *View, err error) {
+			if err != nil {
+				okResult = false
+				return
+			}
+			m := n - rel
+			if m > 64 {
+				m = 64
+			}
+			got := make([]byte, m)
+			v.ReadAt(got, rel)
+			okResult = bytes.Equal(got, data[off+rel:off+rel+m])
+		})
+		ctx.Drain()
+		return okResult
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageSizeConfig(t *testing.T) {
+	for _, ps := range []int{1024, 4096, 16384} {
+		fs, _ := newFS(t, Config{PageSize: ps})
+		if fs.PageSize() != ps {
+			t.Fatalf("PageSize = %d, want %d", fs.PageSize(), ps)
+		}
+		f, _ := fs.Create("f", 256<<10)
+		data := writePattern(t, f, 256<<10)
+		ctx := fs.NewContext()
+		got := make([]byte, 3*ps)
+		ctx.ReadTask(f, int64(ps/2), int64(3*ps), func(v *View, err error) {
+			v.ReadAt(got, 0)
+		})
+		ctx.Drain()
+		if !bytes.Equal(got, data[ps/2:ps/2+3*ps]) {
+			t.Fatalf("page size %d: data mismatch", ps)
+		}
+	}
+}
+
+func TestReadTaskMinIOIsOnePage(t *testing.T) {
+	// A 1-byte request still reads one whole flash page (the paper's
+	// minimum I/O block).
+	a := ssd.NewArray(ssd.ArrayParams{Devices: 1, StripeSize: 64 * 4096})
+	defer a.Close()
+	fs := New(a, Config{})
+	f, _ := fs.Create("f", 1<<20)
+	if err := f.WriteAt(make([]byte, 1<<20), 0); err != nil {
+		t.Fatal(err)
+	}
+	a.ResetStats()
+	ctx := fs.NewContext()
+	ctx.ReadTask(f, 5, 1, func(v *View, err error) {})
+	ctx.Drain()
+	if got := a.Stats().BytesRead; got != 4096 {
+		t.Fatalf("bytes read = %d, want one 4KB page", got)
+	}
+}

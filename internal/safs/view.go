@@ -1,0 +1,118 @@
+package safs
+
+import "encoding/binary"
+
+// View is a window onto the page-cache frames covering one asynchronous
+// read request. User tasks access the requested byte range through it —
+// computation happens directly against cache pages (the paper's
+// "general-purpose computation in the page cache") with copies only at
+// page boundaries.
+//
+// Offsets passed to View methods are relative to the start of the
+// requested range. A View is valid only inside its TaskFunc; the frames
+// are unpinned when the task returns.
+type View struct {
+	pageSize int
+	head     int   // offset of the requested range within the first frame
+	length   int64 // requested length
+	frames   []pageHandle
+}
+
+// Len returns the number of requested bytes.
+func (v *View) Len() int64 { return v.length }
+
+// locate maps a range-relative offset to (frame index, offset in frame).
+func (v *View) locate(rel int64) (int, int) {
+	abs := int64(v.head) + rel
+	return int(abs / int64(v.pageSize)), int(abs % int64(v.pageSize))
+}
+
+// ReadAt copies bytes starting at rel into dst and returns the number
+// copied (short only if the request range ends).
+func (v *View) ReadAt(dst []byte, rel int64) int {
+	if rel >= v.length {
+		return 0
+	}
+	if max := v.length - rel; int64(len(dst)) > max {
+		dst = dst[:max]
+	}
+	n := 0
+	fi, fo := v.locate(rel)
+	for n < len(dst) {
+		frame := v.frames[fi].Data()
+		c := copy(dst[n:], frame[fo:])
+		n += c
+		fi++
+		fo = 0
+	}
+	return n
+}
+
+// Slice returns the bytes [rel, rel+n) without copying when the range
+// lies within one frame; otherwise it copies into scratch (growing it if
+// needed) and returns that. Use for decoding variable structures cheaply.
+func (v *View) Slice(rel, n int64, scratch []byte) []byte {
+	fi, fo := v.locate(rel)
+	frame := v.frames[fi].Data()
+	if fo+int(n) <= len(frame) {
+		return frame[fo : fo+int(n)]
+	}
+	if int64(cap(scratch)) < n {
+		scratch = make([]byte, n)
+	}
+	scratch = scratch[:n]
+	v.ReadAt(scratch, rel)
+	return scratch
+}
+
+// Uint32 decodes a little-endian uint32 at rel, handling page crossings.
+func (v *View) Uint32(rel int64) uint32 {
+	fi, fo := v.locate(rel)
+	frame := v.frames[fi].Data()
+	if fo+4 <= len(frame) {
+		return binary.LittleEndian.Uint32(frame[fo:])
+	}
+	var b [4]byte
+	v.ReadAt(b[:], rel)
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// Uint64 decodes a little-endian uint64 at rel, handling page crossings.
+func (v *View) Uint64(rel int64) uint64 {
+	fi, fo := v.locate(rel)
+	frame := v.frames[fi].Data()
+	if fo+8 <= len(frame) {
+		return binary.LittleEndian.Uint64(frame[fo:])
+	}
+	var b [8]byte
+	v.ReadAt(b[:], rel)
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// Byte returns the byte at rel.
+func (v *View) Byte(rel int64) byte {
+	fi, fo := v.locate(rel)
+	return v.frames[fi].Data()[fo]
+}
+
+// Sub returns a view of [rel, rel+n) of this view. Frames remain pinned
+// by the parent; the sub-view is valid only while the parent is. This is
+// how one merged I/O request serves many vertices: the engine slices the
+// merged view per vertex.
+func (v *View) Sub(rel, n int64) *View {
+	fi, fo := v.locate(rel)
+	return &View{
+		pageSize: v.pageSize,
+		head:     fo,
+		length:   n,
+		frames:   v.frames[fi:],
+	}
+}
+
+// release unpins all frames; called by the IOContext after the task runs.
+func (v *View) release() {
+	for _, f := range v.frames {
+		f.Unpin()
+	}
+	v.frames = nil
+}

@@ -1,0 +1,263 @@
+package ssd
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ArrayParams configures a striped array of simulated SSDs.
+type ArrayParams struct {
+	// Devices is the number of SSDs. Default 4.
+	Devices int
+	// StripeSize is the RAID-0 stripe unit in bytes. Default 128KiB
+	// — large enough that one merged FlashGraph request usually hits one
+	// device, small enough that big sequential scans parallelize.
+	StripeSize int64
+	// Device holds the per-device model parameters (Name is overridden).
+	Device DeviceParams
+}
+
+func (p *ArrayParams) setDefaults() {
+	if p.Devices == 0 {
+		p.Devices = 4
+	}
+	if p.StripeSize == 0 {
+		p.StripeSize = 128 << 10
+	}
+}
+
+// Array is a linear address space striped RAID-0 style over simulated
+// devices. It is the unit SAFS files sit on.
+type Array struct {
+	devices []*Device
+	stripe  int64
+}
+
+// NewArray builds an array of in-memory devices.
+func NewArray(params ArrayParams) *Array {
+	params.setDefaults()
+	a := &Array{stripe: params.StripeSize}
+	for i := 0; i < params.Devices; i++ {
+		dp := params.Device
+		dp.Name = fmt.Sprintf("ssd%d", i)
+		a.devices = append(a.devices, NewDevice(dp, NewMemStore()))
+	}
+	return a
+}
+
+// NewArrayWithStores builds an array over caller-provided stores (e.g.
+// FileStores), one device per store.
+func NewArrayWithStores(params ArrayParams, stores []Store) *Array {
+	params.setDefaults()
+	a := &Array{stripe: params.StripeSize}
+	for i, s := range stores {
+		dp := params.Device
+		dp.Name = fmt.Sprintf("ssd%d", i)
+		a.devices = append(a.devices, NewDevice(dp, s))
+	}
+	return a
+}
+
+// Devices returns the number of devices in the array.
+func (a *Array) Devices() int { return len(a.devices) }
+
+// StripeSize returns the stripe unit in bytes.
+func (a *Array) StripeSize() int64 { return a.stripe }
+
+// Close shuts down every device.
+func (a *Array) Close() {
+	for _, d := range a.devices {
+		d.Close()
+	}
+}
+
+// locate maps a linear array offset to (device, device-local offset,
+// bytes available in this stripe unit).
+func (a *Array) locate(off int64) (dev int, devOff int64, run int64) {
+	stripeIdx := off / a.stripe
+	within := off % a.stripe
+	dev = int(stripeIdx % int64(len(a.devices)))
+	devOff = (stripeIdx/int64(len(a.devices)))*a.stripe + within
+	run = a.stripe - within
+	return
+}
+
+// extent is one device-local piece of a linear-range request.
+type extent struct {
+	dev    int
+	devOff int64
+	buf    []byte
+}
+
+// split cuts the linear range [off, off+len(buf)) into device extents.
+func (a *Array) split(off int64, buf []byte) []extent {
+	var exts []extent
+	for len(buf) > 0 {
+		dev, devOff, run := a.locate(off)
+		n := int64(len(buf))
+		if n > run {
+			n = run
+		}
+		exts = append(exts, extent{dev: dev, devOff: devOff, buf: buf[:n]})
+		buf = buf[n:]
+		off += n
+	}
+	return exts
+}
+
+// SubmitRead issues an asynchronous read of len(buf) bytes at linear
+// offset off. done fires exactly once, from an I/O goroutine, after all
+// device extents complete; err is the first failure, if any.
+func (a *Array) SubmitRead(off int64, buf []byte, done func(err error)) {
+	a.submit(OpRead, off, buf, done)
+}
+
+// SubmitWrite issues an asynchronous write.
+func (a *Array) SubmitWrite(off int64, buf []byte, done func(err error)) {
+	a.submit(OpWrite, off, buf, done)
+}
+
+func (a *Array) submit(op Op, off int64, buf []byte, done func(err error)) {
+	exts := a.split(off, buf)
+	if len(exts) == 1 {
+		e := exts[0]
+		a.devices[e.dev].Submit(&Request{Op: op, Offset: e.devOff, Buf: e.buf, Done: done})
+		return
+	}
+	var mu sync.Mutex
+	var firstErr error
+	remaining := len(exts)
+	sub := func(err error) {
+		mu.Lock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		fire := remaining == 0
+		mu.Unlock()
+		if fire {
+			done(firstErr)
+		}
+	}
+	for _, e := range exts {
+		a.devices[e.dev].Submit(&Request{Op: op, Offset: e.devOff, Buf: e.buf, Done: sub})
+	}
+}
+
+// SubmitReadVec issues an asynchronous scatter read: the contiguous
+// linear range starting at off is transferred into the buffers of vec in
+// order. The range is cut only at device-stripe boundaries, so a read
+// covering N stripes costs at most N device requests regardless of how
+// many buffers it scatters into — one merged FlashGraph request filling
+// 32 cache pages is still (usually) one device request.
+func (a *Array) SubmitReadVec(off int64, vec [][]byte, done func(err error)) {
+	type vecExtent struct {
+		dev    int
+		devOff int64
+		bufs   [][]byte
+	}
+	var exts []vecExtent
+	bi, bo := 0, 0 // cursor into vec: buffer index, offset within buffer
+	for bi < len(vec) {
+		if len(vec[bi]) == bo {
+			bi++
+			bo = 0
+			continue
+		}
+		dev, devOff, run := a.locate(off)
+		ext := vecExtent{dev: dev, devOff: devOff}
+		filled := int64(0)
+		for filled < run && bi < len(vec) {
+			b := vec[bi][bo:]
+			n := run - filled
+			if int64(len(b)) <= n {
+				ext.bufs = append(ext.bufs, b)
+				filled += int64(len(b))
+				bi++
+				bo = 0
+			} else {
+				ext.bufs = append(ext.bufs, b[:n])
+				bo += int(n)
+				filled += n
+			}
+		}
+		exts = append(exts, ext)
+		off += filled
+	}
+	if len(exts) == 0 {
+		done(nil)
+		return
+	}
+	if len(exts) == 1 {
+		e := exts[0]
+		a.devices[e.dev].Submit(&Request{Op: OpRead, Offset: e.devOff, Vec: e.bufs, Done: done})
+		return
+	}
+	var mu sync.Mutex
+	var firstErr error
+	remaining := len(exts)
+	sub := func(err error) {
+		mu.Lock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		fire := remaining == 0
+		mu.Unlock()
+		if fire {
+			done(firstErr)
+		}
+	}
+	for _, e := range exts {
+		a.devices[e.dev].Submit(&Request{Op: OpRead, Offset: e.devOff, Vec: e.bufs, Done: sub})
+	}
+}
+
+// ReadAt reads synchronously (setup paths and tests).
+func (a *Array) ReadAt(buf []byte, off int64) error {
+	ch := make(chan error, 1)
+	a.SubmitRead(off, buf, func(err error) { ch <- err })
+	return <-ch
+}
+
+// WriteAt writes synchronously (image building).
+func (a *Array) WriteAt(buf []byte, off int64) error {
+	ch := make(chan error, 1)
+	a.SubmitWrite(off, buf, func(err error) { ch <- err })
+	return <-ch
+}
+
+// ArrayStats aggregates device stats.
+type ArrayStats struct {
+	Reads      int64
+	Writes     int64
+	BytesRead  int64
+	BytesWrite int64
+	SeqReads   int64
+	Busy       time.Duration // summed across devices
+	PerDevice  []DeviceStats
+}
+
+// Stats snapshots all devices.
+func (a *Array) Stats() ArrayStats {
+	var s ArrayStats
+	for _, d := range a.devices {
+		ds := d.Stats()
+		s.Reads += ds.Reads
+		s.Writes += ds.Writes
+		s.BytesRead += ds.BytesRead
+		s.BytesWrite += ds.BytesWrite
+		s.SeqReads += ds.SeqReads
+		s.Busy += ds.Busy
+		s.PerDevice = append(s.PerDevice, ds)
+	}
+	return s
+}
+
+// ResetStats zeroes every device's counters.
+func (a *Array) ResetStats() {
+	for _, d := range a.devices {
+		d.ResetStats()
+	}
+}

@@ -1,0 +1,307 @@
+// Package ssd simulates an array of commodity SSDs.
+//
+// The FlashGraph paper evaluates on 15 OCZ Vertex 4 SSDs behind three HBAs
+// (~900K 4KB reads/s aggregate). This package substitutes that hardware
+// with a behavioural model that preserves what the graph engine actually
+// exercises:
+//
+//   - requests cost service time proportional to a per-request overhead
+//     plus size divided by bandwidth, with sequential requests paying a
+//     reduced overhead (the paper: random 4KB throughput is only 2–3x
+//     below sequential on SSDs, vs 100x on disks);
+//   - each device drains a bounded queue from a dedicated I/O goroutine
+//     (SAFS's per-SSD I/O thread design);
+//   - devices saturate: a device's virtual busy-time horizon advances by
+//     every request's service time, and the I/O goroutine sleeps whenever
+//     the horizon runs ahead of the wall clock, so computation in other
+//     goroutines genuinely overlaps simulated I/O.
+//
+// Absolute speeds are configurable (and scaled down for benchmarks);
+// shapes — saturation, random-vs-sequential gaps, overlap — are physical.
+package ssd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op distinguishes request types.
+type Op uint8
+
+const (
+	// OpRead reads Buf's length bytes at Offset.
+	OpRead Op = iota
+	// OpWrite writes Buf at Offset.
+	OpWrite
+)
+
+// Request is a single device-local I/O request. Done is invoked exactly
+// once from the device's I/O goroutine after the data transfer completes;
+// it must not block for long (hand off heavy work to another goroutine).
+//
+// Exactly one of Buf and Vec must be set. Vec is a scatter/gather list:
+// the contiguous device range starting at Offset is transferred into the
+// buffers in order. A vectored request is still ONE device request — this
+// is how a single merged FlashGraph read fills many 4KB cache pages while
+// costing one I/O (the simulated analogue of preadv into page frames).
+type Request struct {
+	Op     Op
+	Offset int64
+	Buf    []byte
+	Vec    [][]byte
+	Done   func(err error)
+}
+
+// length returns the total transfer size.
+func (r *Request) length() int {
+	if r.Vec == nil {
+		return len(r.Buf)
+	}
+	n := 0
+	for _, b := range r.Vec {
+		n += len(b)
+	}
+	return n
+}
+
+// DeviceParams models one SSD. Zero values are replaced by defaults in
+// NewDevice.
+type DeviceParams struct {
+	// Name labels the device in stats output.
+	Name string
+	// RandOverhead is the fixed per-request service-time overhead for a
+	// random (non-adjacent) request. Default 15µs.
+	RandOverhead time.Duration
+	// SeqOverhead is the per-request overhead when a request starts
+	// exactly where the previous one ended. Default 1µs.
+	SeqOverhead time.Duration
+	// Bandwidth is the transfer rate in bytes/second. Default 400MB/s.
+	Bandwidth int64
+	// WritePenalty multiplies the service time of writes (flash program
+	// is slower than read). Default 2.
+	WritePenalty int
+	// QueueDepth bounds the number of in-flight requests. Submit blocks
+	// when full. Default 64.
+	QueueDepth int
+	// MaxAhead is how far the virtual busy-time horizon may run ahead of
+	// the wall clock before the I/O goroutine sleeps. Larger values batch
+	// sleeps (faster benches, coarser timing). Default 500µs.
+	MaxAhead time.Duration
+	// Throttle enables wall-clock throttling. When false the device still
+	// accounts virtual busy time but never sleeps, which makes unit tests
+	// fast while preserving the accounting used by the benchmark harness.
+	Throttle bool
+}
+
+func (p *DeviceParams) setDefaults() {
+	if p.RandOverhead == 0 {
+		p.RandOverhead = 15 * time.Microsecond
+	}
+	if p.SeqOverhead == 0 {
+		p.SeqOverhead = time.Microsecond
+	}
+	if p.Bandwidth == 0 {
+		p.Bandwidth = 400 << 20
+	}
+	if p.WritePenalty == 0 {
+		p.WritePenalty = 2
+	}
+	if p.QueueDepth == 0 {
+		p.QueueDepth = 64
+	}
+	if p.MaxAhead == 0 {
+		p.MaxAhead = 500 * time.Microsecond
+	}
+}
+
+// DeviceStats is a snapshot of one device's counters.
+type DeviceStats struct {
+	Name       string
+	Reads      int64
+	Writes     int64
+	BytesRead  int64
+	BytesWrite int64
+	SeqReads   int64 // reads that continued the previous request
+	// Busy is accumulated virtual service time: the time the modeled
+	// device spent transferring. Utilization over a wall-clock interval t
+	// is Busy/t.
+	Busy time.Duration
+}
+
+// Store is the backing byte store for a simulated device.
+type Store interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Size() int64
+}
+
+// Device is one simulated SSD: a Store plus a service-time model drained
+// by a dedicated I/O goroutine.
+type Device struct {
+	params DeviceParams
+	store  Store
+	queue  chan *Request
+
+	closeMu   sync.RWMutex
+	isClosed  bool
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// counters (atomics; Busy in nanoseconds)
+	reads, writes, bytesRead, bytesWrite, seqReads, busyNS int64
+}
+
+// ErrClosed is returned for requests submitted after Close.
+var ErrClosed = errors.New("ssd: device closed")
+
+// NewDevice creates a device over store and starts its I/O goroutine.
+func NewDevice(params DeviceParams, store Store) *Device {
+	params.setDefaults()
+	d := &Device{
+		params: params,
+		store:  store,
+		queue:  make(chan *Request, params.QueueDepth),
+	}
+	d.wg.Add(1)
+	go d.run()
+	return d
+}
+
+// Submit enqueues a request, blocking while the queue is full. The
+// request's Done callback fires from the I/O goroutine (or inline with
+// ErrClosed after Close).
+func (d *Device) Submit(req *Request) {
+	d.closeMu.RLock()
+	if d.isClosed {
+		d.closeMu.RUnlock()
+		req.Done(ErrClosed)
+		return
+	}
+	// The send may block on a full queue while holding the read lock;
+	// the I/O goroutine keeps draining regardless, so Close (which takes
+	// the write lock) waits but never deadlocks.
+	d.queue <- req
+	d.closeMu.RUnlock()
+}
+
+// Close drains outstanding requests and stops the I/O goroutine.
+func (d *Device) Close() {
+	d.closeOnce.Do(func() {
+		d.closeMu.Lock()
+		d.isClosed = true
+		d.closeMu.Unlock()
+		close(d.queue)
+	})
+	d.wg.Wait()
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() DeviceStats {
+	return DeviceStats{
+		Name:       d.params.Name,
+		Reads:      atomic.LoadInt64(&d.reads),
+		Writes:     atomic.LoadInt64(&d.writes),
+		BytesRead:  atomic.LoadInt64(&d.bytesRead),
+		BytesWrite: atomic.LoadInt64(&d.bytesWrite),
+		SeqReads:   atomic.LoadInt64(&d.seqReads),
+		Busy:       time.Duration(atomic.LoadInt64(&d.busyNS)),
+	}
+}
+
+// ResetStats zeroes the counters (used between benchmark phases).
+func (d *Device) ResetStats() {
+	atomic.StoreInt64(&d.reads, 0)
+	atomic.StoreInt64(&d.writes, 0)
+	atomic.StoreInt64(&d.bytesRead, 0)
+	atomic.StoreInt64(&d.bytesWrite, 0)
+	atomic.StoreInt64(&d.seqReads, 0)
+	atomic.StoreInt64(&d.busyNS, 0)
+}
+
+// serviceTime models the cost of one request given whether it directly
+// continues the previous request (sequential).
+func (d *Device) serviceTime(req *Request, sequential bool) time.Duration {
+	overhead := d.params.RandOverhead
+	if sequential {
+		overhead = d.params.SeqOverhead
+	}
+	transfer := time.Duration(int64(req.length()) * int64(time.Second) / d.params.Bandwidth)
+	t := overhead + transfer
+	if req.Op == OpWrite {
+		t *= time.Duration(d.params.WritePenalty)
+	}
+	return t
+}
+
+// transfer performs the data movement for req against the store.
+func (d *Device) transfer(req *Request) (int, error) {
+	if req.Vec == nil {
+		switch req.Op {
+		case OpRead:
+			return d.store.ReadAt(req.Buf, req.Offset)
+		case OpWrite:
+			return d.store.WriteAt(req.Buf, req.Offset)
+		}
+		return 0, fmt.Errorf("ssd: unknown op %d", req.Op)
+	}
+	total := 0
+	off := req.Offset
+	for _, b := range req.Vec {
+		var n int
+		var err error
+		switch req.Op {
+		case OpRead:
+			n, err = d.store.ReadAt(b, off)
+		case OpWrite:
+			n, err = d.store.WriteAt(b, off)
+		default:
+			err = fmt.Errorf("ssd: unknown op %d", req.Op)
+		}
+		total += n
+		off += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func (d *Device) run() {
+	defer d.wg.Done()
+	busyUntil := time.Now()
+	var lastEnd int64 = -1
+	for req := range d.queue {
+		sequential := req.Offset == lastEnd
+		st := d.serviceTime(req, sequential)
+
+		now := time.Now()
+		if busyUntil.Before(now) {
+			busyUntil = now
+		}
+		busyUntil = busyUntil.Add(st)
+		atomic.AddInt64(&d.busyNS, int64(st))
+		if d.params.Throttle {
+			if ahead := busyUntil.Sub(now); ahead > d.params.MaxAhead {
+				time.Sleep(ahead - d.params.MaxAhead)
+			}
+		}
+
+		n, err := d.transfer(req)
+		switch req.Op {
+		case OpRead:
+			atomic.AddInt64(&d.reads, 1)
+			atomic.AddInt64(&d.bytesRead, int64(n))
+			if sequential {
+				atomic.AddInt64(&d.seqReads, 1)
+			}
+		case OpWrite:
+			atomic.AddInt64(&d.writes, 1)
+			atomic.AddInt64(&d.bytesWrite, int64(n))
+		}
+		lastEnd = req.Offset + int64(req.length())
+		req.Done(err)
+	}
+}

@@ -1,0 +1,109 @@
+package ssd
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// MemStore is an in-memory backing store that grows on demand. It is safe
+// for concurrent use; in practice a store is accessed only from its
+// device's I/O goroutine, but graph-image builders may also write through
+// synchronous array helpers from several goroutines.
+type MemStore struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+// NewMemStore returns an empty store; it grows as data is written.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// ReadAt implements Store. Reads beyond the written size return zeros,
+// matching a thin-provisioned flash device.
+func (m *MemStore) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("ssd: negative offset %d", off)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for i := range p {
+		p[i] = 0
+	}
+	if off < int64(len(m.data)) {
+		copy(p, m.data[off:])
+	}
+	return len(p), nil
+}
+
+// WriteAt implements Store, growing the store as needed.
+func (m *MemStore) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("ssd: negative offset %d", off)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(m.data)) {
+		if end > int64(cap(m.data)) {
+			grown := make([]byte, end, end+end/2)
+			copy(grown, m.data)
+			m.data = grown
+		} else {
+			m.data = m.data[:end]
+		}
+	}
+	copy(m.data[off:], p)
+	return len(p), nil
+}
+
+// Size returns the highest written offset.
+func (m *MemStore) Size() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return int64(len(m.data))
+}
+
+// FileStore backs a device with a real file, for graphs larger than RAM.
+type FileStore struct {
+	f *os.File
+}
+
+// NewFileStore opens (creating if needed) path as a backing store.
+func NewFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ssd: open store: %w", err)
+	}
+	return &FileStore{f: f}, nil
+}
+
+// ReadAt implements Store; short reads past EOF are zero-filled.
+func (s *FileStore) ReadAt(p []byte, off int64) (int, error) {
+	n, err := s.f.ReadAt(p, off)
+	if n < len(p) {
+		for i := n; i < len(p); i++ {
+			p[i] = 0
+		}
+	}
+	if err != nil && err.Error() == "EOF" {
+		err = nil
+	}
+	return len(p), err
+}
+
+// WriteAt implements Store.
+func (s *FileStore) WriteAt(p []byte, off int64) (int, error) {
+	return s.f.WriteAt(p, off)
+}
+
+// Size returns the current file size.
+func (s *FileStore) Size() int64 {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// Close closes the underlying file.
+func (s *FileStore) Close() error { return s.f.Close() }

@@ -1,0 +1,102 @@
+package util
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Bitmap is a fixed-size bitmap. Set/Get are safe for concurrent use via
+// atomic operations; Clear and Count are not synchronized with concurrent
+// setters and should run during quiescent phases (e.g. between engine
+// iterations).
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns a bitmap holding n bits, all zero.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i and reports whether it was previously clear
+// (i.e. whether this call changed it). Safe for concurrent use.
+func (b *Bitmap) Set(i int) bool {
+	w := &b.words[i>>6]
+	mask := uint64(1) << (uint(i) & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// Unset clears bit i. Safe for concurrent use.
+func (b *Bitmap) Unset(i int) {
+	w := &b.words[i>>6]
+	mask := uint64(1) << (uint(i) & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask == 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(w, old, old&^mask) {
+			return
+		}
+	}
+}
+
+// Get reports whether bit i is set. Safe for concurrent use.
+func (b *Bitmap) Get(i int) bool {
+	return atomic.LoadUint64(&b.words[i>>6])&(uint64(1)<<(uint(i)&63)) != 0
+}
+
+// Clear zeroes all bits. Not synchronized with concurrent Set calls.
+func (b *Bitmap) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// SetAll sets every bit. Not synchronized with concurrent setters.
+func (b *Bitmap) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if extra := len(b.words)*64 - b.n; extra > 0 {
+		b.words[len(b.words)-1] &= ^uint64(0) >> uint(extra)
+	}
+}
+
+// Count returns the number of set bits. Not synchronized with concurrent
+// Set calls.
+func (b *Bitmap) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// ForEach calls fn for every set bit in ascending order. Not synchronized
+// with concurrent setters.
+func (b *Bitmap) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			i := wi<<6 + bit
+			if i >= b.n {
+				return
+			}
+			fn(i)
+			w &^= 1 << uint(bit)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package util
+
+import "fmt"
+
+// HumanBytes renders a byte count with a binary-prefix unit, e.g.
+// "1.5GB". Used by the benchmark harness when printing table rows.
+func HumanBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%cB", float64(n)/float64(div), "KMGTPE"[exp])
+}
+
+// HumanCount renders a count with an SI suffix, e.g. "42M", "1.5B".
+func HumanCount(n int64) string {
+	switch {
+	case n >= 1e9:
+		return trimZero(fmt.Sprintf("%.1fB", float64(n)/1e9))
+	case n >= 1e6:
+		return trimZero(fmt.Sprintf("%.1fM", float64(n)/1e6))
+	case n >= 1e3:
+		return trimZero(fmt.Sprintf("%.1fK", float64(n)/1e3))
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+func trimZero(s string) string {
+	// "42.0M" -> "42M"
+	for i := 0; i+2 < len(s); i++ {
+		if s[i] == '.' && s[i+1] == '0' {
+			return s[:i] + s[i+2:]
+		}
+	}
+	return s
+}

@@ -1,0 +1,79 @@
+// Package util provides small shared utilities for the FlashGraph
+// reproduction: a fast deterministic RNG, concurrent bitmaps, and
+// formatting helpers. Everything here is dependency-free and safe to use
+// from hot paths.
+package util
+
+// RNG is a fast, deterministic pseudo-random number generator
+// (xorshift128+). It is NOT safe for concurrent use; create one per
+// goroutine. The zero value is invalid — use NewRNG.
+type RNG struct {
+	s0, s1 uint64
+}
+
+// NewRNG returns an RNG seeded from seed. Two RNGs built from the same
+// seed produce identical streams, which keeps graph generation and
+// workloads reproducible across runs.
+func NewRNG(seed uint64) *RNG {
+	// SplitMix64 seeding, as recommended for xorshift-family generators.
+	r := &RNG{}
+	z := seed
+	next := func() uint64 {
+		z += 0x9e3779b97f4a7c15
+		x := z
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		return x ^ (x >> 31)
+	}
+	r.s0 = next()
+	r.s1 = next()
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1
+	}
+	return r
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.s0
+	y := r.s1
+	r.s0 = y
+	x ^= x << 23
+	r.s1 = x ^ y ^ (x >> 17) ^ (y >> 26)
+	return r.s1 + y
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("util: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform integer in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("util: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm fills out with a pseudo-random permutation of [0, len(out)).
+func (r *RNG) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
