@@ -8,6 +8,13 @@
 //	fg-bench -exp fig8        # one experiment
 //	fg-bench -scale-add 2     # 4x larger datasets
 //	fg-bench -no-throttle     # devices at memory speed (fast smoke)
+//
+// The concurrent multi-query driver (not a paper figure; a
+// FalkorDB-benchmark-style workload generator) measures query latency
+// under concurrency over ONE shared SAFS instance:
+//
+//	fg-bench -exp concurrent -clients 8 -requests 48 -max-concurrent 4
+//	fg-bench -exp concurrent -qps 10 -mix bfs,pagerank,wcc,tc
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"flashgraph/internal/bench"
@@ -24,11 +32,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fg-bench: ")
 	var (
-		exp        = flag.String("exp", "all", "all | table1 | fig8 | fig9 | fig10 | fig11 | table2 | fig12 | fig13 | fig14 | ablations")
+		exp        = flag.String("exp", "all", "all | table1 | fig8 | fig9 | fig10 | fig11 | table2 | fig12 | fig13 | fig14 | ablations | concurrent")
 		scaleAdd   = flag.Int("scale-add", 0, "log2 dataset scale adjustment")
 		threads    = flag.Int("threads", 8, "engine worker threads")
 		noThrottle = flag.Bool("no-throttle", false, "disable device timing")
 		seed       = flag.Uint64("seed", 0, "generator seed offset")
+
+		// -exp concurrent knobs (FalkorDB-benchmark-style driver).
+		clients       = flag.Int("clients", 8, "concurrent: client worker-pool size")
+		requests      = flag.Int("requests", 48, "concurrent: total queries")
+		qps           = flag.Float64("qps", 0, "concurrent: target aggregate qps (0 = closed loop)")
+		maxConcurrent = flag.Int("max-concurrent", 4, "concurrent: scheduler slots")
+		mix           = flag.String("mix", "bfs,pagerank,wcc", "concurrent: comma-separated algorithm rotation")
 	)
 	flag.Parse()
 
@@ -63,6 +78,14 @@ func main() {
 		bench.Fig14(cfg, w)
 	case "ablations":
 		bench.Ablations(cfg, w)
+	case "concurrent":
+		bench.Concurrent(cfg, bench.ConcurrentConfig{
+			Clients:       *clients,
+			Requests:      *requests,
+			QPS:           *qps,
+			MaxConcurrent: *maxConcurrent,
+			Mix:           strings.Split(*mix, ","),
+		}, w)
 	default:
 		log.Fatalf("unknown experiment %q", *exp)
 	}

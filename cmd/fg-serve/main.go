@@ -1,0 +1,193 @@
+// Command fg-serve runs a FlashGraph query daemon: one graph loaded
+// into one shared semi-external-memory substrate (SAFS instance, page
+// cache, simulated SSD array), serving many algorithm queries
+// concurrently with admission control.
+//
+// Usage:
+//
+//	fg-serve -graph twitter.fg                     # serve an image
+//	fg-serve -rmat 14 -epv 16                      # serve a generated graph
+//	fg-serve -graph g.fg -max-concurrent 8 -addr :9090
+//
+// API:
+//
+//	POST /queries          {"algo":"bfs","src":0}   -> 202 {"id":1,...}
+//	GET  /queries          list all queries
+//	GET  /queries/{id}     one query: state, stats, result
+//	GET  /stats            scheduler + substrate counters
+//	GET  /healthz          liveness
+//
+// Submit returns immediately; poll GET /queries/{id} until "state" is
+// "done" (or pass ?wait=1 to block). Algorithms: bfs, pagerank, wcc,
+// bc, tc, kcore (undirected images), sssp (weighted images), scanstat.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+
+	"flashgraph"
+	"flashgraph/internal/serve"
+	"flashgraph/internal/util"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fg-serve: ")
+	var (
+		addr          = flag.String("addr", ":8090", "HTTP listen address")
+		graphPath     = flag.String("graph", "", "FlashGraph image (fg-convert output)")
+		rmatScale     = flag.Int("rmat", 0, "generate an RMAT graph of 2^scale vertices instead of loading one")
+		epv           = flag.Int("epv", 8, "edges per vertex for -rmat")
+		seed          = flag.Uint64("seed", 1, "generator seed for -rmat")
+		inMemory      = flag.Bool("mem", false, "in-memory mode (FG-mem)")
+		cacheMB       = flag.Int64("cache-mb", 64, "SAFS page cache size (MiB)")
+		threads       = flag.Int("threads", 8, "worker threads per query")
+		devices       = flag.Int("devices", 4, "simulated SSDs")
+		throttle      = flag.Bool("throttle", false, "realistic SSD timing")
+		maxConcurrent = flag.Int("max-concurrent", 4, "queries executing simultaneously")
+		maxQueued     = flag.Int("max-queued", 64, "admitted queries waiting for a slot")
+		maxHistory    = flag.Int("max-history", 1024, "finished queries retained for polling")
+	)
+	flag.Parse()
+
+	var g *flashgraph.Graph
+	var err error
+	switch {
+	case *graphPath != "":
+		g, err = flashgraph.LoadFile(*graphPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case *rmatScale > 0:
+		g = flashgraph.NewGraph(1<<*rmatScale, flashgraph.GenerateRMAT(*rmatScale, *epv, *seed), flashgraph.Directed)
+	default:
+		log.Fatal("need -graph or -rmat (build an image with fg-gen | fg-convert)")
+	}
+
+	eng, err := flashgraph.Open(g, flashgraph.Options{
+		InMemory:   *inMemory,
+		Threads:    *threads,
+		CacheBytes: *cacheMB << 20,
+		Devices:    *devices,
+		Throttle:   *throttle,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	srv := serve.New(eng.Shared(), serve.Config{
+		MaxConcurrent: *maxConcurrent,
+		MaxQueued:     *maxQueued,
+		MaxHistory:    *maxHistory,
+	})
+	defer srv.Close()
+
+	log.Printf("serving graph: %d vertices, %d edges, %s on SSD, %s index",
+		g.NumVertices(), g.NumEdges(), util.HumanBytes(g.SizeBytes()), util.HumanBytes(g.IndexBytes()))
+	log.Printf("scheduler: %d concurrent slots, queue depth %d; algorithms: %v",
+		*maxConcurrent, *maxQueued, serve.Algorithms())
+	log.Printf("listening on %s", *addr)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /queries", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		id, err := srv.Submit(req)
+		switch {
+		case err == nil:
+		case err == serve.ErrQueueFull:
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		default:
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		q, ok := srv.Get(id)
+		if !ok {
+			// Finished and already evicted from history between Submit
+			// and here (tiny -max-history under load): the id is still
+			// the authoritative handle.
+			writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "state": "evicted"})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, q)
+	})
+	mux.HandleFunc("GET /queries", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, srv.List())
+	})
+	mux.HandleFunc("GET /queries/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad query id")
+			return
+		}
+		if r.URL.Query().Get("wait") != "" {
+			q, err := srv.Wait(id)
+			if err != nil {
+				httpError(w, http.StatusNotFound, err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, q)
+			return
+		}
+		q, ok := srv.Get(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown query id")
+			return
+		}
+		writeJSON(w, http.StatusOK, q)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		out := map[string]any{
+			"scheduler": srv.Stats(),
+			"graph": map[string]any{
+				"vertices":  g.NumVertices(),
+				"edges":     g.NumEdges(),
+				"directed":  g.Directed(),
+				"ssd_bytes": g.SizeBytes(),
+			},
+		}
+		if fs := eng.Shared().FS(); fs != nil {
+			cs := fs.Cache().Stats()
+			as := fs.Array().Stats()
+			out["cache"] = map[string]any{
+				"hits": cs.Hits, "misses": cs.Misses,
+				"evictions": cs.Evictions, "bypasses": cs.Bypasses,
+				"hit_rate": cs.HitRate(),
+			}
+			out["array"] = map[string]any{
+				"reads": as.Reads, "bytes_read": as.BytesRead,
+				"busy_ns": int64(as.Busy),
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	server := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	log.Fatal(server.ListenAndServe())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,3 @@
+module flashgraph
+
+go 1.24

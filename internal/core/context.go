@@ -5,8 +5,9 @@ import (
 )
 
 // Ctx is the per-worker execution context handed to vertex-program
-// callbacks. It is owned by one worker goroutine and must not escape the
-// callback.
+// callbacks. It is owned by one worker goroutine of one run and must
+// not escape the callback; in particular it must never be handed to a
+// sibling run sharing the same substrate.
 type Ctx struct {
 	eng    *Engine
 	w      *worker

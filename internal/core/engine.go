@@ -105,17 +105,82 @@ func (c *Config) setDefaults() {
 	}
 }
 
-// Engine executes vertex programs over one loaded graph image. Create
-// once per (graph, mode) and reuse across algorithm runs; the graph
-// stays loaded (FlashGraph amortizes image construction across
-// algorithms and minimizes SSD wearout by writing once).
+// Shared is the per-graph substrate that concurrent runs have in
+// common: the immutable graph image, the SAFS files holding its edge
+// lists (written exactly once — FlashGraph minimizes SSD wearout), and
+// the engine configuration template. A Shared is safe for concurrent
+// use: any number of per-run Engines stamped out by NewRun may execute
+// simultaneously, sharing the in-memory index, the SAFS instance, its
+// page cache, and the SSD array, while owning their vertex state,
+// message buffers, active bitmaps, and iteration barriers privately.
+type Shared struct {
+	cfg      Config
+	img      *graph.Image
+	files    *graph.FSFiles // nil in in-memory mode
+	loadTime time.Duration
+}
+
+// NewShared loads img and prepares the shared substrate. In SEM mode
+// the image's edge-list files are written into cfg.FS (the one SSD
+// write FlashGraph performs); in in-memory mode the image's byte slices
+// are used directly.
+func NewShared(img *graph.Image, cfg Config) (*Shared, error) {
+	cfg.setDefaults()
+	s := &Shared{cfg: cfg, img: img}
+	start := time.Now()
+	if !cfg.InMemory {
+		if cfg.FS == nil {
+			return nil, fmt.Errorf("core: semi-external-memory mode requires Config.FS")
+		}
+		files, err := img.LoadToFS(cfg.FS, cfg.GraphName)
+		if err != nil {
+			return nil, fmt.Errorf("core: loading image: %w", err)
+		}
+		s.files = files
+	}
+	s.loadTime = time.Since(start)
+	return s, nil
+}
+
+// Image returns the loaded graph image.
+func (s *Shared) Image() *graph.Image { return s.img }
+
+// Config returns the configuration template per-run engines inherit.
+func (s *Shared) Config() Config { return s.cfg }
+
+// FS returns the SAFS instance (nil in in-memory mode).
+func (s *Shared) FS() *safs.FS { return s.cfg.FS }
+
+// LoadTime returns how long writing the image onto the SSDs took.
+func (s *Shared) LoadTime() time.Duration { return s.loadTime }
+
+// NewRun stamps out a lightweight per-run engine over the shared
+// substrate. Each run owns its active bitmaps, workers (and their I/O
+// contexts and message buffers), iteration counter, and statistics, so
+// runs created from one Shared may execute concurrently.
+func (s *Shared) NewRun() *Engine {
+	e := &Engine{shared: s, cfg: s.cfg, img: s.img, files: s.files, loadTime: s.loadTime, sweepFwd: true}
+	e.activeCur = util.NewBitmap(s.img.NumV)
+	e.activeNext = util.NewBitmap(s.img.NumV)
+	e.workers = make([]*worker, s.cfg.Threads)
+	for i := range e.workers {
+		e.workers[i] = newWorker(e, i)
+	}
+	return e
+}
+
+// Engine executes vertex programs over one loaded graph image. An
+// Engine is ONE run context: it executes one algorithm at a time
+// (reusable serially across runs). For concurrent queries over the same
+// graph, create one Engine per query via Shared.NewRun — everything in
+// this struct is private to the run; everything shared lives in Shared.
 type Engine struct {
-	cfg   Config
-	img   *graph.Image
-	files *graph.FSFiles // nil in in-memory mode
+	shared *Shared
+	cfg    Config
+	img    *graph.Image
+	files  *graph.FSFiles // nil in in-memory mode
 
 	workers []*worker
-	ctxs    []*Ctx
 
 	activeCur  *util.Bitmap
 	activeNext *util.Bitmap
@@ -127,6 +192,21 @@ type Engine struct {
 
 	stats    runCounters
 	loadTime time.Duration
+
+	panicVal atomic.Value // first worker panic; aborts the run
+}
+
+// recordPanic stores the first panic raised on a worker goroutine.
+func (e *Engine) recordPanic(r any) {
+	e.panicVal.CompareAndSwap(nil, fmt.Sprintf("%v", r))
+}
+
+// abortErr reports the recorded worker panic, if any.
+func (e *Engine) abortErr() error {
+	if v := e.panicVal.Load(); v != nil {
+		return fmt.Errorf("core: run aborted by worker panic: %v", v)
+	}
+	return nil
 }
 
 // runCounters aggregates per-run statistics.
@@ -148,13 +228,17 @@ type RunStats struct {
 	Iterations int
 	Elapsed    time.Duration
 
-	// I/O (semi-external-memory mode; zero in-memory).
-	EdgeRequests   int64 // edge lists requested by vertex programs
-	MergedRequests int64 // I/O requests after FlashGraph merging
-	DeviceReads    int64 // requests that reached the SSDs
-	BytesRead      int64
-	CacheHits      int64
-	CacheMisses    int64
+	// I/O (semi-external-memory mode; zero in-memory). EdgeRequests,
+	// MergedRequests, BytesRead, CacheHits, and CacheMisses are counted
+	// per run and stay accurate when concurrent runs share one SAFS
+	// instance; DeviceReads and DeviceBusy are substrate-wide deltas
+	// over the run's window.
+	EdgeRequests   int64         // edge lists requested by vertex programs
+	MergedRequests int64         // I/O requests after FlashGraph merging
+	DeviceReads    int64         // requests that reached the SSDs
+	BytesRead      int64         // bytes this run loaded (page granular)
+	CacheHits      int64         // pages served without a device load
+	CacheMisses    int64         // pages this run had to load
 	DeviceBusy     time.Duration // summed virtual device busy time
 
 	// Compute.
@@ -194,35 +278,21 @@ func (s RunStats) CacheHitRate() float64 {
 	return float64(s.CacheHits) / float64(t)
 }
 
-// NewEngine loads img and prepares workers. In SEM mode the image's
-// edge-list files are written into cfg.FS (the one SSD write FlashGraph
-// performs); in in-memory mode the image's byte slices are used
-// directly.
+// NewEngine loads img and returns a run engine over a fresh Shared
+// substrate — the single-query convenience path. Callers that serve
+// many queries over one graph should create the Shared once and call
+// NewRun per query.
 func NewEngine(img *graph.Image, cfg Config) (*Engine, error) {
-	cfg.setDefaults()
-	e := &Engine{cfg: cfg, img: img, sweepFwd: true}
-	start := time.Now()
-	if !cfg.InMemory {
-		if cfg.FS == nil {
-			return nil, fmt.Errorf("core: semi-external-memory mode requires Config.FS")
-		}
-		files, err := img.LoadToFS(cfg.FS, cfg.GraphName)
-		if err != nil {
-			return nil, fmt.Errorf("core: loading image: %w", err)
-		}
-		e.files = files
+	s, err := NewShared(img, cfg)
+	if err != nil {
+		return nil, err
 	}
-	e.loadTime = time.Since(start)
-	e.activeCur = util.NewBitmap(img.NumV)
-	e.activeNext = util.NewBitmap(img.NumV)
-	e.workers = make([]*worker, cfg.Threads)
-	e.ctxs = make([]*Ctx, cfg.Threads)
-	for i := range e.workers {
-		e.workers[i] = newWorker(e, i)
-		e.ctxs[i] = &Ctx{eng: e, w: e.workers[i]}
-	}
-	return e, nil
+	return s.NewRun(), nil
 }
+
+// Shared returns the substrate this run executes over; use it to spawn
+// sibling runs that share the graph image, SAFS instance, and cache.
+func (e *Engine) Shared() *Shared { return e.shared }
 
 // Image returns the loaded graph image.
 func (e *Engine) Image() *graph.Image { return e.img }
@@ -327,9 +397,13 @@ func (e *Engine) phase(fn func(w *worker)) {
 	wg.Wait()
 }
 
-// Run executes alg to completion and returns its statistics. An engine
-// runs one algorithm at a time.
+// Run executes alg to completion and returns its statistics. One
+// Engine runs one algorithm at a time; to execute queries concurrently
+// over the same graph, give each its own engine via Shared.NewRun.
 func (e *Engine) Run(alg Algorithm) (RunStats, error) {
+	if err := e.abortErr(); err != nil {
+		return RunStats{}, fmt.Errorf("core: engine unusable after earlier panic: %w", err)
+	}
 	e.alg = alg
 	e.iteration = 0
 	e.sweepFwd = true
@@ -338,13 +412,21 @@ func (e *Engine) Run(alg Algorithm) (RunStats, error) {
 	e.activeNext.Clear()
 	atomic.StoreInt64(&e.nextCount, 0)
 
-	// Snapshot substrate counters so stats reflect this run only.
-	var cacheBase, arrayBase struct{ hits, misses, reads, bytes, busyNS int64 }
+	// Snapshot counters so stats reflect this run only. Cache hits,
+	// misses, and bytes come from the workers' per-context SAFS counters
+	// and stay accurate when sibling runs share the substrate; device
+	// reads and busy time are array-global (a device read triggered by
+	// one run may serve pages another run waits on), so under concurrent
+	// runs those two report substrate activity during this run's window.
+	var ioBase []safs.IOStats
+	var arrayBase struct{ reads, busyNS int64 }
 	if !e.cfg.InMemory {
-		cs := e.cfg.FS.Cache().Stats()
+		ioBase = make([]safs.IOStats, len(e.workers))
+		for i, w := range e.workers {
+			ioBase[i] = w.ioctx.IOStats()
+		}
 		as := e.cfg.FS.Array().Stats()
-		cacheBase.hits, cacheBase.misses = cs.Hits, cs.Misses
-		arrayBase.reads, arrayBase.bytes, arrayBase.busyNS = as.Reads, as.BytesRead, int64(as.Busy)
+		arrayBase.reads, arrayBase.busyNS = as.Reads, int64(as.Busy)
 	}
 
 	for _, w := range e.workers {
@@ -392,7 +474,7 @@ func (e *Engine) Run(alg Algorithm) (RunStats, error) {
 				}
 			}
 		}
-		for part := 0; part < maxParts; part++ {
+		for part := 0; part < maxParts && e.abortErr() == nil; part++ {
 			p := part
 			// Queue reset is its own barrier phase: work stealing may
 			// probe any victim the moment the run phase starts, so every
@@ -402,7 +484,9 @@ func (e *Engine) Run(alg Algorithm) (RunStats, error) {
 		}
 
 		// Message phase: repeat until no worker produced new messages.
-		for {
+		// A worker panic aborts the rounds: its counters are no longer
+		// trustworthy, so quiescence might never be reached.
+		for e.abortErr() == nil {
 			var delivered int64
 			e.phase(func(w *worker) {
 				atomic.AddInt64(&delivered, w.messagePhase())
@@ -420,6 +504,20 @@ func (e *Engine) Run(alg Algorithm) (RunStats, error) {
 			hook.OnIterationEnd(e)
 		}
 		e.iteration++
+		if e.abortErr() != nil {
+			break
+		}
+	}
+	if e.abortErr() != nil {
+		// Abort cleanup: in-flight and staged loads are drained with
+		// their tasks discarded so every pinned frame returns to the
+		// SHARED page cache — a dead run must not shrink the cache for
+		// its sibling queries.
+		e.phase(func(w *worker) {
+			if w.ioctx != nil {
+				w.ioctx.DiscardPending()
+			}
+		})
 	}
 	e.phase(func(w *worker) { w.commitTimes() })
 	elapsed := time.Since(start)
@@ -438,15 +536,23 @@ func (e *Engine) Run(alg Algorithm) (RunStats, error) {
 		st.CPUUtil = float64(compute) / (elapsed.Seconds() * float64(e.cfg.Threads) * float64(time.Second))
 	}
 	if !e.cfg.InMemory {
-		cs := e.cfg.FS.Cache().Stats()
+		for i, w := range e.workers {
+			cur := w.ioctx.IOStats()
+			st.CacheHits += cur.PageHits - ioBase[i].PageHits
+			st.CacheMisses += cur.PageLoads - ioBase[i].PageLoads
+			st.BytesRead += cur.BytesLoaded - ioBase[i].BytesLoaded
+		}
 		as := e.cfg.FS.Array().Stats()
-		st.CacheHits = cs.Hits - cacheBase.hits
-		st.CacheMisses = cs.Misses - cacheBase.misses
 		st.DeviceReads = as.Reads - arrayBase.reads
-		st.BytesRead = as.BytesRead - arrayBase.bytes
 		st.DeviceBusy = as.Busy - time.Duration(arrayBase.busyNS)
 	}
 	st.MemoryBytes = e.memoryFootprint()
+	if err := e.abortErr(); err != nil {
+		// The run context is poisoned (vertex state and queues are
+		// mid-flight inconsistent); the shared substrate is unaffected.
+		// Callers discard this Engine and spawn a fresh run.
+		return st, err
+	}
 	return st, nil
 }
 

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -333,6 +335,100 @@ func TestEngineReusableAcrossRuns(t *testing.T) {
 	}
 }
 
+func TestConcurrentRunsOverOneShared(t *testing.T) {
+	// Many BFS runs from different sources execute simultaneously over
+	// one Shared substrate (one SAFS instance, one page cache, one SSD
+	// array). Every run must match the serial reference — per-run state
+	// (bitmaps, queues, message buffers, I/O contexts) must not leak
+	// across runs.
+	img, a := buildTestImage(t, 10, 8, 42)
+	fs := newTestFS(t, safs.Config{CacheBytes: 2 << 20})
+	shared, err := NewShared(img, Config{Threads: 2, FS: fs, RangeShift: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, runs)
+	for r := 0; r < runs; r++ {
+		wg.Add(1)
+		go func(src graph.VertexID) {
+			defer wg.Done()
+			eng := shared.NewRun()
+			alg := &testBFS{src: src}
+			st, err := eng.Run(alg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if st.EdgeRequests == 0 {
+				errs <- fmt.Errorf("src %d: no edge requests", src)
+				return
+			}
+			want := refBFSLevels(a, src)
+			for v := range want {
+				if alg.level[v] != want[v] {
+					errs <- fmt.Errorf("src %d vertex %d: level = %d, want %d", src, v, alg.level[v], want[v])
+					return
+				}
+			}
+		}(graph.VertexID(r * 37 % img.NumV))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestPerRunStatsIsolatedUnderConcurrency(t *testing.T) {
+	// Two concurrent sweeps over one Shared: each run's CacheHits +
+	// CacheMisses must equal its own page demand, not the substrate
+	// total. A full out-edge sweep touches every out-file page at least
+	// once, and per-run counters must not double-count the sibling's
+	// traffic (the sum of both runs' page touches must not exceed the
+	// cache's global lookups).
+	img, _ := buildTestImage(t, 10, 8, 24)
+	fs := newTestFS(t, safs.Config{CacheBytes: 2 << 20})
+	shared, err := NewShared(img, Config{Threads: 2, FS: fs, RangeShift: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 2
+	stats := make([]RunStats, runs)
+	var wg sync.WaitGroup
+	for r := 0; r < runs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			st, err := shared.NewRun().Run(&sweepAll{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			stats[r] = st
+		}(r)
+	}
+	wg.Wait()
+	pageSize := int64(fs.PageSize())
+	filePages := (int64(len(img.OutData)) + pageSize - 1) / pageSize
+	var totalTouches int64
+	for r, st := range stats {
+		touches := st.CacheHits + st.CacheMisses
+		if touches < filePages {
+			t.Errorf("run %d touched %d pages, want >= %d (full sweep)", r, touches, filePages)
+		}
+		if st.BytesRead != st.CacheMisses*pageSize {
+			t.Errorf("run %d: BytesRead %d != misses %d x page %d", r, st.BytesRead, st.CacheMisses, pageSize)
+		}
+		totalTouches += touches
+	}
+	cs := fs.Cache().Stats()
+	if global := cs.Hits + cs.Misses + cs.Bypasses; totalTouches > global {
+		t.Errorf("per-run touches %d exceed global lookups %d — counters leak across runs", totalTouches, global)
+	}
+}
+
 func TestRunStatsSanity(t *testing.T) {
 	img, _ := buildTestImage(t, 10, 8, 17)
 	eng := semEngine(t, img, nil)
@@ -544,4 +640,64 @@ func TestWorkStealingHappensOnSkew(t *testing.T) {
 	if st.Steals == 0 {
 		t.Fatal("expected steals with a single-partition skew")
 	}
+}
+
+// vertexPanic panics inside Run, which executes on a worker goroutine.
+type vertexPanic struct{}
+
+func (p *vertexPanic) Init(eng *Engine)                                             { eng.ActivateSeed(0) }
+func (p *vertexPanic) Run(ctx *Ctx, v graph.VertexID)                               { panic("vertex boom") }
+func (p *vertexPanic) RunOnVertex(ctx *Ctx, v graph.VertexID, pv *graph.PageVertex) {}
+func (p *vertexPanic) RunOnMessage(ctx *Ctx, v graph.VertexID, msg Message)         {}
+
+func TestWorkerPanicAbortsRunAndPoisonsEngine(t *testing.T) {
+	img, a := buildTestImage(t, 8, 4, 30)
+	eng := memEngine(t, img, nil)
+	_, err := eng.Run(&vertexPanic{})
+	if err == nil || !strings.Contains(err.Error(), "vertex boom") {
+		t.Fatalf("err = %v, want worker-panic abort", err)
+	}
+	// The poisoned run context refuses reuse...
+	if _, err := eng.Run(&sweepAll{}); err == nil {
+		t.Fatal("poisoned engine accepted another run")
+	}
+	// ...but the shared substrate is unaffected: a fresh run works.
+	checkBFS(t, eng.Shared().NewRun(), a)
+}
+
+// midIOPanic panics inside RunOnVertex — mid page-cache task, with
+// views pinned across its worker's in-flight batch.
+type midIOPanic struct{ calls int64 }
+
+func (p *midIOPanic) Init(eng *Engine) { eng.ActivateAllSeeds() }
+func (p *midIOPanic) Run(ctx *Ctx, v graph.VertexID) {
+	if ctx.Iteration() == 0 {
+		ctx.RequestSelf(graph.OutEdges)
+	}
+}
+func (p *midIOPanic) RunOnVertex(ctx *Ctx, v graph.VertexID, pv *graph.PageVertex) {
+	if atomic.AddInt64(&p.calls, 1) == 40 {
+		panic("io boom")
+	}
+}
+func (p *midIOPanic) RunOnMessage(ctx *Ctx, v graph.VertexID, msg Message) {}
+
+func TestAbortedRunReleasesCachePins(t *testing.T) {
+	// A run that dies mid-I/O must return every pinned frame to the
+	// SHARED page cache; leaked pins would permanently shrink the cache
+	// for sibling queries.
+	img, a := buildTestImage(t, 9, 6, 31)
+	fs := newTestFS(t, safs.Config{CacheBytes: 1 << 20})
+	shared, err := NewShared(img, Config{Threads: 2, FS: fs, RangeShift: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shared.NewRun().Run(&midIOPanic{}); err == nil || !strings.Contains(err.Error(), "io boom") {
+		t.Fatalf("err = %v, want abort from mid-I/O panic", err)
+	}
+	if n := fs.Cache().PinnedFrames(); n != 0 {
+		t.Fatalf("%d frames left pinned after aborted run", n)
+	}
+	// The substrate still serves fresh runs correctly.
+	checkBFS(t, shared.NewRun(), a)
 }

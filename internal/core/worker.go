@@ -27,9 +27,12 @@ type envelope struct {
 	targets []graph.VertexID // multicast targets owned by the partition
 }
 
-// worker owns one horizontal partition: an ordered active queue, a
-// per-thread vertex scheduler, an I/O context, and message buffers
-// (§3.3's worker threads).
+// worker owns one horizontal partition of one run: an ordered active
+// queue, a per-thread vertex scheduler, an I/O context, and message
+// buffers (§3.3's worker threads). Workers are per-run state — sibling
+// runs over the same Shared substrate each have their own set — so
+// nothing here needs cross-run synchronization; the shared pieces
+// (page cache, SSD array) synchronize internally.
 type worker struct {
 	id  int
 	eng *Engine
@@ -86,9 +89,24 @@ func (w *worker) start() {
 	go func() {
 		defer w.wg.Done()
 		for cmd := range w.cmds {
-			cmd()
+			w.runCmd(cmd)
 		}
 	}()
+}
+
+// runCmd executes one phase command, containing panics (a vertex
+// program blowing up, a fatal device read) to this run: the panic is
+// recorded on the engine, which aborts the run with an error instead of
+// the panic killing the process from a goroutine with no recover. The
+// command's own defers (the phase barrier's wg.Done) still execute
+// during unwinding, so sibling workers are never left waiting.
+func (w *worker) runCmd(cmd func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.eng.recordPanic(r)
+		}
+	}()
+	cmd()
 }
 
 func (w *worker) stop() {
@@ -221,7 +239,7 @@ func (w *worker) runPart(part int) {
 		}
 	}
 
-	for {
+	for e.abortErr() == nil {
 		// Fill the running set from the queue.
 		for w.running < e.cfg.MaxRunning {
 			v, ok := w.pop()

@@ -14,6 +14,17 @@
 // CLOCK hand per set evicts unpinned frames. If every frame in a set is
 // pinned the lookup reports a bypass and the caller reads around the
 // cache.
+//
+// Eviction is thrash-resistant: new frames enter the set cold (the CLOCK
+// reference bit is only set on a re-access), and the first lap of the
+// eviction sweep probabilistically spares cold frames. Plain CLOCK with
+// hot insertion degenerates to exact FIFO under a cyclic working set
+// larger than the set — the sequential-flooding anomaly — and scores zero
+// hits even though pages are re-referenced every cycle. Randomizing the
+// victim choice gives every resident page a geometric chance of surviving
+// until its next reference, so looping and scanning workloads retain a
+// useful hit rate while genuinely hot pages still get their second
+// chance.
 package pagecache
 
 import (
@@ -111,6 +122,17 @@ type set struct {
 	mu     sync.Mutex
 	frames []*Page
 	hand   int
+	rng    uint64 // xorshift state for probabilistic victim sparing
+}
+
+// next steps the set's xorshift64 generator (called under s.mu).
+func (s *set) next() uint64 {
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	return x
 }
 
 // Stats is a snapshot of cache counters.
@@ -181,6 +203,7 @@ func New(cfg Config) *Cache {
 	c := &Cache{pageSize: cfg.PageSize, assoc: cfg.Assoc, sets: make([]set, nsets)}
 	for i := range c.sets {
 		c.sets[i].frames = make([]*Page, 0, cfg.Assoc)
+		c.sets[i].rng = uint64(i)*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909
 	}
 	return c
 }
@@ -218,34 +241,43 @@ func (c *Cache) Acquire(key Key) (p *Page, loader, ok bool) {
 	}
 	atomic.AddInt64(&c.misses, 1)
 
-	// Free slot in the set?
+	// Free slot in the set? New frames enter cold: only a re-access sets
+	// the reference bit, so one-touch streaming pages are evicted before
+	// pages with a proven reuse history.
 	if len(s.frames) < c.assoc {
 		f := &Page{key: key, buf: make([]byte, c.pageSize), state: stateLoading}
 		f.pin()
-		atomic.StoreUint32(&f.hot, 1)
 		s.frames = append(s.frames, f)
 		return f, true, true
 	}
 
-	// CLOCK eviction over unpinned frames.
-	for tries := 0; tries < 2*len(s.frames); tries++ {
+	// CLOCK eviction over unpinned frames. The first lap honors the
+	// reference bits and spares each cold candidate with probability 1/2,
+	// which de-synchronizes the hand from cyclic access patterns (plain
+	// CLOCK is exact FIFO under them). The second lap evicts the first
+	// unpinned cold frame unconditionally, so an eviction is guaranteed
+	// whenever any frame is unpinned.
+	n := len(s.frames)
+	for tries := 0; tries < 2*n; tries++ {
 		f := s.frames[s.hand]
-		s.hand = (s.hand + 1) % len(s.frames)
+		s.hand = (s.hand + 1) % n
 		if f.pinned() {
 			continue
 		}
 		if atomic.SwapUint32(&f.hot, 0) == 1 {
 			continue // second chance
 		}
+		if tries < n && s.next()&1 == 0 {
+			continue // probabilistically spared (thrash resistance)
+		}
 		// Evict: replace the frame wholesale so any stale references to
 		// the old Page keep seeing its old identity/content.
 		atomic.AddInt64(&c.evictions, 1)
 		nf := &Page{key: key, buf: make([]byte, c.pageSize), state: stateLoading}
 		nf.pin()
-		atomic.StoreUint32(&nf.hot, 1)
 		idx := s.hand - 1
 		if idx < 0 {
-			idx = len(s.frames) - 1
+			idx = n - 1
 		}
 		s.frames[idx] = nf
 		return nf, true, true
@@ -269,6 +301,23 @@ func (c *Cache) Peek(key Key) bool {
 		}
 	}
 	return false
+}
+
+// PinnedFrames counts frames currently pinned — diagnostics for pin
+// leaks (every lookup path must eventually Unpin, even on aborts).
+func (c *Cache) PinnedFrames() int {
+	n := 0
+	for i := range c.sets {
+		s := &c.sets[i]
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.pinned() {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Stats snapshots the counters.

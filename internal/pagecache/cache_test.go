@@ -1,7 +1,9 @@
 package pagecache
 
 import (
+	"bytes"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -276,6 +278,106 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 	st := c.Stats()
 	if st.Hits == 0 || st.Misses == 0 {
 		t.Fatalf("implausible stats: %+v", st)
+	}
+}
+
+func TestConcurrentSameKeyAcquireSharesFrame(t *testing.T) {
+	// All concurrent acquirers of one key must converge on a single
+	// frame: exactly one caller is the loader (and calls Complete exactly
+	// once), the rest attach to the in-flight frame via OnReady and
+	// observe the loader's bytes.
+	c := small()
+	key := Key{FileID: 9, PageNo: 13}
+	const goroutines = 32
+	var (
+		loaders   int64
+		completes int64
+		start     = make(chan struct{})
+		wg        sync.WaitGroup
+	)
+	frames := make([]*Page, goroutines)
+	datums := make([][]byte, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			p, loader, ok := c.Acquire(key)
+			if !ok {
+				t.Error("unexpected bypass")
+				return
+			}
+			frames[i] = p
+			if loader {
+				atomic.AddInt64(&loaders, 1)
+				for j := range p.Data() {
+					p.Data()[j] = byte(j * 31)
+				}
+				atomic.AddInt64(&completes, 1)
+				p.Complete(nil)
+			}
+			done := make(chan struct{})
+			p.OnReady(func(err error) {
+				if err != nil {
+					t.Errorf("OnReady err: %v", err)
+				}
+				close(done)
+			})
+			<-done
+			snap := make([]byte, len(p.Data()))
+			copy(snap, p.Data())
+			datums[i] = snap
+			p.Unpin()
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if loaders != 1 {
+		t.Fatalf("loaders = %d, want exactly 1", loaders)
+	}
+	if completes != 1 {
+		t.Fatalf("Complete calls = %d, want exactly 1", completes)
+	}
+	for i := 1; i < goroutines; i++ {
+		if frames[i] != frames[0] {
+			t.Fatalf("goroutine %d got a different frame for the same key", i)
+		}
+		if !bytes.Equal(datums[i], datums[0]) {
+			t.Fatalf("goroutine %d observed different data", i)
+		}
+	}
+	for j := range datums[0] {
+		if datums[0][j] != byte(j*31) {
+			t.Fatalf("data[%d] = %d, want loader's pattern", j, datums[0][j])
+		}
+	}
+}
+
+func TestCyclicThrashRetainsHits(t *testing.T) {
+	// A cyclic working set twice the cache size: plain CLOCK with hot
+	// insertion degenerates to FIFO and scores zero hits. The
+	// thrash-resistant sweep must let a meaningful fraction of pages
+	// survive a full cycle.
+	c := New(Config{TotalBytes: 128 * DefaultPageSize, Assoc: 8})
+	const cycle = 256
+	for round := 0; round < 40; round++ {
+		for pn := int64(0); pn < cycle; pn++ {
+			p, loader, ok := c.Acquire(Key{PageNo: pn})
+			if !ok {
+				continue
+			}
+			if loader {
+				p.Complete(nil)
+			}
+			p.Unpin()
+		}
+	}
+	st := c.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("cyclic thrash scored zero hits: %+v", st)
+	}
+	if st.HitRate() < 0.02 {
+		t.Fatalf("hit rate %.4f too low under cyclic reuse: %+v", st.HitRate(), st)
 	}
 }
 

@@ -226,6 +226,21 @@ type completed struct {
 	err  error
 }
 
+// IOStats counts the page traffic one IOContext generated. The global
+// cache and array counters aggregate every context on the FS; these
+// per-context counters are what let concurrent runs over one shared FS
+// report accurate per-run hit rates and read volumes.
+type IOStats struct {
+	// PageHits counts pages served without a device load: already
+	// resident, or attached to another caller's in-flight load.
+	PageHits int64
+	// PageLoads counts pages this context had to load itself (cache
+	// misses it owned, plus bypass reads around a fully pinned set).
+	PageLoads int64
+	// BytesLoaded is PageLoads in bytes (pages are loaded whole).
+	BytesLoaded int64
+}
+
 // IOContext is a per-worker I/O issue/completion context. It is not safe
 // for concurrent use; each engine worker owns one (mirroring SAFS
 // per-thread I/O instances).
@@ -237,6 +252,7 @@ type IOContext struct {
 	signal   chan struct{}
 	staged   []load // loads awaiting Flush (MergeSAFS) or end of ReadTask
 	inflight int64  // atomic: issued but not yet delivered to ready
+	stats    IOStats
 
 	// PendingTasks limits nothing by itself; the engine bounds issued
 	// requests by its running-vertex cap.
@@ -246,6 +262,11 @@ type IOContext struct {
 func (fs *FS) NewContext() *IOContext {
 	return &IOContext{fs: fs, signal: make(chan struct{}, 1)}
 }
+
+// IOStats snapshots this context's page-traffic counters. Counters are
+// written only by the owning goroutine during ReadTask; snapshot from
+// another goroutine only after synchronizing with the owner.
+func (ctx *IOContext) IOStats() IOStats { return ctx.stats }
 
 // Pending returns the number of issued-but-unprocessed requests.
 func (ctx *IOContext) Pending() int {
@@ -324,6 +345,12 @@ func (ctx *IOContext) ReadTask(f *File, off, length int64, task TaskFunc) {
 			h = bp
 			loader = true
 		}
+		if loader {
+			ctx.stats.PageLoads++
+			ctx.stats.BytesLoaded += int64(ctx.fs.pageSize)
+		} else {
+			ctx.stats.PageHits++
+		}
 		view.frames = append(view.frames, h)
 		atomic.AddInt32(&pending, 1)
 		h.OnReady(done)
@@ -384,15 +411,28 @@ func (ctx *IOContext) flushStaged() {
 }
 
 // Poll runs all currently-completed tasks on the calling goroutine and
-// returns how many ran. It never blocks.
+// returns how many ran. It never blocks. Views are released (pins
+// returned to the shared cache) even when a task panics: the panic
+// propagates, but it must not leak pinned frames into a cache other
+// I/O contexts share.
 func (ctx *IOContext) Poll() int {
 	ctx.mu.Lock()
 	batch := ctx.ready
 	ctx.ready = nil
 	ctx.mu.Unlock()
+	next := 0
+	defer func() {
+		// Only non-empty when a task panicked mid-batch.
+		for _, c := range batch[next:] {
+			c.view.release()
+		}
+	}()
 	for _, c := range batch {
-		c.task(c.view, c.err)
-		c.view.release()
+		next++
+		func() {
+			defer c.view.release()
+			c.task(c.view, c.err)
+		}()
 	}
 	return len(batch)
 }
@@ -420,6 +460,27 @@ func (ctx *IOContext) WaitSignal() {
 		return
 	}
 	<-ctx.signal
+}
+
+// DiscardPending flushes staged loads, waits for every in-flight
+// request to land, and releases their views WITHOUT running the
+// attached tasks. It is the abort path: a run that died mid-flight must
+// still return its pinned frames to the shared cache.
+func (ctx *IOContext) DiscardPending() {
+	ctx.Flush() // staged loads would otherwise never complete
+	for {
+		ctx.mu.Lock()
+		batch := ctx.ready
+		ctx.ready = nil
+		ctx.mu.Unlock()
+		for _, c := range batch {
+			c.view.release()
+		}
+		if atomic.LoadInt64(&ctx.inflight) == 0 {
+			return
+		}
+		<-ctx.signal
+	}
 }
 
 // Drain runs tasks until no requests remain in flight.

@@ -1,0 +1,461 @@
+// Package serve implements a concurrent query layer over one shared
+// FlashGraph substrate: many algorithm runs execute simultaneously over
+// a single graph image, SAFS instance, page cache, and SSD array
+// (core.Shared), so the paper's core asset — the shared
+// semi-external-memory substrate — is amortized across query traffic
+// instead of serving one algorithm at a time.
+//
+// The Server is a query scheduler with admission control: submitted
+// queries enter a bounded FIFO queue, at most MaxConcurrent of them
+// execute at once (each on its own per-run engine from Shared.NewRun),
+// and each carries per-query RunStats, timing, and an
+// algorithm-specific result summary. Submissions beyond the queue bound
+// are rejected with ErrQueueFull rather than buffered without limit —
+// under overload the server sheds load instead of collapsing.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"flashgraph/internal/core"
+)
+
+// State is a query's lifecycle position.
+type State string
+
+const (
+	// StateQueued means the query is admitted and waiting for a slot.
+	StateQueued State = "queued"
+	// StateRunning means the query is executing on a run engine.
+	StateRunning State = "running"
+	// StateDone means the query finished; Stats and Result are valid.
+	StateDone State = "done"
+	// StateFailed means the query errored; Error is set.
+	StateFailed State = "failed"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull rejects a submission when the FIFO queue is at
+	// MaxQueued (admission control: shed load, don't buffer unboundedly).
+	ErrQueueFull = errors.New("serve: query queue full")
+	// ErrClosed rejects submissions after Close.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrUnknownQuery is returned by Wait for an unknown ID.
+	ErrUnknownQuery = errors.New("serve: unknown query id")
+)
+
+// Config sizes the scheduler.
+type Config struct {
+	// MaxConcurrent bounds queries executing simultaneously (each gets
+	// its own per-run engine over the shared substrate). Default 4.
+	MaxConcurrent int
+	// MaxQueued bounds admitted-but-not-running queries. Submissions
+	// beyond it fail with ErrQueueFull. Default 64.
+	MaxQueued int
+	// MaxHistory bounds retained finished queries; the oldest finished
+	// records are dropped beyond it, keeping a long-lived daemon's
+	// memory flat. Default 1024.
+	MaxHistory int
+	// RetainResults keeps each finished query's live Algorithm instance
+	// (full O(V) result vectors) accessible via Query.Alg until the
+	// record is evicted. Off by default: the summary (top-N, counts,
+	// checksum) survives, the vectors are released the moment the query
+	// finishes — MaxHistory full algorithm states is real memory on big
+	// graphs.
+	RetainResults bool
+	// Factories extends (or overrides) the built-in algorithm registry.
+	// Keys are Request.Algo names.
+	Factories map[string]Factory
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 4
+	}
+	if c.MaxQueued == 0 {
+		c.MaxQueued = 64
+	}
+	if c.MaxHistory == 0 {
+		c.MaxHistory = 1024
+	}
+}
+
+// Request names an algorithm and its parameters. Unused fields are
+// ignored by algorithms that do not take them.
+type Request struct {
+	// Algo selects the algorithm: bfs | pagerank | wcc | bc | tc |
+	// kcore | sssp | scanstat (plus any Config.Factories entries).
+	Algo string `json:"algo"`
+	// Src is the source vertex for bfs, bc, and sssp.
+	Src uint32 `json:"src,omitempty"`
+	// K is the core threshold for kcore.
+	K int `json:"k,omitempty"`
+	// Iters caps pagerank iterations (0 = algorithm default).
+	Iters int `json:"iters,omitempty"`
+}
+
+// Query is an immutable snapshot of one query's lifecycle, returned by
+// Get, Wait, and List.
+type Query struct {
+	ID        int64          `json:"id"`
+	Req       Request        `json:"request"`
+	State     State          `json:"state"`
+	Submitted time.Time      `json:"submitted"`
+	Started   time.Time      `json:"started,omitzero"`
+	Finished  time.Time      `json:"finished,omitzero"`
+	Stats     core.RunStats  `json:"stats,omitzero"`
+	Result    map[string]any `json:"result,omitempty"`
+	Error     string         `json:"error,omitempty"`
+
+	// Alg is the live algorithm instance carrying the full result
+	// vectors (e.g. *algo.BFS Level). Set once State is StateDone, and
+	// only when Config.RetainResults is on; omitted from JSON.
+	Alg core.Algorithm `json:"-"`
+}
+
+// QueueWait returns how long the query waited for a slot.
+func (q Query) QueueWait() time.Duration {
+	if q.Started.IsZero() {
+		return time.Since(q.Submitted)
+	}
+	return q.Started.Sub(q.Submitted)
+}
+
+// query is the mutable server-side record.
+type query struct {
+	id        int64
+	req       Request
+	alg       core.Algorithm
+	summarize func() map[string]any
+
+	mu        sync.Mutex
+	state     State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	stats     core.RunStats
+	result    map[string]any
+	errMsg    string
+
+	done chan struct{}
+}
+
+func (q *query) snapshot() Query {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := Query{
+		ID:        q.id,
+		Req:       q.req,
+		State:     q.state,
+		Submitted: q.submitted,
+		Started:   q.started,
+		Finished:  q.finished,
+		Stats:     q.stats,
+		Result:    q.result,
+		Error:     q.errMsg,
+	}
+	if q.state == StateDone {
+		s.Alg = q.alg // nil unless Config.RetainResults
+	}
+	return s
+}
+
+// Stats summarizes the server's traffic.
+type Stats struct {
+	Submitted int64 `json:"submitted"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Running   int   `json:"running"`
+	Queued    int   `json:"queued"`
+	// PeakRunning is the maximum number of queries observed executing
+	// simultaneously since the server started.
+	PeakRunning int `json:"peak_running"`
+}
+
+// Server schedules queries over one shared substrate.
+type Server struct {
+	shared *core.Shared
+	cfg    Config
+
+	queue chan *query
+
+	mu          sync.Mutex
+	queries     map[int64]*query
+	order       []int64 // submission order (evicted IDs compacted lazily)
+	finished    []int64 // completion order, consumed from finHead
+	finHead     int
+	nextID      int64
+	closed      bool
+	submitted   int64
+	rejected    int64
+	completed   int64
+	failed      int64
+	running     int
+	peakRunning int
+
+	wg sync.WaitGroup
+}
+
+// New starts a server with cfg.MaxConcurrent scheduler goroutines over
+// shared. Stop it with Close.
+func New(shared *core.Shared, cfg Config) *Server {
+	cfg.setDefaults()
+	s := &Server{
+		shared:  shared,
+		cfg:     cfg,
+		queue:   make(chan *query, cfg.MaxQueued),
+		queries: make(map[int64]*query),
+	}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		s.wg.Add(1)
+		go s.runLoop()
+	}
+	return s
+}
+
+// Shared returns the substrate the server executes over.
+func (s *Server) Shared() *core.Shared { return s.shared }
+
+// factoryFor resolves req's algorithm factory (Config.Factories wins
+// over the builtins).
+func (s *Server) factoryFor(req Request) (Factory, error) {
+	factory := s.cfg.Factories[req.Algo]
+	if factory == nil {
+		factory = builtins[req.Algo]
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("serve: unknown algorithm %q", req.Algo)
+	}
+	return factory, nil
+}
+
+// Validate reports whether req could be submitted — the algorithm
+// exists and its parameters are compatible with the served graph —
+// without admitting anything. Drivers use it to reject a bad workload
+// before generating load.
+func (s *Server) Validate(req Request) error {
+	factory, err := s.factoryFor(req)
+	if err != nil {
+		return err
+	}
+	if _, _, err := factory(req, s.shared.Image()); err != nil {
+		return fmt.Errorf("serve: %s: %w", req.Algo, err)
+	}
+	return nil
+}
+
+// Submit admits a query into the FIFO queue and returns its ID. It
+// fails fast on unknown algorithms or invalid parameters, and with
+// ErrQueueFull when the queue is at capacity.
+func (s *Server) Submit(req Request) (int64, error) {
+	factory, err := s.factoryFor(req)
+	if err != nil {
+		return 0, err
+	}
+	alg, summarize, err := factory(req, s.shared.Image())
+	if err != nil {
+		return 0, fmt.Errorf("serve: %s: %w", req.Algo, err)
+	}
+
+	q := &query{
+		req:       req,
+		alg:       alg,
+		summarize: summarize,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	// Assign the ID before the queue send: a scheduler slot may pick the
+	// query up the instant it lands in the channel.
+	s.nextID++
+	q.id = s.nextID
+	select {
+	case s.queue <- q:
+	default:
+		s.rejected++
+		s.mu.Unlock()
+		return 0, ErrQueueFull
+	}
+	s.queries[q.id] = q
+	s.order = append(s.order, q.id)
+	s.submitted++
+	s.mu.Unlock()
+	return q.id, nil
+}
+
+// runLoop is one scheduler slot: it drains the FIFO queue, executing
+// each query on a fresh per-run engine.
+func (s *Server) runLoop() {
+	defer s.wg.Done()
+	for q := range s.queue {
+		s.mu.Lock()
+		s.running++
+		if s.running > s.peakRunning {
+			s.peakRunning = s.running
+		}
+		s.mu.Unlock()
+
+		q.mu.Lock()
+		q.state = StateRunning
+		q.started = time.Now()
+		q.mu.Unlock()
+
+		st, err := s.execute(q)
+
+		// Summarize outside q.mu: checksums and top-N walk full O(V)
+		// result vectors, and snapshot readers (Get/List) must not
+		// stall behind that.
+		var result map[string]any
+		if err == nil {
+			result = q.summarize()
+		}
+		q.mu.Lock()
+		q.finished = time.Now()
+		if err != nil {
+			q.state = StateFailed
+			q.errMsg = err.Error()
+		} else {
+			q.state = StateDone
+			q.stats = st
+			q.result = result
+		}
+		if !s.cfg.RetainResults {
+			q.alg = nil // release the O(V) result vectors; the summary stays
+		}
+		q.mu.Unlock()
+
+		// Counters settle before q.done wakes waiters, so a caller
+		// returning from Wait observes consistent server Stats.
+		s.mu.Lock()
+		s.running--
+		if err != nil {
+			s.failed++
+		} else {
+			s.completed++
+		}
+		s.finished = append(s.finished, q.id)
+		s.evictHistoryLocked()
+		s.mu.Unlock()
+		close(q.done)
+	}
+}
+
+// evictHistoryLocked drops the oldest finished queries beyond
+// MaxHistory (called with s.mu held). Queued and running queries are
+// never evicted. s.finished records completion order with a head
+// cursor, so eviction is O(evicted) amortized — no rescans on the
+// serving hot path.
+func (s *Server) evictHistoryLocked() {
+	for len(s.finished)-s.finHead > s.cfg.MaxHistory {
+		delete(s.queries, s.finished[s.finHead])
+		s.finHead++
+	}
+	// Compact the consumed head and the order list once mostly dead.
+	if s.finHead > 64 && s.finHead > len(s.finished)/2 {
+		s.finished = append(s.finished[:0], s.finished[s.finHead:]...)
+		s.finHead = 0
+	}
+	if len(s.order) > 2*len(s.queries)+64 {
+		kept := s.order[:0]
+		for _, id := range s.order {
+			if _, ok := s.queries[id]; ok {
+				kept = append(kept, id)
+			}
+		}
+		s.order = kept
+	}
+}
+
+// execute runs one query, converting engine panics (e.g. a fatal device
+// read error, or an algorithm rejecting the graph) into a failed query
+// instead of killing the scheduler slot.
+func (s *Server) execute(q *query) (st core.RunStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("query panicked: %v", r)
+		}
+	}()
+	eng := s.shared.NewRun()
+	st, err = eng.Run(q.alg)
+	st.Algorithm = q.req.Algo
+	return st, err
+}
+
+// Get snapshots a query by ID.
+func (s *Server) Get(id int64) (Query, bool) {
+	s.mu.Lock()
+	q, ok := s.queries[id]
+	s.mu.Unlock()
+	if !ok {
+		return Query{}, false
+	}
+	return q.snapshot(), true
+}
+
+// Wait blocks until the query finishes (done or failed) and returns its
+// final snapshot. A finished query already evicted from the bounded
+// history (Config.MaxHistory) reports ErrUnknownQuery.
+func (s *Server) Wait(id int64) (Query, error) {
+	s.mu.Lock()
+	q, ok := s.queries[id]
+	s.mu.Unlock()
+	if !ok {
+		return Query{}, ErrUnknownQuery
+	}
+	<-q.done
+	return q.snapshot(), nil
+}
+
+// List snapshots all queries in submission order.
+func (s *Server) List() []Query {
+	s.mu.Lock()
+	ids := append([]int64(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]Query, 0, len(ids))
+	for _, id := range ids {
+		if q, ok := s.Get(id); ok {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Stats snapshots the server's traffic counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Submitted:   s.submitted,
+		Rejected:    s.rejected,
+		Completed:   s.completed,
+		Failed:      s.failed,
+		Running:     s.running,
+		Queued:      len(s.queue),
+		PeakRunning: s.peakRunning,
+	}
+}
+
+// Close stops admission, drains queued queries to completion, and waits
+// for the scheduler goroutines to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}

@@ -1,0 +1,383 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"flashgraph/internal/algo"
+	"flashgraph/internal/core"
+	"flashgraph/internal/gen"
+	"flashgraph/internal/graph"
+	"flashgraph/internal/safs"
+	"flashgraph/internal/ssd"
+)
+
+func buildShared(t *testing.T, threads int) *core.Shared {
+	t.Helper()
+	edges := gen.RMAT(9, 6, 77)
+	a := graph.FromEdges(1<<9, edges, true)
+	a.Dedup()
+	img := graph.BuildImage(a, 0, nil)
+	arr := ssd.NewArray(ssd.ArrayParams{Devices: 4, StripeSize: 32 * 4096})
+	t.Cleanup(arr.Close)
+	fs := safs.New(arr, safs.Config{CacheBytes: 1 << 20})
+	shared, err := core.NewShared(img, core.Config{Threads: threads, FS: fs, RangeShift: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shared
+}
+
+// TestConcurrentMatchesSerialBitIdentical is the serve-layer isolation
+// guarantee: N concurrent runs of BFS, PageRank, and WCC over one
+// shared engine substrate produce results bit-identical to serial runs.
+// Threads=1 makes each individual run's float accumulation order
+// deterministic, so any divergence must come from cross-query state
+// leakage — exactly what the test is hunting.
+func TestConcurrentMatchesSerialBitIdentical(t *testing.T) {
+	shared := buildShared(t, 1)
+
+	// Serial references.
+	refBFS := algo.NewBFS(0)
+	if _, err := shared.NewRun().Run(refBFS); err != nil {
+		t.Fatal(err)
+	}
+	refPR := algo.NewPageRank()
+	if _, err := shared.NewRun().Run(refPR); err != nil {
+		t.Fatal(err)
+	}
+	refWCC := algo.NewWCC()
+	if _, err := shared.NewRun().Run(refWCC); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New(shared, Config{MaxConcurrent: 4, RetainResults: true})
+	defer srv.Close()
+
+	const copies = 3
+	var ids []int64
+	for i := 0; i < copies; i++ {
+		for _, algoName := range []string{"bfs", "pagerank", "wcc"} {
+			id, err := srv.Submit(Request{Algo: algoName})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		q, err := srv.Wait(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.State != StateDone {
+			t.Fatalf("query %d (%s): state %s, error %q", id, q.Req.Algo, q.State, q.Error)
+		}
+		if q.Stats.EdgeRequests == 0 {
+			t.Fatalf("query %d (%s): no per-query I/O stats", id, q.Req.Algo)
+		}
+		switch q.Req.Algo {
+		case "bfs":
+			got := q.Alg.(*algo.BFS).Level
+			for v := range refBFS.Level {
+				if got[v] != refBFS.Level[v] {
+					t.Fatalf("bfs query %d: Level[%d] = %d, want %d", id, v, got[v], refBFS.Level[v])
+				}
+			}
+		case "pagerank":
+			got := q.Alg.(*algo.PageRank).Scores
+			for v := range refPR.Scores {
+				if math.Float64bits(got[v]) != math.Float64bits(refPR.Scores[v]) {
+					t.Fatalf("pagerank query %d: Scores[%d] = %x, want %x (not bit-identical)",
+						id, v, math.Float64bits(got[v]), math.Float64bits(refPR.Scores[v]))
+				}
+			}
+		case "wcc":
+			got := q.Alg.(*algo.WCC).Labels
+			for v := range refWCC.Labels {
+				if got[v] != refWCC.Labels[v] {
+					t.Fatalf("wcc query %d: Labels[%d] = %d, want %d", id, v, got[v], refWCC.Labels[v])
+				}
+			}
+		}
+	}
+	// All copies of one algorithm must also report one checksum.
+	sums := map[string]map[string]bool{}
+	for _, q := range srv.List() {
+		if cs, ok := q.Result["checksum"].(string); ok {
+			if sums[q.Req.Algo] == nil {
+				sums[q.Req.Algo] = map[string]bool{}
+			}
+			sums[q.Req.Algo][cs] = true
+		}
+	}
+	for name, set := range sums {
+		if len(set) != 1 {
+			t.Fatalf("%s: %d distinct checksums across identical queries: %v", name, len(set), set)
+		}
+	}
+}
+
+// gatedAlg blocks inside the engine run until released, reporting when
+// it entered. It activates no vertices, so the run finishes the moment
+// Init returns.
+type gatedAlg struct {
+	entered chan<- *gatedAlg
+	release <-chan struct{}
+}
+
+func (g *gatedAlg) Init(eng *core.Engine) {
+	g.entered <- g
+	<-g.release
+}
+func (g *gatedAlg) Run(ctx *core.Ctx, v graph.VertexID)                               {}
+func (g *gatedAlg) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex) {}
+func (g *gatedAlg) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.Message)    {}
+
+func gatedServer(t *testing.T, cfg Config) (*Server, chan *gatedAlg, chan struct{}) {
+	t.Helper()
+	edges := gen.RMAT(6, 4, 5)
+	a := graph.FromEdges(1<<6, edges, true)
+	a.Dedup()
+	img := graph.BuildImage(a, 0, nil)
+	shared, err := core.NewShared(img, core.Config{Threads: 1, InMemory: true, RangeShift: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan *gatedAlg, 64)
+	release := make(chan struct{})
+	if cfg.Factories == nil {
+		cfg.Factories = map[string]Factory{}
+	}
+	cfg.Factories["gate"] = func(req Request, img *graph.Image) (core.Algorithm, func() map[string]any, error) {
+		g := &gatedAlg{entered: entered, release: release}
+		return g, func() map[string]any { return map[string]any{"gated": true} }, nil
+	}
+	return New(shared, cfg), entered, release
+}
+
+func TestAdmissionControlQueueFull(t *testing.T) {
+	srv, entered, release := gatedServer(t, Config{MaxConcurrent: 1, MaxQueued: 2})
+	defer srv.Close()
+
+	first, err := srv.Submit(Request{Algo: "gate"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // first query is now running, holding the only slot
+
+	var queued []int64
+	for i := 0; i < 2; i++ {
+		id, err := srv.Submit(Request{Algo: "gate"})
+		if err != nil {
+			t.Fatalf("queued submit %d: %v", i, err)
+		}
+		queued = append(queued, id)
+	}
+	if _, err := srv.Submit(Request{Algo: "gate"}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity submit: err = %v, want ErrQueueFull", err)
+	}
+	st := srv.Stats()
+	if st.Queued != 2 || st.Running != 1 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want 2 queued / 1 running / 1 rejected", st)
+	}
+
+	// FIFO drain after release: everything admitted completes (the
+	// entered channel's buffer absorbs the queued queries' signals).
+	close(release)
+	for _, id := range append([]int64{first}, queued...) {
+		q, err := srv.Wait(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.State != StateDone {
+			t.Fatalf("query %d: state = %s (%s)", id, q.State, q.Error)
+		}
+	}
+}
+
+func TestQueriesExecuteSimultaneously(t *testing.T) {
+	srv, entered, release := gatedServer(t, Config{MaxConcurrent: 3, MaxQueued: 8})
+	defer srv.Close()
+
+	var ids []int64
+	for i := 0; i < 3; i++ {
+		id, err := srv.Submit(Request{Algo: "gate"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// All three must enter their runs while the others are still blocked
+	// inside theirs — proof of simultaneous execution on one substrate.
+	for i := 0; i < 3; i++ {
+		<-entered
+	}
+	if st := srv.Stats(); st.Running != 3 || st.PeakRunning != 3 {
+		t.Fatalf("stats = %+v, want 3 running / peak 3", st)
+	}
+	close(release)
+	for _, id := range ids {
+		if q, err := srv.Wait(id); err != nil || q.State != StateDone {
+			t.Fatalf("query %d: %v %v", id, q.State, err)
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	shared := buildShared(t, 2)
+	srv := New(shared, Config{})
+	defer srv.Close()
+
+	if _, err := srv.Submit(Request{Algo: "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := srv.Submit(Request{Algo: "bfs", Src: 1 << 30}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := srv.Submit(Request{Algo: "sssp"}); err == nil {
+		t.Fatal("sssp accepted on unweighted image")
+	}
+	if _, err := srv.Submit(Request{Algo: "kcore"}); err == nil {
+		t.Fatal("kcore accepted on directed graph")
+	}
+
+	srv.Close()
+	if _, err := srv.Submit(Request{Algo: "bfs"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestFailedQueryDoesNotKillSlot(t *testing.T) {
+	srv, _, release := gatedServer(t, Config{MaxConcurrent: 1, MaxQueued: 4, Factories: map[string]Factory{
+		"panic": func(req Request, img *graph.Image) (core.Algorithm, func() map[string]any, error) {
+			return &panicAlg{}, func() map[string]any { return nil }, nil
+		},
+	}})
+	defer srv.Close()
+	close(release)
+
+	id, err := srv.Submit(Request{Algo: "panic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := srv.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.State != StateFailed || q.Error == "" {
+		t.Fatalf("state = %s, error = %q; want failed with message", q.State, q.Error)
+	}
+	// The slot must survive and serve the next query.
+	id2, err := srv.Submit(Request{Algo: "bfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2, err := srv.Wait(id2); err != nil || q2.State != StateDone {
+		t.Fatalf("follow-up query: %v %v (%s)", q2.State, err, q2.Error)
+	}
+	st := srv.Stats()
+	if st.Failed != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v, want 1 failed / 1 completed", st)
+	}
+}
+
+type panicAlg struct{}
+
+func (p *panicAlg) Init(eng *core.Engine)                                             { panic("boom") }
+func (p *panicAlg) Run(ctx *core.Ctx, v graph.VertexID)                               {}
+func (p *panicAlg) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex) {}
+func (p *panicAlg) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.Message)    {}
+
+// workerPanicAlg panics inside a vertex callback, which executes on a
+// worker goroutine — the path a deferred recover on the scheduler
+// goroutine cannot catch. The engine must contain it and fail the run.
+type workerPanicAlg struct{}
+
+func (p *workerPanicAlg) Init(eng *core.Engine)                                             { eng.ActivateSeed(0) }
+func (p *workerPanicAlg) Run(ctx *core.Ctx, v graph.VertexID)                               { panic("vertex boom") }
+func (p *workerPanicAlg) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex) {}
+func (p *workerPanicAlg) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.Message)    {}
+
+func TestWorkerGoroutinePanicFailsQueryNotDaemon(t *testing.T) {
+	srv, _, release := gatedServer(t, Config{MaxConcurrent: 1, MaxQueued: 4, Factories: map[string]Factory{
+		"wpanic": func(req Request, img *graph.Image) (core.Algorithm, func() map[string]any, error) {
+			return &workerPanicAlg{}, func() map[string]any { return nil }, nil
+		},
+	}})
+	defer srv.Close()
+	close(release)
+
+	id, err := srv.Submit(Request{Algo: "wpanic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := srv.Wait(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.State != StateFailed || !strings.Contains(q.Error, "vertex boom") {
+		t.Fatalf("state = %s, error = %q; want failed mentioning the panic", q.State, q.Error)
+	}
+	// The scheduler slot and substrate must survive for the next query.
+	id2, err := srv.Submit(Request{Algo: "wcc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2, err := srv.Wait(id2); err != nil || q2.State != StateDone {
+		t.Fatalf("follow-up query: %v %v (%s)", q2.State, err, q2.Error)
+	}
+}
+
+func TestHistoryEvictionBoundsMemory(t *testing.T) {
+	shared := buildShared(t, 2)
+	srv := New(shared, Config{MaxConcurrent: 1, MaxHistory: 2})
+	defer srv.Close()
+
+	var ids []int64
+	for i := 0; i < 5; i++ {
+		id, err := srv.Submit(Request{Algo: "bfs"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Wait(id); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if got := len(srv.List()); got > 2 {
+		t.Fatalf("retained %d finished queries, want <= MaxHistory (2)", got)
+	}
+	if _, ok := srv.Get(ids[0]); ok {
+		t.Fatal("oldest query still retained beyond MaxHistory")
+	}
+	if q, ok := srv.Get(ids[4]); !ok || q.State != StateDone {
+		t.Fatal("newest finished query must be retained")
+	}
+}
+
+func TestTopScoresMatchesFullSort(t *testing.T) {
+	scores := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3.5}
+	got := topScores(scores, 4)
+	want := []struct {
+		v graph.VertexID
+		s float64
+	}{{5, 9}, {7, 6}, {4, 5}, {8, 5}}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i]["vertex"] != want[i].v || got[i]["score"] != want[i].s {
+			t.Fatalf("top[%d] = %v, want %+v", i, got[i], want[i])
+		}
+	}
+	// n larger than the slice.
+	if all := topScores([]float64{2, 7}, 10); len(all) != 2 || all[0]["score"] != 7.0 {
+		t.Fatalf("short-slice selection wrong: %v", all)
+	}
+	if empty := topScores(nil, 5); len(empty) != 0 {
+		t.Fatalf("nil scores gave %v", empty)
+	}
+}
