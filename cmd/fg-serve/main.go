@@ -1,34 +1,37 @@
-// Command fg-serve runs a FlashGraph query daemon: one graph loaded
-// into one shared semi-external-memory substrate (SAFS instance, page
-// cache, simulated SSD array), serving many algorithm queries
-// concurrently with admission control.
+// Command fg-serve runs a FlashGraph query daemon: a catalog of named
+// graphs loaded into ONE shared semi-external-memory substrate (SAFS
+// instance, page cache, simulated SSD array), serving many algorithm
+// queries concurrently with admission control and typed, queryable
+// results.
 //
 // Usage:
 //
-//	fg-serve -graph twitter.fg                     # serve an image
-//	fg-serve -rmat 14 -epv 16                      # serve a generated graph
+//	fg-serve -graph twitter.fg                        # serve one image (name = file base)
+//	fg-serve -graph social=a.fg -graph web=b.fg       # a multi-graph catalog
+//	fg-serve -rmat 14 -epv 16                         # serve a generated graph ("rmat")
 //	fg-serve -graph g.fg -max-concurrent 8 -addr :9090
 //
-// API:
+// API (the full surface lives in internal/serve's Handler):
 //
-//	POST /queries          {"algo":"bfs","src":0}   -> 202 {"id":1,...}
-//	GET  /queries          list all queries
-//	GET  /queries/{id}     one query: state, stats, result
-//	GET  /stats            scheduler + substrate counters
-//	GET  /healthz          liveness
+//	POST /queries   {"version":1,"graph":"social","algo":"bfs","params":{"src":0}} -> 202 {"id":1,...}
+//	GET  /queries/{id}                   poll (?wait=1 blocks)
+//	GET  /queries/{id}/result            typed summary: scalars, vector metadata, checksum
+//	GET  /queries/{id}/result/lookup     ?vertex=V[&vector=name]
+//	GET  /queries/{id}/result/topk       ?k=K[&offset=N][&vector=name]
+//	GET  /queries/{id}/result/histogram  ?bins=B[&vector=name]
+//	GET  /graphs | /queries | /stats | /healthz
 //
-// Submit returns immediately; poll GET /queries/{id} until "state" is
-// "done" (or pass ?wait=1 to block). Algorithms: bfs, pagerank, wcc,
-// bc, tc, kcore (undirected images), sssp (weighted images), scanstat.
+// Algorithms: bfs, pagerank, wcc, bc, tc, kcore (undirected images),
+// sssp (weighted images), scanstat.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
-	"strconv"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"flashgraph"
@@ -36,158 +39,107 @@ import (
 	"flashgraph/internal/util"
 )
 
+// graphSpec is one -graph flag value: "name=path" or bare "path".
+type graphSpec struct{ name, path string }
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fg-serve: ")
+	var specs []graphSpec
 	var (
 		addr          = flag.String("addr", ":8090", "HTTP listen address")
-		graphPath     = flag.String("graph", "", "FlashGraph image (fg-convert output)")
-		rmatScale     = flag.Int("rmat", 0, "generate an RMAT graph of 2^scale vertices instead of loading one")
+		rmatScale     = flag.Int("rmat", 0, "also serve a generated RMAT graph of 2^scale vertices")
+		rmatName      = flag.String("rmat-name", "rmat", "catalog name for the -rmat graph")
 		epv           = flag.Int("epv", 8, "edges per vertex for -rmat")
 		seed          = flag.Uint64("seed", 1, "generator seed for -rmat")
 		inMemory      = flag.Bool("mem", false, "in-memory mode (FG-mem)")
-		cacheMB       = flag.Int64("cache-mb", 64, "SAFS page cache size (MiB)")
+		cacheMB       = flag.Int64("cache-mb", 64, "SAFS page cache size (MiB), shared by all graphs")
 		threads       = flag.Int("threads", 8, "worker threads per query")
 		devices       = flag.Int("devices", 4, "simulated SSDs")
 		throttle      = flag.Bool("throttle", false, "realistic SSD timing")
 		maxConcurrent = flag.Int("max-concurrent", 4, "queries executing simultaneously")
 		maxQueued     = flag.Int("max-queued", 64, "admitted queries waiting for a slot")
 		maxHistory    = flag.Int("max-history", 1024, "finished queries retained for polling")
+		resultMB      = flag.Int64("result-mb", 64, "byte budget for retained full result vectors (MiB); 0 disables retention")
 	)
+	flag.Func("graph", "FlashGraph image to serve, as name=path or path (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok {
+			path = v
+			name = strings.TrimSuffix(filepath.Base(v), filepath.Ext(v))
+		}
+		if name == "" || path == "" {
+			return fmt.Errorf("bad -graph %q: want name=path or path", v)
+		}
+		specs = append(specs, graphSpec{name, path})
+		return nil
+	})
 	flag.Parse()
 
-	var g *flashgraph.Graph
-	var err error
-	switch {
-	case *graphPath != "":
-		g, err = flashgraph.LoadFile(*graphPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-	case *rmatScale > 0:
-		g = flashgraph.NewGraph(1<<*rmatScale, flashgraph.GenerateRMAT(*rmatScale, *epv, *seed), flashgraph.Directed)
-	default:
-		log.Fatal("need -graph or -rmat (build an image with fg-gen | fg-convert)")
-	}
-
-	eng, err := flashgraph.Open(g, flashgraph.Options{
+	cat := flashgraph.NewCatalog(flashgraph.Options{
 		InMemory:   *inMemory,
 		Threads:    *threads,
 		CacheBytes: *cacheMB << 20,
 		Devices:    *devices,
 		Throttle:   *throttle,
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer eng.Close()
+	defer cat.Close()
 
-	srv := serve.New(eng.Shared(), serve.Config{
+	for _, spec := range specs {
+		g, err := flashgraph.LoadFile(spec.path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := cat.Add(spec.name, g); err != nil {
+			log.Fatal(err)
+		}
+		logGraph(spec.name, g)
+	}
+	if *rmatScale > 0 {
+		g := flashgraph.NewGraph(1<<*rmatScale, flashgraph.GenerateRMAT(*rmatScale, *epv, *seed), flashgraph.Directed)
+		if _, err := cat.Add(*rmatName, g); err != nil {
+			log.Fatal(err)
+		}
+		logGraph(*rmatName, g)
+	}
+	names := cat.Graphs()
+	if len(names) == 0 {
+		log.Fatal("need at least one -graph or -rmat (build an image with fg-gen | fg-convert)")
+	}
+
+	// The first graph is the default route for unqualified requests.
+	// -result-mb 0 means "retain nothing" (serve.Config uses 0 as its
+	// own default sentinel, so translate to the negative convention).
+	resultBytes := *resultMB << 20
+	if *resultMB <= 0 {
+		resultBytes = -1
+	}
+	first, _ := cat.Engine(names[0])
+	srv := serve.New(first.Shared(), serve.Config{
 		MaxConcurrent: *maxConcurrent,
 		MaxQueued:     *maxQueued,
 		MaxHistory:    *maxHistory,
+		ResultBytes:   resultBytes,
+		DefaultGraph:  names[0],
 	})
 	defer srv.Close()
+	for _, name := range names[1:] {
+		eng, _ := cat.Engine(name)
+		if err := srv.AddGraph(name, eng.Shared()); err != nil {
+			log.Fatal(err)
+		}
+	}
 
-	log.Printf("serving graph: %d vertices, %d edges, %s on SSD, %s index",
-		g.NumVertices(), g.NumEdges(), util.HumanBytes(g.SizeBytes()), util.HumanBytes(g.IndexBytes()))
-	log.Printf("scheduler: %d concurrent slots, queue depth %d; algorithms: %v",
-		*maxConcurrent, *maxQueued, serve.Algorithms())
+	log.Printf("catalog: %d graphs on one shared substrate (default %q)", len(names), names[0])
+	log.Printf("scheduler: %d concurrent slots, queue depth %d, %s result budget; algorithms: %v",
+		*maxConcurrent, *maxQueued, util.HumanBytes(*resultMB<<20), serve.Algorithms())
 	log.Printf("listening on %s", *addr)
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /queries", func(w http.ResponseWriter, r *http.Request) {
-		var req serve.Request
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
-			return
-		}
-		id, err := srv.Submit(req)
-		switch {
-		case err == nil:
-		case err == serve.ErrQueueFull:
-			httpError(w, http.StatusServiceUnavailable, err.Error())
-			return
-		default:
-			httpError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		q, ok := srv.Get(id)
-		if !ok {
-			// Finished and already evicted from history between Submit
-			// and here (tiny -max-history under load): the id is still
-			// the authoritative handle.
-			writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "state": "evicted"})
-			return
-		}
-		writeJSON(w, http.StatusAccepted, q)
-	})
-	mux.HandleFunc("GET /queries", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, srv.List())
-	})
-	mux.HandleFunc("GET /queries/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "bad query id")
-			return
-		}
-		if r.URL.Query().Get("wait") != "" {
-			q, err := srv.Wait(id)
-			if err != nil {
-				httpError(w, http.StatusNotFound, err.Error())
-				return
-			}
-			writeJSON(w, http.StatusOK, q)
-			return
-		}
-		q, ok := srv.Get(id)
-		if !ok {
-			httpError(w, http.StatusNotFound, "unknown query id")
-			return
-		}
-		writeJSON(w, http.StatusOK, q)
-	})
-	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		out := map[string]any{
-			"scheduler": srv.Stats(),
-			"graph": map[string]any{
-				"vertices":  g.NumVertices(),
-				"edges":     g.NumEdges(),
-				"directed":  g.Directed(),
-				"ssd_bytes": g.SizeBytes(),
-			},
-		}
-		if fs := eng.Shared().FS(); fs != nil {
-			cs := fs.Cache().Stats()
-			as := fs.Array().Stats()
-			out["cache"] = map[string]any{
-				"hits": cs.Hits, "misses": cs.Misses,
-				"evictions": cs.Evictions, "bypasses": cs.Bypasses,
-				"hit_rate": cs.HitRate(),
-			}
-			out["array"] = map[string]any{
-				"reads": as.Reads, "bytes_read": as.BytesRead,
-				"busy_ns": int64(as.Busy),
-			}
-		}
-		writeJSON(w, http.StatusOK, out)
-	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-
-	server := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	server := &http.Server{Addr: *addr, Handler: serve.Handler(srv), ReadHeaderTimeout: 10 * time.Second}
 	log.Fatal(server.ListenAndServe())
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+func logGraph(name string, g *flashgraph.Graph) {
+	log.Printf("graph %q: %d vertices, %d edges, %s on SSD, %s index",
+		name, g.NumVertices(), g.NumEdges(), util.HumanBytes(g.SizeBytes()), util.HumanBytes(g.IndexBytes()))
 }

@@ -9,7 +9,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
 
 	"flashgraph"
 )
@@ -42,21 +41,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	type page struct {
-		id    flashgraph.VertexID
-		score float64
+	top, err := pr.Result().TopK("score", 10, 0)
+	if err != nil {
+		log.Fatal(err)
 	}
-	ranked := make([]page, 0, len(pr.Scores))
-	for v, s := range pr.Scores {
-		ranked = append(ranked, page{flashgraph.VertexID(v), s})
-	}
-	sort.Slice(ranked, func(i, j int) bool { return ranked[i].score > ranked[j].score })
 	fmt.Printf("\ntop pages after %d iterations (%v, %.1f%% cache hits):\n",
 		st.Iterations, st.Elapsed, st.CacheHitRate()*100)
-	for i := 0; i < 10; i++ {
-		p := ranked[i]
+	for i, p := range top {
 		fmt.Printf("  #%-2d page %5d (domain %3d)  rank %.3f\n",
-			i+1, p.id, int(p.id)/domainSize, p.score)
+			i+1, p.Vertex, int(p.Vertex)/domainSize, p.Value)
 	}
 
 	// Weak connectivity of the crawl.

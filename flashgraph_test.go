@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"flashgraph/internal/core"
 )
@@ -182,5 +183,122 @@ func TestGenerateClusteredPublic(t *testing.T) {
 	wcc := NewWCC()
 	if _, err := eng.Run(wcc); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCloseIdempotent is the regression test for double-Close: an
+// engine (SEM or in-memory) must release what it owns exactly once and
+// tolerate repeated Close calls without panicking.
+func TestCloseIdempotent(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"sem", Options{}},
+		{"in-memory", Options{InMemory: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewGraph(1<<6, GenerateRMAT(6, 4, 3), Directed)
+			eng, err := Open(g, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Run(NewBFS(0)); err != nil {
+				t.Fatal(err)
+			}
+			eng.Close()
+			eng.Close() // must not panic or double-release
+			eng.Close()
+			// The primary run context is dropped and later Runs fail
+			// explicitly instead of using released state.
+			if eng.Core() != nil {
+				t.Fatal("Core() non-nil after Close")
+			}
+			if _, err := eng.Run(NewBFS(0)); err == nil {
+				t.Fatal("Run after Close succeeded")
+			}
+		})
+	}
+}
+
+// TestLoadTimeDuration pins the LoadTime signature fix: a
+// time.Duration, non-negative, and zero only plausibly (SEM loads do
+// measurable work).
+func TestLoadTimeDuration(t *testing.T) {
+	g := NewGraph(1<<7, GenerateRMAT(7, 4, 4), Directed)
+	eng, err := Open(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var d time.Duration = eng.LoadTime()
+	if d < 0 {
+		t.Fatalf("LoadTime = %v, want >= 0", d)
+	}
+}
+
+// TestCatalogSharesOneSubstrate opens two graphs through a Catalog and
+// proves they share one SAFS instance and page cache: both engines
+// report the same FS, runs on both succeed, and the shared cache sees
+// traffic from each graph's files.
+func TestCatalogSharesOneSubstrate(t *testing.T) {
+	cat := NewCatalog(Options{CacheBytes: 1 << 20})
+	defer cat.Close()
+
+	gA := NewGraph(1<<7, GenerateRMAT(7, 5, 5), Directed)
+	gB := NewGraph(1<<6, GenerateRMAT(6, 4, 6), Directed)
+	engA, err := cat.Add("a", gA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, err := cat.Add("b", gB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.Add("a", gA); err == nil {
+		t.Fatal("duplicate catalog name accepted")
+	}
+	if _, err := cat.Add("", gA); err == nil {
+		t.Fatal("empty catalog name accepted")
+	}
+	if names := cat.Graphs(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Graphs() = %v", names)
+	}
+	if engA.Shared().FS() == nil || engA.Shared().FS() != engB.Shared().FS() {
+		t.Fatal("catalog engines must share one SAFS instance")
+	}
+
+	bfs := NewBFS(0)
+	if _, err := engA.Run(bfs); err != nil {
+		t.Fatal(err)
+	}
+	pr := NewPageRank()
+	if _, err := engB.Run(pr); err != nil {
+		t.Fatal(err)
+	}
+	if rs := bfs.Result(); rs == nil || len(rs.Vectors()) == 0 {
+		t.Fatal("bfs produced no typed result")
+	}
+	cs := cat.FS().Cache().Stats()
+	if cs.Hits+cs.Misses == 0 {
+		t.Fatal("no traffic on the shared page cache")
+	}
+
+	// Engine.Close on a catalog engine must not tear down the shared
+	// substrate; graph B keeps working after A's engine is closed.
+	engA.Close()
+	if _, err := engB.Run(NewWCC()); err != nil {
+		t.Fatalf("graph b after closing a's engine: %v", err)
+	}
+	cat.Close()
+	cat.Close() // catalog Close is idempotent too
+}
+
+// TestCatalogClosedRejectsAdd pins the closed-catalog error path.
+func TestCatalogClosedRejectsAdd(t *testing.T) {
+	cat := NewCatalog(Options{})
+	cat.Close()
+	if _, err := cat.Add("late", NewGraph(4, []Edge{{Src: 0, Dst: 1}}, Directed)); err == nil {
+		t.Fatal("Add after Close accepted")
 	}
 }

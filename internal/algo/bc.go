@@ -6,6 +6,7 @@ import (
 
 	"flashgraph/internal/core"
 	"flashgraph/internal/graph"
+	"flashgraph/internal/result"
 )
 
 // BC computes betweenness centrality contributions from a single source
@@ -173,3 +174,16 @@ func (b *BC) activateBucket(eng *core.Engine, lvl int) {
 
 // StateBytes implements core.StateSized: level + sigma + delta.
 func (b *BC) StateBytes() int64 { return int64(len(b.level)) * 20 }
+
+// Result implements core.ResultProducer: the per-vertex "centrality"
+// vector plus its maximum and argmax (via the shared Max reduction —
+// no bespoke argmax scan in the serving layer).
+func (b *BC) Result() *result.ResultSet {
+	rs := result.New("bc")
+	v := rs.AddFloat64("centrality", b.Centrality)
+	if e, ok := v.Max(); ok {
+		rs.AddScalar("max_centrality", e.Value)
+		rs.AddScalar("argmax", e.Vertex)
+	}
+	return rs
+}

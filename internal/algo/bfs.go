@@ -23,6 +23,7 @@ import (
 
 	"flashgraph/internal/core"
 	"flashgraph/internal/graph"
+	"flashgraph/internal/result"
 )
 
 // BFS is breadth-first search from a single source (paper Figure 4).
@@ -90,4 +91,14 @@ func (b *BFS) Reached() int64 {
 		}
 	}
 	return n
+}
+
+// Result implements core.ResultProducer: the per-vertex "level" vector
+// (-1 = unreached, marked sentinel so rankings skip it) plus the
+// reached count.
+func (b *BFS) Result() *result.ResultSet {
+	rs := result.New("bfs")
+	rs.AddScalar("reached", b.Reached())
+	rs.AddInt32("level", b.Level).WithSentinel(int32(-1))
+	return rs
 }

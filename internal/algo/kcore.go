@@ -3,6 +3,7 @@ package algo
 import (
 	"flashgraph/internal/core"
 	"flashgraph/internal/graph"
+	"flashgraph/internal/result"
 )
 
 // KCore marks the k-core of an undirected graph by iterative peeling: a
@@ -89,4 +90,14 @@ func (kc *KCore) CoreSize() int {
 		}
 	}
 	return n
+}
+
+// Result implements core.ResultProducer: the per-vertex "in_core"
+// membership vector (1 = in the k-core) plus k and the core size.
+func (kc *KCore) Result() *result.ResultSet {
+	rs := result.New("kcore")
+	rs.AddScalar("k", kc.K)
+	rs.AddScalar("core_size", kc.CoreSize())
+	rs.AddBool("in_core", kc.Alive)
+	return rs
 }

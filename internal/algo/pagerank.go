@@ -3,6 +3,7 @@ package algo
 import (
 	"flashgraph/internal/core"
 	"flashgraph/internal/graph"
+	"flashgraph/internal/result"
 )
 
 // PageRank is the paper's delta-based PageRank [30]: an active vertex
@@ -94,3 +95,10 @@ func (p *PageRank) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.Messag
 
 // StateBytes implements core.StateSized.
 func (p *PageRank) StateBytes() int64 { return int64(len(p.Scores)) * 24 }
+
+// Result implements core.ResultProducer: the per-vertex "score" vector.
+func (p *PageRank) Result() *result.ResultSet {
+	rs := result.New("pagerank")
+	rs.AddFloat64("score", p.Scores)
+	return rs
+}

@@ -7,6 +7,7 @@ import (
 
 	"flashgraph/internal/core"
 	"flashgraph/internal/graph"
+	"flashgraph/internal/result"
 )
 
 // ScanStat computes the maximum locality statistic (§4, [26]): the
@@ -217,4 +218,15 @@ func dedupNeighbors(raw []graph.VertexID, v graph.VertexID) []graph.VertexID {
 		prev = u
 	}
 	return out
+}
+
+// Result implements core.ResultProducer: scalar-only (the pruning
+// design means most vertices never compute their scan statistic).
+func (s *ScanStat) Result() *result.ResultSet {
+	rs := result.New("scanstat")
+	rs.AddScalar("max", s.Max)
+	rs.AddScalar("argmax", s.ArgMax)
+	rs.AddScalar("computed", s.Computed)
+	rs.AddScalar("skipped", s.Skipped)
+	return rs
 }

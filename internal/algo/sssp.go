@@ -3,6 +3,7 @@ package algo
 import (
 	"flashgraph/internal/core"
 	"flashgraph/internal/graph"
+	"flashgraph/internal/result"
 )
 
 // SSSP computes single-source shortest paths over out-edges with
@@ -81,3 +82,20 @@ func (s *SSSP) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.Message) {
 
 // StateBytes implements core.StateSized.
 func (s *SSSP) StateBytes() int64 { return int64(len(s.Dist)) * 16 }
+
+// Result implements core.ResultProducer: the per-vertex "distance"
+// vector plus the reached count. Unreachable is marked as the vector's
+// sentinel so max/top-K report the farthest REACHED vertices instead of
+// ranking the 2^64-1 marker first; Lookup still returns the raw value.
+func (s *SSSP) Result() *result.ResultSet {
+	rs := result.New("sssp")
+	reached := 0
+	for _, d := range s.Dist {
+		if d != Unreachable {
+			reached++
+		}
+	}
+	rs.AddScalar("reached", reached)
+	rs.AddUint64("distance", s.Dist).WithSentinel(uint64(Unreachable))
+	return rs
+}

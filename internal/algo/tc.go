@@ -7,6 +7,7 @@ import (
 
 	"flashgraph/internal/core"
 	"flashgraph/internal/graph"
+	"flashgraph/internal/result"
 )
 
 // TC counts triangles (§4, [28]): a vertex intersects its own
@@ -279,4 +280,12 @@ func dedupGreater(raw []graph.VertexID, v graph.VertexID) []graph.VertexID {
 func containsSorted(s []graph.VertexID, x graph.VertexID) bool {
 	i := sort.Search(len(s), func(k int) bool { return s[k] >= x })
 	return i < len(s) && s[i] == x
+}
+
+// Result implements core.ResultProducer: scalar-only (the engine does
+// not retain per-vertex triangle counts).
+func (t *TC) Result() *result.ResultSet {
+	rs := result.New("tc")
+	rs.AddScalar("triangles", t.Total)
+	return rs
 }

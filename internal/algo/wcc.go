@@ -3,6 +3,7 @@ package algo
 import (
 	"flashgraph/internal/core"
 	"flashgraph/internal/graph"
+	"flashgraph/internal/result"
 )
 
 // WCC computes weakly connected components by label propagation [33]:
@@ -81,4 +82,13 @@ func (w *WCC) NumComponents() int {
 		seen[l] = struct{}{}
 	}
 	return len(seen)
+}
+
+// Result implements core.ResultProducer: the per-vertex "component"
+// label vector plus the component count.
+func (w *WCC) Result() *result.ResultSet {
+	rs := result.New("wcc")
+	rs.AddScalar("components", w.NumComponents())
+	rs.AddUint32("component", w.Labels)
+	return rs
 }

@@ -104,10 +104,10 @@ func Concurrent(cfg Config, ccfg ConcurrentConfig, w io.Writer) []Result {
 	// checked against the built image — do it before generating load so
 	// a bad mix fails with one clear message, not a client panic.
 	for _, name := range ccfg.Mix {
-		req := serve.Request{Algo: name}
+		req := serve.Request{Version: serve.RequestVersion, Algo: name}
 		switch name {
 		case "bfs", "bc", "sssp":
-			req.Src = src
+			req.Params.Src = src
 		}
 		if err := srv.Validate(req); err != nil {
 			panic(fmt.Sprintf("bench: mix entry %q cannot run on %s: %v", name, d.Name, err))
@@ -162,10 +162,10 @@ func Concurrent(cfg Config, ccfg ConcurrentConfig, w io.Writer) []Result {
 				}
 				<-tickets
 				name := ccfg.Mix[i%len(ccfg.Mix)]
-				req := serve.Request{Algo: name}
+				req := serve.Request{Version: serve.RequestVersion, Algo: name}
 				switch name {
 				case "bfs", "bc", "sssp":
-					req.Src = src
+					req.Params.Src = src
 				}
 				t0 := time.Now()
 				id, err := srv.Submit(req)

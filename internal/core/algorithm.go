@@ -22,7 +22,10 @@
 //     lists (§5.1's "FG-mem" baseline).
 package core
 
-import "flashgraph/internal/graph"
+import (
+	"flashgraph/internal/graph"
+	"flashgraph/internal/result"
+)
 
 // Message is the fixed-size unit of vertex communication. Fixed layout
 // keeps message buffers allocation-free; the fields' meaning is
@@ -96,6 +99,14 @@ type CustomScheduler interface {
 type VerticallyPartitioned interface {
 	NumParts(eng *Engine, v graph.VertexID) int
 }
+
+// ResultProducer is implemented by algorithms that expose their output
+// through the uniform typed result contract (internal/result): named
+// per-vertex vectors plus named scalars, with point lookup, top-K,
+// reductions, and a deterministic checksum. Call Result only after Run
+// completes; every built-in algorithm implements it, and the serve
+// layer requires it for anything beyond an empty result summary.
+type ResultProducer = result.Producer
 
 // StateSized is implemented by algorithms that report their vertex-state
 // footprint (bytes) for the memory accounting in Figure 11 / Table 2.

@@ -1,0 +1,643 @@
+// Package result defines the uniform, typed result contract every
+// FlashGraph algorithm returns: a ResultSet of named per-vertex
+// property vectors (level, score, component, ...) plus named scalars
+// (reached, triangles, ...), with point lookup, deterministic top-K
+// with pagination, count/histogram reductions, and an FNV-64a checksum
+// that certifies bit-identical results across runs.
+//
+// The serve layer exposes these operations over HTTP; the bespoke
+// per-algorithm summarizer closures they replace lived in
+// internal/serve. A ResultSet is immutable once built (algorithms build
+// one in their Result method after the run completes), so readers may
+// use it concurrently without locking.
+package result
+
+import (
+	"cmp"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Kind names a vector's element type.
+type Kind string
+
+// Vector element kinds.
+const (
+	Int32   Kind = "int32"
+	Uint32  Kind = "uint32"
+	Uint64  Kind = "uint64"
+	Float64 Kind = "float64"
+)
+
+// Reduction errors. The serve HTTP layer maps these onto status codes.
+var (
+	// ErrUnknownVector reports a vector name the ResultSet does not have.
+	ErrUnknownVector = errors.New("result: unknown vector")
+	// ErrNoVectors reports a default-vector operation on a scalar-only
+	// ResultSet (e.g. triangle counting).
+	ErrNoVectors = errors.New("result: result set has no vectors")
+	// ErrVertexRange reports a point lookup outside [0, Len).
+	ErrVertexRange = errors.New("result: vertex out of range")
+	// ErrBadRange reports a non-positive k, negative offset, or
+	// non-positive histogram bin count.
+	ErrBadRange = errors.New("result: bad range parameters")
+)
+
+// Entry is one (vertex, value) pair, the unit of lookups and top-K.
+type Entry struct {
+	Vertex uint32 `json:"vertex"`
+	Value  any    `json:"value"`
+}
+
+// Vector is one named per-vertex property: a typed column of length
+// NumVertices. Exactly one of the typed slices is set.
+type Vector struct {
+	name     string
+	kind     Kind
+	i32      []int32
+	u32      []uint32
+	u64      []uint64
+	f64      []float64
+	sentinel any // optional not-a-value marker (see WithSentinel)
+}
+
+// WithSentinel marks one value of the column as "no result for this
+// vertex" (BFS's -1 level, SSSP's Unreachable distance). Sentinel
+// entries rank below every real value in TopK/Max and are excluded from
+// Histogram binning (counted in Histogram.Sentinels); Lookup and
+// Checksum still see the raw value — the bit-identity contract hashes
+// the column exactly as the algorithm produced it. The sentinel's type
+// must match the column's kind.
+func (v *Vector) WithSentinel(x any) *Vector {
+	ok := false
+	switch v.kind {
+	case Int32:
+		_, ok = x.(int32)
+	case Uint32:
+		_, ok = x.(uint32)
+	case Uint64:
+		_, ok = x.(uint64)
+	case Float64:
+		_, ok = x.(float64)
+	}
+	if !ok {
+		panic(fmt.Sprintf("result: sentinel %T does not match vector kind %s", x, v.kind))
+	}
+	v.sentinel = x
+	return v
+}
+
+// Name returns the vector's name.
+func (v *Vector) Name() string { return v.name }
+
+// Kind returns the element type.
+func (v *Vector) Kind() Kind { return v.kind }
+
+// Len returns the element count.
+func (v *Vector) Len() int {
+	switch v.kind {
+	case Int32:
+		return len(v.i32)
+	case Uint32:
+		return len(v.u32)
+	case Uint64:
+		return len(v.u64)
+	default:
+		return len(v.f64)
+	}
+}
+
+// Value returns element i with its exact type.
+func (v *Vector) Value(i int) any {
+	switch v.kind {
+	case Int32:
+		return v.i32[i]
+	case Uint32:
+		return v.u32[i]
+	case Uint64:
+		return v.u64[i]
+	default:
+		return v.f64[i]
+	}
+}
+
+// Float returns element i as float64 — a lossy numeric view (uint64
+// above 2^53 rounds) used by Count and Histogram predicates. Ordering
+// operations (TopK, Max) compare exact typed values instead.
+func (v *Vector) Float(i int) float64 {
+	switch v.kind {
+	case Int32:
+		return float64(v.i32[i])
+	case Uint32:
+		return float64(v.u32[i])
+	case Uint64:
+		return float64(v.u64[i])
+	default:
+		return v.f64[i]
+	}
+}
+
+// Bytes returns the column's data footprint.
+func (v *Vector) Bytes() int64 {
+	switch v.kind {
+	case Int32, Uint32:
+		return int64(v.Len()) * 4
+	default:
+		return int64(v.Len()) * 8
+	}
+}
+
+// Checksum returns the FNV-64a hash of the column's little-endian
+// encoding. Equal checksums across runs certify bit-identical vectors.
+func (v *Vector) Checksum() string {
+	h := fnv.New64a()
+	var b [8]byte
+	switch v.kind {
+	case Int32:
+		for _, x := range v.i32 {
+			binary.LittleEndian.PutUint32(b[:4], uint32(x))
+			h.Write(b[:4])
+		}
+	case Uint32:
+		for _, x := range v.u32 {
+			binary.LittleEndian.PutUint32(b[:4], x)
+			h.Write(b[:4])
+		}
+	case Uint64:
+		for _, x := range v.u64 {
+			binary.LittleEndian.PutUint64(b[:8], x)
+			h.Write(b[:8])
+		}
+	default:
+		for _, x := range v.f64 {
+			binary.LittleEndian.PutUint64(b[:8], math.Float64bits(x))
+			h.Write(b[:8])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TopK returns entries ranked by value descending (ties broken by
+// smaller vertex ID — the deterministic total order the pagination
+// contract needs), skipping the first offset ranks and returning at
+// most k. It runs one bounded selection pass: O(V · (k+offset)) worst
+// case, no O(V) copy or full sort on the serving path.
+func (v *Vector) TopK(k, offset int) ([]Entry, error) {
+	if k <= 0 || offset < 0 {
+		return nil, ErrBadRange
+	}
+	// Clamp to the vector before k+offset is ever formed: both values
+	// are caller-controlled (HTTP query parameters) and must not
+	// overflow or drive the selection buffer past O(Len).
+	if offset >= v.Len() {
+		return []Entry{}, nil
+	}
+	if k > v.Len()-offset {
+		k = v.Len() - offset
+	}
+	switch v.kind {
+	case Int32:
+		return topK(v.i32, k, offset, typedSentinel[int32](v.sentinel)), nil
+	case Uint32:
+		return topK(v.u32, k, offset, typedSentinel[uint32](v.sentinel)), nil
+	case Uint64:
+		return topK(v.u64, k, offset, typedSentinel[uint64](v.sentinel)), nil
+	default:
+		return topK(v.f64, k, offset, typedSentinel[float64](v.sentinel)), nil
+	}
+}
+
+// typedSentinel unwraps a Vector's sentinel for the typed kernels (nil
+// when unset).
+func typedSentinel[T cmp.Ordered](sentinel any) *T {
+	if s, ok := sentinel.(T); ok {
+		return &s
+	}
+	return nil
+}
+
+// Max returns the maximum non-sentinel entry (smallest vertex ID on
+// ties); ok is false for an empty or all-sentinel vector.
+func (v *Vector) Max() (Entry, bool) {
+	top, err := v.TopK(1, 0)
+	if err != nil || len(top) == 0 || v.isSentinel(int(top[0].Vertex)) {
+		return Entry{}, false
+	}
+	return top[0], true
+}
+
+// Count returns how many elements satisfy pred (over the Float view).
+func (v *Vector) Count(pred func(float64) bool) int {
+	n := 0
+	for i, l := 0, v.Len(); i < l; i++ {
+		if pred(v.Float(i)) {
+			n++
+		}
+	}
+	return n
+}
+
+// Histogram is a fixed-width binning of a vector's Float view.
+type Histogram struct {
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Counts []int64 `json:"counts"`
+	// Sentinels counts entries carrying the vector's sentinel value
+	// (excluded from the bins and bounds).
+	Sentinels int64 `json:"sentinels,omitempty"`
+}
+
+// MaxHistogramBins bounds Histogram's bin count: the count is
+// caller-controlled over HTTP, and the Counts allocation must not be an
+// unauthenticated memory-exhaustion lever.
+const MaxHistogramBins = 10_000
+
+// Histogram bins the vector's values into bins equal-width buckets
+// spanning [min, max] (1 <= bins <= MaxHistogramBins). A constant
+// vector lands entirely in bin 0.
+func (v *Vector) Histogram(bins int) (Histogram, error) {
+	if bins <= 0 || bins > MaxHistogramBins {
+		return Histogram{}, ErrBadRange
+	}
+	h := Histogram{Counts: make([]int64, bins)}
+	n := v.Len()
+	first := true
+	// Non-finite values (NaN/±Inf from custom float vectors) are
+	// excluded like sentinels: NaN arithmetic would otherwise turn the
+	// bin index into minInt and panic on a caller-reachable path.
+	skip := func(i int) bool {
+		if v.isSentinel(i) {
+			return true
+		}
+		x := v.Float(i)
+		return math.IsNaN(x) || math.IsInf(x, 0)
+	}
+	for i := 0; i < n; i++ {
+		if skip(i) {
+			h.Sentinels++
+			continue
+		}
+		x := v.Float(i)
+		if first {
+			h.Min, h.Max, first = x, x, false
+			continue
+		}
+		if x < h.Min {
+			h.Min = x
+		}
+		if x > h.Max {
+			h.Max = x
+		}
+	}
+	if first {
+		return h, nil // empty or all values excluded: no bins to fill
+	}
+	width := (h.Max - h.Min) / float64(bins)
+	for i := 0; i < n; i++ {
+		if skip(i) {
+			continue
+		}
+		b := 0
+		if width > 0 {
+			b = int((v.Float(i) - h.Min) / width)
+			if b >= bins {
+				b = bins - 1 // the maximum lands in the last bin
+			}
+		}
+		h.Counts[b]++
+	}
+	return h, nil
+}
+
+// isSentinel reports whether element i carries the sentinel value.
+func (v *Vector) isSentinel(i int) bool {
+	if v.sentinel == nil {
+		return false
+	}
+	switch v.kind {
+	case Int32:
+		return v.i32[i] == v.sentinel.(int32)
+	case Uint32:
+		return v.u32[i] == v.sentinel.(uint32)
+	case Uint64:
+		return v.u64[i] == v.sentinel.(uint64)
+	default:
+		return v.f64[i] == v.sentinel.(float64)
+	}
+}
+
+// selectionWindow bounds the insertion-based selection kernel: past
+// this window size its O((k+offset)·V) shifting costs more than a full
+// O(V log V) sort, and — since k and offset arrive over HTTP — would be
+// an unauthenticated CPU-exhaustion lever.
+const selectionWindow = 256
+
+// topK is the shared ranking kernel: value descending, sentinel values
+// last, ties broken by ascending vertex ID (the deterministic total
+// order the pagination contract needs). Small windows use one bounded
+// selection pass; large ones fall back to a full sort. The caller has
+// clamped k+offset to len(xs).
+func topK[T cmp.Ordered](xs []T, k, offset int, sentinel *T) []Entry {
+	n := k + offset
+	type ve struct {
+		v uint32
+		x T
+	}
+	better := func(a, b ve) bool { // strict ranking order
+		if sentinel != nil && (a.x == *sentinel) != (b.x == *sentinel) {
+			return b.x == *sentinel // any real value outranks the sentinel
+		}
+		if a.x != b.x {
+			return a.x > b.x
+		}
+		return a.v < b.v
+	}
+	var top []ve
+	if n > selectionWindow {
+		top = make([]ve, len(xs))
+		for i, x := range xs {
+			top[i] = ve{uint32(i), x}
+		}
+		sort.Slice(top, func(i, j int) bool { return better(top[i], top[j]) })
+		top = top[:n]
+	} else {
+		top = make([]ve, 0, min(n, len(xs)))
+		for i, x := range xs {
+			e := ve{uint32(i), x}
+			if len(top) == n && !better(e, top[n-1]) {
+				continue
+			}
+			at := sort.Search(len(top), func(j int) bool { return better(e, top[j]) })
+			if len(top) < n {
+				top = append(top, ve{})
+			}
+			copy(top[at+1:], top[at:])
+			top[at] = e
+		}
+	}
+	if offset >= len(top) {
+		return []Entry{}
+	}
+	top = top[offset:]
+	out := make([]Entry, len(top))
+	for i, t := range top {
+		out[i] = Entry{Vertex: t.v, Value: t.x}
+	}
+	return out
+}
+
+// ResultSet is one algorithm run's complete typed output: ordered named
+// vectors plus ordered named scalars. Build it once after the run (the
+// algorithm's Result method), then treat it as immutable.
+type ResultSet struct {
+	algorithm   string
+	vectors     []*Vector
+	byName      map[string]*Vector
+	scalarOrder []string
+	scalars     map[string]any
+}
+
+// New returns an empty ResultSet for the named algorithm.
+func New(algorithm string) *ResultSet {
+	return &ResultSet{
+		algorithm: algorithm,
+		byName:    map[string]*Vector{},
+		scalars:   map[string]any{},
+	}
+}
+
+// Algorithm returns the producing algorithm's name.
+func (rs *ResultSet) Algorithm() string { return rs.algorithm }
+
+func (rs *ResultSet) add(v *Vector) *Vector {
+	if _, dup := rs.byName[v.name]; dup {
+		panic(fmt.Sprintf("result: duplicate vector %q", v.name))
+	}
+	rs.vectors = append(rs.vectors, v)
+	rs.byName[v.name] = v
+	return v
+}
+
+// AddInt32 adds an int32 vector. The slice is referenced, not copied —
+// the algorithm hands over ownership of its state array.
+func (rs *ResultSet) AddInt32(name string, xs []int32) *Vector {
+	return rs.add(&Vector{name: name, kind: Int32, i32: xs})
+}
+
+// AddUint32 adds a uint32 vector (shared-reference, like AddInt32).
+func (rs *ResultSet) AddUint32(name string, xs []uint32) *Vector {
+	return rs.add(&Vector{name: name, kind: Uint32, u32: xs})
+}
+
+// AddUint64 adds a uint64 vector (shared-reference, like AddInt32).
+func (rs *ResultSet) AddUint64(name string, xs []uint64) *Vector {
+	return rs.add(&Vector{name: name, kind: Uint64, u64: xs})
+}
+
+// AddFloat64 adds a float64 vector (shared-reference, like AddInt32).
+func (rs *ResultSet) AddFloat64(name string, xs []float64) *Vector {
+	return rs.add(&Vector{name: name, kind: Float64, f64: xs})
+}
+
+// AddBool adds a bool vector, stored as uint32 0/1 (this one copies).
+func (rs *ResultSet) AddBool(name string, xs []bool) *Vector {
+	u := make([]uint32, len(xs))
+	for i, b := range xs {
+		if b {
+			u[i] = 1
+		}
+	}
+	return rs.AddUint32(name, u)
+}
+
+// AddScalar records a named scalar (count, argmax, ...). Scalars keep
+// insertion order in Summary.
+func (rs *ResultSet) AddScalar(name string, v any) {
+	if _, dup := rs.scalars[name]; !dup {
+		rs.scalarOrder = append(rs.scalarOrder, name)
+	}
+	rs.scalars[name] = v
+}
+
+// Vectors returns the vectors in insertion order (the first is the
+// default vector).
+func (rs *ResultSet) Vectors() []*Vector { return rs.vectors }
+
+// Scalar returns a named scalar.
+func (rs *ResultSet) Scalar(name string) (any, bool) {
+	v, ok := rs.scalars[name]
+	return v, ok
+}
+
+// Vector resolves a vector by name; the empty name selects the default
+// (first) vector.
+func (rs *ResultSet) Vector(name string) (*Vector, error) {
+	if name == "" {
+		if len(rs.vectors) == 0 {
+			return nil, ErrNoVectors
+		}
+		return rs.vectors[0], nil
+	}
+	v, ok := rs.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownVector, name, rs.vectorNames())
+	}
+	return v, nil
+}
+
+func (rs *ResultSet) vectorNames() []string {
+	names := make([]string, len(rs.vectors))
+	for i, v := range rs.vectors {
+		names[i] = v.name
+	}
+	return names
+}
+
+// Lookup is the point query: the named vector's value at vertex.
+func (rs *ResultSet) Lookup(vector string, vertex int) (Entry, error) {
+	v, err := rs.Vector(vector)
+	if err != nil {
+		return Entry{}, err
+	}
+	if vertex < 0 || vertex >= v.Len() {
+		return Entry{}, fmt.Errorf("%w: vertex %d outside [0, %d)", ErrVertexRange, vertex, v.Len())
+	}
+	return Entry{Vertex: uint32(vertex), Value: v.Value(vertex)}, nil
+}
+
+// TopK ranks the named vector descending and returns ranks
+// [offset, offset+k).
+func (rs *ResultSet) TopK(vector string, k, offset int) ([]Entry, error) {
+	v, err := rs.Vector(vector)
+	if err != nil {
+		return nil, err
+	}
+	return v.TopK(k, offset)
+}
+
+// Histogram bins the named vector into bins buckets.
+func (rs *ResultSet) Histogram(vector string, bins int) (Histogram, error) {
+	v, err := rs.Vector(vector)
+	if err != nil {
+		return Histogram{}, err
+	}
+	return v.Histogram(bins)
+}
+
+// MemoryBytes estimates the retained footprint — what the serve layer
+// charges against its result byte budget.
+func (rs *ResultSet) MemoryBytes() int64 {
+	var n int64
+	for _, v := range rs.vectors {
+		n += v.Bytes()
+	}
+	return n + 256 // metadata slack so scalar-only results are not free
+}
+
+// Checksum hashes the whole result set — algorithm name, every vector
+// (name, kind, little-endian data) in order, every scalar (name,
+// canonical formatting) in order — into one deterministic certificate.
+func (rs *ResultSet) Checksum() string {
+	return rs.checksumFrom(rs.vectorChecksums())
+}
+
+// vectorChecksums hashes each vector's data once; Summary and Checksum
+// both build on it so no column is ever hashed twice.
+func (rs *ResultSet) vectorChecksums() []string {
+	sums := make([]string, len(rs.vectors))
+	for i, v := range rs.vectors {
+		sums[i] = v.Checksum()
+	}
+	return sums
+}
+
+func (rs *ResultSet) checksumFrom(vecSums []string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "alg=%s;", rs.algorithm)
+	for i, v := range rs.vectors {
+		fmt.Fprintf(h, "vec=%s:%s:%s;", v.name, v.kind, vecSums[i])
+	}
+	for _, name := range rs.scalarOrder {
+		fmt.Fprintf(h, "scalar=%s:%v;", name, rs.scalars[name])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Summary returns the JSON-friendly digest the serve layer publishes
+// for every finished query: scalars at the top level, per-vector
+// metadata (name, kind, len, checksum, max), the default vector's
+// top-5, and the combined checksum. It is uniform across algorithms —
+// no per-algorithm summarizer code.
+func (rs *ResultSet) Summary() map[string]any {
+	vecSums := rs.vectorChecksums() // hash each O(V) column exactly once
+	out := map[string]any{}
+	// Scalars go in first so the reserved keys below always win a name
+	// collision; the verbatim scalar set stays available under "scalars"
+	// regardless.
+	scalars := map[string]any{}
+	for _, name := range rs.scalarOrder {
+		scalars[name] = rs.scalars[name]
+		out[name] = rs.scalars[name]
+	}
+	out["algorithm"] = rs.algorithm
+	out["checksum"] = rs.checksumFrom(vecSums)
+	if len(rs.scalarOrder) > 0 {
+		out["scalars"] = scalars
+	}
+	if len(rs.vectors) > 0 {
+		var top []Entry
+		metas := make([]map[string]any, len(rs.vectors))
+		for i, v := range rs.vectors {
+			m := map[string]any{
+				"name":     v.name,
+				"kind":     string(v.kind),
+				"len":      v.Len(),
+				"checksum": vecSums[i],
+			}
+			if v.sentinel != nil {
+				m["sentinel"] = v.sentinel
+			}
+			if i == 0 {
+				// One selection pass yields the default vector's top-5
+				// AND its max — no second O(V) scan.
+				if t, err := v.TopK(5, 0); err == nil {
+					top = t
+				}
+				if len(top) > 0 && !v.isSentinel(int(top[0].Vertex)) {
+					m["max"] = top[0]
+				}
+			} else if e, ok := v.Max(); ok {
+				m["max"] = e
+			}
+			metas[i] = m
+		}
+		out["vectors"] = metas
+		if top != nil {
+			out["top"] = top
+		}
+	}
+	return out
+}
+
+// Producer is the optional Algorithm extension this package defines the
+// contract for: after a run completes, Result returns the typed result
+// set. internal/core re-exports it as core.ResultProducer.
+type Producer interface {
+	Result() *ResultSet
+}
+
+// From extracts alg's ResultSet if it is a Producer, else an empty
+// ResultSet named fallback (custom algorithms without typed results
+// still get a uniform summary shell).
+func From(alg any, fallback string) *ResultSet {
+	if p, ok := alg.(Producer); ok {
+		if rs := p.Result(); rs != nil {
+			return rs
+		}
+	}
+	return New(fallback)
+}

@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"flashgraph/internal/result"
+)
+
+// Handler builds the fg-serve HTTP API over a Server. It lives here —
+// not in cmd/fg-serve — so the full surface is testable with httptest
+// and reusable by embedders.
+//
+//	POST /queries                        submit {"version":1,"graph":"g","algo":"bfs","params":{"src":0}}
+//	GET  /queries                        list all queries
+//	GET  /queries/{id}                   one query (?wait=1 blocks until finished)
+//	GET  /queries/{id}/result            typed result summary (scalars, vector metadata, checksum)
+//	GET  /queries/{id}/result/lookup     point lookup: ?vertex=V[&vector=name]
+//	GET  /queries/{id}/result/topk       paginated top-K: ?k=K[&offset=N][&vector=name]
+//	GET  /queries/{id}/result/histogram  ?bins=B[&vector=name]
+//	GET  /graphs                         the catalog of served graphs
+//	GET  /stats                          scheduler + substrate counters
+//	GET  /healthz                        liveness
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /queries", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields() // part of request validation: typos fail loudly
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+			return
+		}
+		id, err := s.Submit(req)
+		if err != nil {
+			httpError(w, statusFor(err), err.Error())
+			return
+		}
+		q, ok := s.Get(id)
+		if !ok {
+			// Finished and already evicted from history between Submit
+			// and here (tiny MaxHistory under load): the id is still
+			// the authoritative handle.
+			writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "state": "evicted"})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, q)
+	})
+
+	mux.HandleFunc("GET /queries", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.List())
+	})
+
+	mux.HandleFunc("GET /queries/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := queryID(w, r)
+		if !ok {
+			return
+		}
+		if r.URL.Query().Get("wait") != "" {
+			q, err := s.Wait(id)
+			if err != nil {
+				httpError(w, statusFor(err), err.Error())
+				return
+			}
+			writeJSON(w, http.StatusOK, q)
+			return
+		}
+		q, ok := s.Get(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown query id")
+			return
+		}
+		writeJSON(w, http.StatusOK, q)
+	})
+
+	mux.HandleFunc("GET /queries/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := queryID(w, r)
+		if !ok {
+			return
+		}
+		q, ok := s.Get(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown query id")
+			return
+		}
+		if q.State != StateDone {
+			httpError(w, statusFor(ErrNotFinished), fmt.Sprintf("query %d is %s", id, q.State))
+			return
+		}
+		writeJSON(w, http.StatusOK, q.Result)
+	})
+
+	mux.HandleFunc("GET /queries/{id}/result/lookup", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := queryID(w, r)
+		if !ok {
+			return
+		}
+		vertex, err := strconv.Atoi(r.URL.Query().Get("vertex"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "lookup needs ?vertex=<id>")
+			return
+		}
+		e, err := s.Lookup(id, r.URL.Query().Get("vector"), vertex)
+		if err != nil {
+			httpError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, e)
+	})
+
+	mux.HandleFunc("GET /queries/{id}/result/topk", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := queryID(w, r)
+		if !ok {
+			return
+		}
+		k, err := strconv.Atoi(r.URL.Query().Get("k"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "topk needs ?k=<count>")
+			return
+		}
+		offset := 0
+		if o := r.URL.Query().Get("offset"); o != "" {
+			if offset, err = strconv.Atoi(o); err != nil {
+				httpError(w, http.StatusBadRequest, "bad offset")
+				return
+			}
+		}
+		vector := r.URL.Query().Get("vector")
+		entries, err := s.TopK(id, vector, k, offset)
+		if err != nil {
+			httpError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"k": k, "offset": offset, "entries": entries,
+		})
+	})
+
+	mux.HandleFunc("GET /queries/{id}/result/histogram", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := queryID(w, r)
+		if !ok {
+			return
+		}
+		bins, err := strconv.Atoi(r.URL.Query().Get("bins"))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "histogram needs ?bins=<count>")
+			return
+		}
+		h, err := s.Histogram(id, r.URL.Query().Get("vector"), bins)
+		if err != nil {
+			httpError(w, statusFor(err), err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, h)
+	})
+
+	mux.HandleFunc("GET /graphs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Graphs())
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		out := map[string]any{
+			"scheduler":  s.Stats(),
+			"graphs":     s.Graphs(),
+			"algorithms": Algorithms(),
+		}
+		if sh, err := s.Shared(""); err == nil {
+			if fs := sh.FS(); fs != nil {
+				cs := fs.Cache().Stats()
+				as := fs.Array().Stats()
+				out["cache"] = map[string]any{
+					"hits": cs.Hits, "misses": cs.Misses,
+					"evictions": cs.Evictions, "bypasses": cs.Bypasses,
+					"hit_rate": cs.HitRate(),
+				}
+				out["array"] = map[string]any{
+					"reads": as.Reads, "bytes_read": as.BytesRead,
+					"busy_ns": int64(as.Busy),
+				}
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	return mux
+}
+
+func queryID(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad query id")
+		return 0, false
+	}
+	return id, true
+}
+
+// statusFor maps the package's error taxonomy onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownQuery), errors.Is(err, ErrUnknownGraph):
+		return http.StatusNotFound
+	case errors.Is(err, ErrResultReleased):
+		return http.StatusGone
+	case errors.Is(err, ErrNotFinished):
+		return http.StatusConflict
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, result.ErrUnknownVector), errors.Is(err, result.ErrNoVectors),
+		errors.Is(err, result.ErrVertexRange), errors.Is(err, result.ErrBadRange):
+		return http.StatusBadRequest
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

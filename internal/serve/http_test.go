@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"flashgraph/internal/algo"
+	"flashgraph/internal/core"
+	"flashgraph/internal/gen"
+	"flashgraph/internal/graph"
+	"flashgraph/internal/result"
+	"flashgraph/internal/safs"
+	"flashgraph/internal/ssd"
+)
+
+// httpFixture is two named graphs on ONE SAFS instance behind the full
+// fg-serve HTTP surface.
+type httpFixture struct {
+	ts     *httptest.Server
+	fs     *safs.FS
+	shared map[string]*core.Shared
+}
+
+func newHTTPFixture(t *testing.T) *httpFixture {
+	t.Helper()
+	arr := ssd.NewArray(ssd.ArrayParams{Devices: 2})
+	t.Cleanup(arr.Close)
+	fs := safs.New(arr, safs.Config{CacheBytes: 1 << 20})
+
+	build := func(scale, epv int, seed uint64, name string) *core.Shared {
+		a := graph.FromEdges(1<<scale, gen.RMAT(scale, epv, seed), true)
+		a.Dedup()
+		img := graph.BuildImage(a, 0, nil)
+		sh, err := core.NewShared(img, core.Config{Threads: 1, FS: fs, RangeShift: 3, GraphName: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sh
+	}
+	shared := map[string]*core.Shared{
+		"social": build(7, 5, 11, "social"),
+		"web":    build(8, 4, 22, "web"),
+	}
+	srv := New(shared["social"], Config{MaxConcurrent: 2, DefaultGraph: "social"})
+	t.Cleanup(srv.Close)
+	if err := srv.AddGraph("web", shared["web"]); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(Handler(srv))
+	t.Cleanup(ts.Close)
+	return &httpFixture{ts: ts, fs: fs, shared: shared}
+}
+
+func (f *httpFixture) do(t *testing.T, method, path, body string) (int, map[string]any) {
+	t.Helper()
+	status, raw := f.doRaw(t, method, path, body)
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("%s %s: bad JSON %q: %v", method, path, raw, err)
+	}
+	return status, out
+}
+
+func (f *httpFixture) doRaw(t *testing.T, method, path, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, f.ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// submitWait submits a request and blocks until it is done, returning
+// the query id.
+func (f *httpFixture) submitWait(t *testing.T, body string) int64 {
+	t.Helper()
+	status, q := f.do(t, "POST", "/queries", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit %s: status %d: %v", body, status, q)
+	}
+	id := int64(q["id"].(float64))
+	status, q = f.do(t, "GET", fmt.Sprintf("/queries/%d?wait=1", id), "")
+	if status != http.StatusOK || q["state"] != "done" {
+		t.Fatalf("wait %d: status %d state %v error %v", id, status, q["state"], q["error"])
+	}
+	return id
+}
+
+// TestHTTPEndToEndMultiGraph is the acceptance test: queries against
+// two named graphs sharing one page cache through the fg-serve HTTP
+// surface, with point lookups and paginated top-K bit-identical to a
+// direct Engine.Run on the same images.
+func TestHTTPEndToEndMultiGraph(t *testing.T) {
+	f := newHTTPFixture(t)
+
+	// Direct reference runs (same substrate => same images; Threads=1
+	// keeps each run's accumulation order deterministic).
+	refs := map[string]*result.ResultSet{}
+	for name, sh := range f.shared {
+		pr := algo.NewPageRank()
+		if _, err := sh.NewRun().Run(pr); err != nil {
+			t.Fatal(err)
+		}
+		refs[name] = pr.Result()
+	}
+
+	for _, gname := range []string{"social", "web"} {
+		id := f.submitWait(t, fmt.Sprintf(`{"version":1,"graph":%q,"algo":"pagerank"}`, gname))
+		ref := refs[gname]
+
+		// Summary checksum certifies bit-identical full vectors.
+		status, sum := f.do(t, "GET", fmt.Sprintf("/queries/%d/result", id), "")
+		if status != http.StatusOK {
+			t.Fatalf("result summary: %d %v", status, sum)
+		}
+		if sum["checksum"] != ref.Checksum() {
+			t.Fatalf("graph %s: HTTP checksum %v != direct-run checksum %v", gname, sum["checksum"], ref.Checksum())
+		}
+
+		// Point lookups, bit-compared against the direct run.
+		for _, v := range []int{0, 1, 17} {
+			status, e := f.do(t, "GET", fmt.Sprintf("/queries/%d/result/lookup?vertex=%d&vector=score", id, v), "")
+			if status != http.StatusOK {
+				t.Fatalf("lookup: %d %v", status, e)
+			}
+			want, _ := ref.Lookup("score", v)
+			if math.Float64bits(e["value"].(float64)) != math.Float64bits(want.Value.(float64)) {
+				t.Fatalf("graph %s lookup[%d] = %v, want %v", gname, v, e["value"], want.Value)
+			}
+		}
+
+		// Paginated top-K: two pages of 3 must equal the direct run's
+		// first 6 ranks, in order.
+		var got []map[string]any
+		for _, off := range []int{0, 3} {
+			status, page := f.do(t, "GET", fmt.Sprintf("/queries/%d/result/topk?k=3&offset=%d", id, off), "")
+			if status != http.StatusOK {
+				t.Fatalf("topk: %d %v", status, page)
+			}
+			for _, e := range page["entries"].([]any) {
+				got = append(got, e.(map[string]any))
+			}
+		}
+		want, err := ref.TopK("score", 6, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("graph %s: %d paged entries, want %d", gname, len(got), len(want))
+		}
+		for i := range want {
+			if uint32(got[i]["vertex"].(float64)) != want[i].Vertex ||
+				math.Float64bits(got[i]["value"].(float64)) != math.Float64bits(want[i].Value.(float64)) {
+				t.Fatalf("graph %s topk[%d] = %v, want %+v", gname, i, got[i], want[i])
+			}
+		}
+
+		// Histogram endpoint answers over the same vector.
+		if status, h := f.do(t, "GET", fmt.Sprintf("/queries/%d/result/histogram?bins=4", id), ""); status != http.StatusOK || len(h["counts"].([]any)) != 4 {
+			t.Fatalf("histogram: %d %v", status, h)
+		}
+	}
+
+	// Both graphs' queries ran through one shared page cache.
+	cs := f.fs.Cache().Stats()
+	if cs.Hits+cs.Misses == 0 {
+		t.Fatal("no page-cache traffic recorded on the shared substrate")
+	}
+	status, stats := f.do(t, "GET", "/stats", "")
+	if status != http.StatusOK {
+		t.Fatalf("/stats: %d", status)
+	}
+	if n := len(stats["graphs"].([]any)); n != 2 {
+		t.Fatalf("/stats graphs = %d, want 2", n)
+	}
+	if stats["cache"] == nil {
+		t.Fatal("/stats missing shared-cache section")
+	}
+}
+
+func TestHTTPSubmitPollListStats(t *testing.T) {
+	f := newHTTPFixture(t)
+
+	// Submit returns 202 with the queued/running/done snapshot.
+	status, q := f.do(t, "POST", "/queries", `{"algo":"bfs","params":{"src":0}}`)
+	if status != http.StatusAccepted || q["id"] == nil {
+		t.Fatalf("submit: %d %v", status, q)
+	}
+	id := int64(q["id"].(float64))
+
+	// Wait, then plain poll.
+	if status, q = f.do(t, "GET", fmt.Sprintf("/queries/%d?wait=1", id), ""); status != http.StatusOK || q["state"] != "done" {
+		t.Fatalf("wait: %d %v", status, q)
+	}
+	if status, q = f.do(t, "GET", fmt.Sprintf("/queries/%d", id), ""); status != http.StatusOK || q["state"] != "done" {
+		t.Fatalf("poll: %d %v", status, q)
+	}
+	if q["result"].(map[string]any)["reached"] == nil {
+		t.Fatalf("bfs summary missing reached: %v", q["result"])
+	}
+
+	// List contains the query.
+	status, raw := f.doRaw(t, "GET", "/queries", "")
+	if status != http.StatusOK {
+		t.Fatal(status)
+	}
+	var list []map[string]any
+	if err := json.Unmarshal(raw, &list); err != nil || len(list) != 1 {
+		t.Fatalf("list = %s (%v)", raw, err)
+	}
+
+	// Graph catalog.
+	status, raw = f.doRaw(t, "GET", "/graphs", "")
+	if status != http.StatusOK {
+		t.Fatal(status)
+	}
+	var graphs []map[string]any
+	if err := json.Unmarshal(raw, &graphs); err != nil || len(graphs) != 2 {
+		t.Fatalf("graphs = %s (%v)", raw, err)
+	}
+	if graphs[0]["name"] != "social" || graphs[0]["default"] != true {
+		t.Fatalf("default graph = %v", graphs[0])
+	}
+
+	// Health.
+	if status, h := f.do(t, "GET", "/healthz", ""); status != http.StatusOK || h["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", status, h)
+	}
+}
+
+func TestHTTPErrorPaths(t *testing.T) {
+	f := newHTTPFixture(t)
+	id := f.submitWait(t, `{"algo":"bfs"}`)
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+	}{
+		{"unknown graph", "POST", "/queries", `{"graph":"nope","algo":"bfs"}`, http.StatusNotFound},
+		{"unknown algorithm", "POST", "/queries", `{"algo":"nope"}`, http.StatusBadRequest},
+		{"bad JSON", "POST", "/queries", `{"algo"`, http.StatusBadRequest},
+		{"unknown field", "POST", "/queries", `{"algo":"bfs","bogus":1}`, http.StatusBadRequest},
+		{"legacy flat src field", "POST", "/queries", `{"algo":"bfs","src":3}`, http.StatusBadRequest},
+		{"future version", "POST", "/queries", `{"version":9,"algo":"bfs"}`, http.StatusBadRequest},
+		{"out-of-range source", "POST", "/queries", `{"algo":"bfs","params":{"src":99999}}`, http.StatusBadRequest},
+		{"sssp on unweighted", "POST", "/queries", `{"algo":"sssp"}`, http.StatusBadRequest},
+		{"kcore on directed", "POST", "/queries", `{"algo":"kcore"}`, http.StatusBadRequest},
+		{"unknown query id", "GET", "/queries/999", "", http.StatusNotFound},
+		{"unknown query wait", "GET", "/queries/999?wait=1", "", http.StatusNotFound},
+		{"bad query id", "GET", "/queries/abc", "", http.StatusBadRequest},
+		{"unknown query result", "GET", "/queries/999/result", "", http.StatusNotFound},
+		{"lookup missing vertex", "GET", fmt.Sprintf("/queries/%d/result/lookup", id), "", http.StatusBadRequest},
+		{"lookup out-of-range vertex", "GET", fmt.Sprintf("/queries/%d/result/lookup?vertex=99999", id), "", http.StatusBadRequest},
+		{"lookup negative vertex", "GET", fmt.Sprintf("/queries/%d/result/lookup?vertex=-1", id), "", http.StatusBadRequest},
+		{"lookup unknown vector", "GET", fmt.Sprintf("/queries/%d/result/lookup?vertex=0&vector=nope", id), "", http.StatusBadRequest},
+		{"topk missing k", "GET", fmt.Sprintf("/queries/%d/result/topk", id), "", http.StatusBadRequest},
+		{"topk zero k", "GET", fmt.Sprintf("/queries/%d/result/topk?k=0", id), "", http.StatusBadRequest},
+		{"topk negative offset", "GET", fmt.Sprintf("/queries/%d/result/topk?k=1&offset=-2", id), "", http.StatusBadRequest},
+		{"histogram zero bins", "GET", fmt.Sprintf("/queries/%d/result/histogram?bins=0", id), "", http.StatusBadRequest},
+		{"histogram huge bins", "GET", fmt.Sprintf("/queries/%d/result/histogram?bins=1000000000", id), "", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		status, body := f.do(t, tc.method, tc.path, tc.body)
+		if status != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d (%v)", tc.name, status, tc.wantStatus, body)
+		}
+		if body["error"] == nil {
+			t.Errorf("%s: no error message in %v", tc.name, body)
+		}
+	}
+
+	// Extreme-but-valid top-K parameters clamp to the vector instead of
+	// overflowing (regression: k+offset must never panic makeslice).
+	status, page := f.do(t, "GET",
+		fmt.Sprintf("/queries/%d/result/topk?k=9223372036854775807&offset=9223372036854775807", id), "")
+	if status != http.StatusOK || len(page["entries"].([]any)) != 0 {
+		t.Fatalf("huge topk params: %d %v", status, page)
+	}
+}
+
+// TestHTTPQueueFull drives admission control through the HTTP layer:
+// the response must be 503, not a hung request.
+func TestHTTPQueueFull(t *testing.T) {
+	srv, entered, release := gatedServer(t, Config{MaxConcurrent: 1, MaxQueued: 1})
+	defer srv.Close()
+	defer close(release)
+	ts := httptest.NewServer(Handler(srv))
+	defer ts.Close()
+
+	post := func() (int, map[string]any) {
+		resp, err := http.Post(ts.URL+"/queries", "application/json", strings.NewReader(`{"algo":"gate"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+	if status, q := post(); status != http.StatusAccepted {
+		t.Fatalf("first submit: %d %v", status, q)
+	}
+	<-entered // running, slot held
+	if status, q := post(); status != http.StatusAccepted {
+		t.Fatalf("queued submit: %d %v", status, q)
+	}
+	status, q := post()
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity submit: %d %v, want 503", status, q)
+	}
+}

@@ -1,10 +1,7 @@
 package serve
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
-	"math"
 	"sort"
 
 	"flashgraph/internal/algo"
@@ -12,115 +9,63 @@ import (
 	"flashgraph/internal/graph"
 )
 
-// Factory builds a fresh algorithm instance for one query plus a
-// summarizer producing its JSON-friendly result after the run. The
-// instance is private to the query — algorithm state is per-run.
-type Factory func(req Request, img *graph.Image) (core.Algorithm, func() map[string]any, error)
+// Factory builds a fresh algorithm instance for one query, validating
+// the request's parameters against the target image. The instance is
+// private to the query — algorithm state is per-run. Results flow
+// through the uniform typed contract: after the run the server extracts
+// the instance's core.ResultProducer output (summary, point lookup,
+// top-K all derive from it), so factories carry no per-algorithm
+// summarizer code.
+type Factory func(req Request, img *graph.Image) (core.Algorithm, error)
 
 // builtins maps Request.Algo names to the stock FlashGraph algorithms.
 var builtins = map[string]Factory{
-	"bfs": func(req Request, img *graph.Image) (core.Algorithm, func() map[string]any, error) {
-		if err := checkSrc(req.Src, img); err != nil {
-			return nil, nil, err
+	"bfs": func(req Request, img *graph.Image) (core.Algorithm, error) {
+		if err := checkSrc(req.Params.Src, img); err != nil {
+			return nil, err
 		}
-		a := algo.NewBFS(req.Src)
-		return a, func() map[string]any {
-			return map[string]any{
-				"reached":  a.Reached(),
-				"checksum": checksumInt32(a.Level),
-			}
-		}, nil
+		return algo.NewBFS(req.Params.Src), nil
 	},
-	"pagerank": func(req Request, img *graph.Image) (core.Algorithm, func() map[string]any, error) {
+	"pagerank": func(req Request, img *graph.Image) (core.Algorithm, error) {
 		a := algo.NewPageRank()
-		if req.Iters > 0 {
-			a.Iters = req.Iters
+		if req.Params.Iters > 0 {
+			a.Iters = req.Params.Iters
 		}
-		return a, func() map[string]any {
-			return map[string]any{
-				"top":      topScores(a.Scores, 5),
-				"checksum": checksumFloat64(a.Scores),
-			}
-		}, nil
+		return a, nil
 	},
-	"wcc": func(req Request, img *graph.Image) (core.Algorithm, func() map[string]any, error) {
-		a := algo.NewWCC()
-		return a, func() map[string]any {
-			return map[string]any{
-				"components": a.NumComponents(),
-				"checksum":   checksumUint32(a.Labels),
-			}
-		}, nil
+	"wcc": func(req Request, img *graph.Image) (core.Algorithm, error) {
+		return algo.NewWCC(), nil
 	},
-	"bc": func(req Request, img *graph.Image) (core.Algorithm, func() map[string]any, error) {
-		if err := checkSrc(req.Src, img); err != nil {
-			return nil, nil, err
+	"bc": func(req Request, img *graph.Image) (core.Algorithm, error) {
+		if err := checkSrc(req.Params.Src, img); err != nil {
+			return nil, err
 		}
-		a := algo.NewBC(req.Src)
-		return a, func() map[string]any {
-			best, arg := 0.0, graph.VertexID(0)
-			for v, c := range a.Centrality {
-				if c > best {
-					best, arg = c, graph.VertexID(v)
-				}
-			}
-			return map[string]any{
-				"max_centrality": best,
-				"argmax":         arg,
-				"checksum":       checksumFloat64(a.Centrality),
-			}
-		}, nil
+		return algo.NewBC(req.Params.Src), nil
 	},
-	"tc": func(req Request, img *graph.Image) (core.Algorithm, func() map[string]any, error) {
-		a := algo.NewTC()
-		return a, func() map[string]any {
-			return map[string]any{"triangles": a.Total}
-		}, nil
+	"tc": func(req Request, img *graph.Image) (core.Algorithm, error) {
+		return algo.NewTC(), nil
 	},
-	"kcore": func(req Request, img *graph.Image) (core.Algorithm, func() map[string]any, error) {
+	"kcore": func(req Request, img *graph.Image) (core.Algorithm, error) {
 		if img.Directed {
-			return nil, nil, fmt.Errorf("kcore requires an undirected graph")
+			return nil, fmt.Errorf("kcore requires an undirected graph")
 		}
-		k := req.K
+		k := req.Params.K
 		if k == 0 {
 			k = 3
 		}
-		a := algo.NewKCore(k)
-		return a, func() map[string]any {
-			return map[string]any{"k": k, "core_size": a.CoreSize()}
-		}, nil
+		return algo.NewKCore(k), nil
 	},
-	"sssp": func(req Request, img *graph.Image) (core.Algorithm, func() map[string]any, error) {
+	"sssp": func(req Request, img *graph.Image) (core.Algorithm, error) {
 		if img.AttrSize < 4 {
-			return nil, nil, fmt.Errorf("sssp requires a weighted graph image (4-byte edge attributes)")
+			return nil, fmt.Errorf("sssp requires a weighted graph image (4-byte edge attributes)")
 		}
-		if err := checkSrc(req.Src, img); err != nil {
-			return nil, nil, err
+		if err := checkSrc(req.Params.Src, img); err != nil {
+			return nil, err
 		}
-		a := algo.NewSSSP(req.Src)
-		return a, func() map[string]any {
-			reached := 0
-			for _, d := range a.Dist {
-				if d != algo.Unreachable {
-					reached++
-				}
-			}
-			return map[string]any{
-				"reached":  reached,
-				"checksum": checksumUint64(a.Dist),
-			}
-		}, nil
+		return algo.NewSSSP(req.Params.Src), nil
 	},
-	"scanstat": func(req Request, img *graph.Image) (core.Algorithm, func() map[string]any, error) {
-		a := algo.NewScanStat()
-		return a, func() map[string]any {
-			return map[string]any{
-				"max":      a.Max,
-				"argmax":   a.ArgMax,
-				"computed": a.Computed,
-				"skipped":  a.Skipped,
-			}
-		}, nil
+	"scanstat": func(req Request, img *graph.Image) (core.Algorithm, error) {
+		return algo.NewScanStat(), nil
 	},
 }
 
@@ -139,63 +84,4 @@ func checkSrc(src graph.VertexID, img *graph.Image) error {
 		return fmt.Errorf("source vertex %d outside graph of %d vertices", src, img.NumV)
 	}
 	return nil
-}
-
-// topScores returns the n highest-scored vertices via a single bounded
-// selection pass — it runs on the per-query serving path, so no O(V)
-// copy or full sort.
-func topScores(scores []float64, n int) []map[string]any {
-	type vs struct {
-		v graph.VertexID
-		s float64
-	}
-	top := make([]vs, 0, n)
-	for v, sc := range scores {
-		if len(top) == n && sc <= top[n-1].s {
-			continue
-		}
-		i := sort.Search(len(top), func(i int) bool { return top[i].s < sc })
-		if len(top) < n {
-			top = append(top, vs{})
-		}
-		copy(top[i+1:], top[i:])
-		top[i] = vs{graph.VertexID(v), sc}
-	}
-	out := make([]map[string]any, len(top))
-	for i, t := range top {
-		out[i] = map[string]any{"vertex": t.v, "score": t.s}
-	}
-	return out
-}
-
-// Result checksums: FNV-64a over the little-endian state vector. Equal
-// checksums across runs of the same query certify identical results —
-// the HTTP-visible form of the serve-layer determinism guarantee.
-
-// checksum hashes each element through a fixed-width little-endian
-// encoding (width ≤ 8 bytes).
-func checksum[T any](xs []T, width int, put func([]byte, T)) string {
-	h := fnv.New64a()
-	var b [8]byte
-	for _, x := range xs {
-		put(b[:width], x)
-		h.Write(b[:width])
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
-}
-
-func checksumInt32(xs []int32) string {
-	return checksum(xs, 4, func(b []byte, x int32) { binary.LittleEndian.PutUint32(b, uint32(x)) })
-}
-
-func checksumUint32(xs []uint32) string {
-	return checksum(xs, 4, binary.LittleEndian.PutUint32)
-}
-
-func checksumUint64(xs []uint64) string {
-	return checksum(xs, 8, binary.LittleEndian.PutUint64)
-}
-
-func checksumFloat64(xs []float64) string {
-	return checksum(xs, 8, func(b []byte, x float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(x)) })
 }

@@ -1,17 +1,24 @@
-// Package serve implements a concurrent query layer over one shared
-// FlashGraph substrate: many algorithm runs execute simultaneously over
-// a single graph image, SAFS instance, page cache, and SSD array
-// (core.Shared), so the paper's core asset — the shared
-// semi-external-memory substrate — is amortized across query traffic
-// instead of serving one algorithm at a time.
+// Package serve implements a concurrent query layer over shared
+// FlashGraph substrates: many algorithm runs execute simultaneously
+// over named graphs that share one SAFS instance, page cache, and SSD
+// array (the paper's core asset, amortized across graphs as well as
+// queries).
 //
 // The Server is a query scheduler with admission control: submitted
 // queries enter a bounded FIFO queue, at most MaxConcurrent of them
 // execute at once (each on its own per-run engine from Shared.NewRun),
-// and each carries per-query RunStats, timing, and an
-// algorithm-specific result summary. Submissions beyond the queue bound
-// are rejected with ErrQueueFull rather than buffered without limit —
-// under overload the server sheds load instead of collapsing.
+// and each carries per-query RunStats, timing, and a uniform typed
+// result. Submissions beyond the queue bound are rejected with
+// ErrQueueFull rather than buffered without limit — under overload the
+// server sheds load instead of collapsing.
+//
+// Results follow the internal/result contract: every finished query
+// publishes a ResultSet summary (scalars, vector metadata, top-5,
+// checksum), and the full per-vertex vectors stay queryable — point
+// lookup, paginated top-K, histogram — until the retained-result byte
+// budget (Config.ResultBytes) evicts them, oldest finished first. The
+// HTTP layer over this lives in http.go; cmd/fg-serve is a thin shell
+// around both.
 package serve
 
 import (
@@ -21,6 +28,7 @@ import (
 	"time"
 
 	"flashgraph/internal/core"
+	"flashgraph/internal/result"
 )
 
 // State is a query's lifecycle position.
@@ -37,15 +45,28 @@ const (
 	StateFailed State = "failed"
 )
 
-// Submission errors.
+// Submission and result-access errors.
 var (
 	// ErrQueueFull rejects a submission when the FIFO queue is at
 	// MaxQueued (admission control: shed load, don't buffer unboundedly).
 	ErrQueueFull = errors.New("serve: query queue full")
 	// ErrClosed rejects submissions after Close.
 	ErrClosed = errors.New("serve: server closed")
-	// ErrUnknownQuery is returned by Wait for an unknown ID.
+	// ErrUnknownQuery is returned by Wait and the result accessors for
+	// an unknown ID.
 	ErrUnknownQuery = errors.New("serve: unknown query id")
+	// ErrUnknownGraph reports a Request.Graph not in the server's
+	// catalog.
+	ErrUnknownGraph = errors.New("serve: unknown graph")
+	// ErrDuplicateGraph rejects AddGraph for a name already registered.
+	ErrDuplicateGraph = errors.New("serve: graph already registered")
+	// ErrNotFinished reports a result access on a query that has not
+	// completed successfully.
+	ErrNotFinished = errors.New("serve: query has no result yet")
+	// ErrResultReleased reports a result access after the query's full
+	// vectors were evicted by the retained-result byte budget (the
+	// summary in Query.Result survives).
+	ErrResultReleased = errors.New("serve: result vectors released by byte budget")
 )
 
 // Config sizes the scheduler.
@@ -56,17 +77,21 @@ type Config struct {
 	// MaxQueued bounds admitted-but-not-running queries. Submissions
 	// beyond it fail with ErrQueueFull. Default 64.
 	MaxQueued int
-	// MaxHistory bounds retained finished queries; the oldest finished
-	// records are dropped beyond it, keeping a long-lived daemon's
-	// memory flat. Default 1024.
+	// MaxHistory bounds retained finished query records; the oldest
+	// finished records are dropped beyond it, keeping a long-lived
+	// daemon's memory flat. Default 1024.
 	MaxHistory int
-	// RetainResults keeps each finished query's live Algorithm instance
-	// (full O(V) result vectors) accessible via Query.Alg until the
-	// record is evicted. Off by default: the summary (top-N, counts,
-	// checksum) survives, the vectors are released the moment the query
-	// finishes — MaxHistory full algorithm states is real memory on big
-	// graphs.
-	RetainResults bool
+	// ResultBytes budgets the memory held by retained full ResultSets
+	// (the O(V) vectors behind point lookup and top-K) across finished
+	// queries — a byte bound, not a query count, so many small-graph
+	// results and few big-graph results both fit. When the budget is
+	// exceeded the oldest finished results are released (their summaries
+	// survive; later vector queries report ErrResultReleased).
+	// 0 = default 64MiB; negative = retain nothing.
+	ResultBytes int64
+	// DefaultGraph names the graph passed to New, the one unqualified
+	// requests (empty Request.Graph) route to. Default "default".
+	DefaultGraph string
 	// Factories extends (or overrides) the built-in algorithm registry.
 	// Keys are Request.Algo names.
 	Factories map[string]Factory
@@ -82,20 +107,63 @@ func (c *Config) setDefaults() {
 	if c.MaxHistory == 0 {
 		c.MaxHistory = 1024
 	}
+	if c.ResultBytes == 0 {
+		c.ResultBytes = 64 << 20
+	}
+	if c.DefaultGraph == "" {
+		c.DefaultGraph = "default"
+	}
 }
 
-// Request names an algorithm and its parameters. Unused fields are
-// ignored by algorithms that do not take them.
-type Request struct {
-	// Algo selects the algorithm: bfs | pagerank | wcc | bc | tc |
-	// kcore | sssp | scanstat (plus any Config.Factories entries).
-	Algo string `json:"algo"`
+// RequestVersion is the current request schema version. Version 0
+// (field omitted) is treated as 1. There is NO compatibility path for
+// the pre-versioning flat request shape: legacy bodies with top-level
+// src/k/iters are rejected by the HTTP layer's strict decoding.
+const RequestVersion = 1
+
+// Params carries the typed per-algorithm parameters. Algorithms ignore
+// parameters they do not take.
+type Params struct {
 	// Src is the source vertex for bfs, bc, and sssp.
 	Src uint32 `json:"src,omitempty"`
-	// K is the core threshold for kcore.
+	// K is the core threshold for kcore (0 = default 3).
 	K int `json:"k,omitempty"`
 	// Iters caps pagerank iterations (0 = algorithm default).
 	Iters int `json:"iters,omitempty"`
+}
+
+// Request names a graph, an algorithm, and its typed parameters.
+type Request struct {
+	// Version is the request schema version (0 or 1 today).
+	Version int `json:"version,omitempty"`
+	// Graph routes the query to a named graph in the server's catalog;
+	// empty means the default graph.
+	Graph string `json:"graph,omitempty"`
+	// Algo selects the algorithm: bfs | pagerank | wcc | bc | tc |
+	// kcore | sssp | scanstat (plus any Config.Factories entries).
+	Algo string `json:"algo"`
+	// Params carries the algorithm parameters.
+	Params Params `json:"params,omitempty"`
+}
+
+// Validate checks the request's shape — version, algorithm presence,
+// parameter ranges — independent of any graph. Graph- and
+// algorithm-specific checks (source in range, weighted image, ...)
+// happen in the algorithm factory at submit time.
+func (r Request) Validate() error {
+	if r.Version < 0 || r.Version > RequestVersion {
+		return fmt.Errorf("serve: unsupported request version %d (max %d)", r.Version, RequestVersion)
+	}
+	if r.Algo == "" {
+		return fmt.Errorf("serve: request missing algo")
+	}
+	if r.Params.K < 0 {
+		return fmt.Errorf("serve: k must be >= 0, got %d", r.Params.K)
+	}
+	if r.Params.Iters < 0 {
+		return fmt.Errorf("serve: iters must be >= 0, got %d", r.Params.Iters)
+	}
+	return nil
 }
 
 // Query is an immutable snapshot of one query's lifecycle, returned by
@@ -110,11 +178,10 @@ type Query struct {
 	Stats     core.RunStats  `json:"stats,omitzero"`
 	Result    map[string]any `json:"result,omitempty"`
 	Error     string         `json:"error,omitempty"`
-
-	// Alg is the live algorithm instance carrying the full result
-	// vectors (e.g. *algo.BFS Level). Set once State is StateDone, and
-	// only when Config.RetainResults is on; omitted from JSON.
-	Alg core.Algorithm `json:"-"`
+	// ResultRetained reports whether the full result vectors are still
+	// queryable (lookup / top-K) or have been released by the byte
+	// budget.
+	ResultRetained bool `json:"result_retained,omitempty"`
 }
 
 // QueueWait returns how long the query waited for a slot.
@@ -127,10 +194,10 @@ func (q Query) QueueWait() time.Duration {
 
 // query is the mutable server-side record.
 type query struct {
-	id        int64
-	req       Request
-	alg       core.Algorithm
-	summarize func() map[string]any
+	id     int64
+	req    Request
+	alg    core.Algorithm
+	shared *core.Shared
 
 	mu        sync.Mutex
 	state     State
@@ -138,8 +205,10 @@ type query struct {
 	started   time.Time
 	finished  time.Time
 	stats     core.RunStats
-	result    map[string]any
+	summary   map[string]any
 	errMsg    string
+	rs        *result.ResultSet // full vectors; nil once budget-evicted
+	rsBytes   int64
 
 	done chan struct{}
 }
@@ -147,21 +216,47 @@ type query struct {
 func (q *query) snapshot() Query {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	s := Query{
-		ID:        q.id,
-		Req:       q.req,
-		State:     q.state,
-		Submitted: q.submitted,
-		Started:   q.started,
-		Finished:  q.finished,
-		Stats:     q.stats,
-		Result:    q.result,
-		Error:     q.errMsg,
+	return Query{
+		ID:             q.id,
+		Req:            q.req,
+		State:          q.state,
+		Submitted:      q.submitted,
+		Started:        q.started,
+		Finished:       q.finished,
+		Stats:          q.stats,
+		Result:         q.summary,
+		Error:          q.errMsg,
+		ResultRetained: q.rs != nil,
 	}
-	if q.state == StateDone {
-		s.Alg = q.alg // nil unless Config.RetainResults
+}
+
+// resultSet returns the retained full result, distinguishing
+// not-finished, failed, and budget-released.
+func (q *query) resultSet() (*result.ResultSet, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	switch q.state {
+	case StateDone:
+		if q.rs == nil {
+			return nil, ErrResultReleased
+		}
+		return q.rs, nil
+	case StateFailed:
+		return nil, fmt.Errorf("%w: query failed: %s", ErrNotFinished, q.errMsg)
+	default:
+		return nil, ErrNotFinished
 	}
-	return s
+}
+
+// GraphInfo describes one named graph in the server's catalog.
+type GraphInfo struct {
+	Name     string `json:"name"`
+	Default  bool   `json:"default"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	Directed bool   `json:"directed"`
+	Weighted bool   `json:"weighted"`
+	SSDBytes int64  `json:"ssd_bytes"`
 }
 
 // Stats summarizes the server's traffic.
@@ -175,20 +270,29 @@ type Stats struct {
 	// PeakRunning is the maximum number of queries observed executing
 	// simultaneously since the server started.
 	PeakRunning int `json:"peak_running"`
+	// RetainedResults / RetainedBytes report the full result sets held
+	// under the Config.ResultBytes budget.
+	RetainedResults int   `json:"retained_results"`
+	RetainedBytes   int64 `json:"retained_bytes"`
 }
 
-// Server schedules queries over one shared substrate.
+// Server schedules queries over one or more named graphs sharing a
+// substrate.
 type Server struct {
-	shared *core.Shared
-	cfg    Config
+	cfg Config
 
 	queue chan *query
 
 	mu          sync.Mutex
+	graphs      map[string]*core.Shared
+	graphOrder  []string
 	queries     map[int64]*query
 	order       []int64 // submission order (evicted IDs compacted lazily)
 	finished    []int64 // completion order, consumed from finHead
 	finHead     int
+	retained    []*query // finish order of queries still holding full vectors
+	retDead     int      // retained entries whose vectors history eviction already released
+	retBytes    int64
 	nextID      int64
 	closed      bool
 	submitted   int64
@@ -201,15 +305,18 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
-// New starts a server with cfg.MaxConcurrent scheduler goroutines over
-// shared. Stop it with Close.
+// New starts a server over one graph (registered under
+// cfg.DefaultGraph) with cfg.MaxConcurrent scheduler goroutines. Add
+// more graphs sharing the same substrate with AddGraph; stop the server
+// with Close.
 func New(shared *core.Shared, cfg Config) *Server {
 	cfg.setDefaults()
 	s := &Server{
-		shared:  shared,
-		cfg:     cfg,
-		queue:   make(chan *query, cfg.MaxQueued),
-		queries: make(map[int64]*query),
+		cfg:        cfg,
+		queue:      make(chan *query, cfg.MaxQueued),
+		queries:    map[int64]*query{},
+		graphs:     map[string]*core.Shared{cfg.DefaultGraph: shared},
+		graphOrder: []string{cfg.DefaultGraph},
 	}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		s.wg.Add(1)
@@ -218,8 +325,64 @@ func New(shared *core.Shared, cfg Config) *Server {
 	return s
 }
 
-// Shared returns the substrate the server executes over.
-func (s *Server) Shared() *core.Shared { return s.shared }
+// AddGraph registers another named graph. To realize the paper's
+// amortization across graphs, its Shared should be built over the same
+// safs.FS (page cache, SSD array) as the others — the flashgraph
+// Catalog does exactly that.
+func (s *Server) AddGraph(name string, shared *core.Shared) error {
+	if name == "" {
+		return fmt.Errorf("serve: graph name must be non-empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, dup := s.graphs[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateGraph, name)
+	}
+	s.graphs[name] = shared
+	s.graphOrder = append(s.graphOrder, name)
+	return nil
+}
+
+// Graphs lists the catalog in registration order.
+func (s *Server) Graphs() []GraphInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GraphInfo, 0, len(s.graphOrder))
+	for _, name := range s.graphOrder {
+		img := s.graphs[name].Image()
+		out = append(out, GraphInfo{
+			Name:     name,
+			Default:  name == s.cfg.DefaultGraph,
+			Vertices: img.NumV,
+			Edges:    img.NumEdges,
+			Directed: img.Directed,
+			Weighted: img.AttrSize >= 4,
+			SSDBytes: img.DataSize(),
+		})
+	}
+	return out
+}
+
+// Shared returns the substrate of the named graph ("" = default).
+func (s *Server) Shared(name string) (*core.Shared, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sharedLocked(name)
+}
+
+func (s *Server) sharedLocked(name string) (*core.Shared, error) {
+	if name == "" {
+		name = s.cfg.DefaultGraph
+	}
+	sh, ok := s.graphs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownGraph, name, s.graphOrder)
+	}
+	return sh, nil
+}
 
 // factoryFor resolves req's algorithm factory (Config.Factories wins
 // over the builtins).
@@ -234,38 +397,50 @@ func (s *Server) factoryFor(req Request) (Factory, error) {
 	return factory, nil
 }
 
-// Validate reports whether req could be submitted — the algorithm
-// exists and its parameters are compatible with the served graph —
-// without admitting anything. Drivers use it to reject a bad workload
-// before generating load.
-func (s *Server) Validate(req Request) error {
+// prepare validates req end to end — schema, graph, algorithm,
+// parameters against the target image — and builds the algorithm
+// instance.
+func (s *Server) prepare(req Request) (core.Algorithm, *core.Shared, error) {
+	if err := req.Validate(); err != nil {
+		return nil, nil, err
+	}
+	shared, err := s.Shared(req.Graph)
+	if err != nil {
+		return nil, nil, err
+	}
 	factory, err := s.factoryFor(req)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	if _, _, err := factory(req, s.shared.Image()); err != nil {
-		return fmt.Errorf("serve: %s: %w", req.Algo, err)
+	alg, err := factory(req, shared.Image())
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: %s: %w", req.Algo, err)
 	}
-	return nil
+	return alg, shared, nil
+}
+
+// Validate reports whether req could be submitted — the schema is
+// valid, the graph and algorithm exist, and the parameters are
+// compatible with that graph — without admitting anything. Drivers use
+// it to reject a bad workload before generating load.
+func (s *Server) Validate(req Request) error {
+	_, _, err := s.prepare(req)
+	return err
 }
 
 // Submit admits a query into the FIFO queue and returns its ID. It
-// fails fast on unknown algorithms or invalid parameters, and with
-// ErrQueueFull when the queue is at capacity.
+// fails fast on invalid requests, unknown graphs or algorithms, and
+// with ErrQueueFull when the queue is at capacity.
 func (s *Server) Submit(req Request) (int64, error) {
-	factory, err := s.factoryFor(req)
+	alg, shared, err := s.prepare(req)
 	if err != nil {
 		return 0, err
-	}
-	alg, summarize, err := factory(req, s.shared.Image())
-	if err != nil {
-		return 0, fmt.Errorf("serve: %s: %w", req.Algo, err)
 	}
 
 	q := &query{
 		req:       req,
 		alg:       alg,
-		summarize: summarize,
+		shared:    shared,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
@@ -295,7 +470,7 @@ func (s *Server) Submit(req Request) (int64, error) {
 }
 
 // runLoop is one scheduler slot: it drains the FIFO queue, executing
-// each query on a fresh per-run engine.
+// each query on a fresh per-run engine over the query's graph.
 func (s *Server) runLoop() {
 	defer s.wg.Done()
 	for q := range s.queue {
@@ -313,25 +488,27 @@ func (s *Server) runLoop() {
 
 		st, err := s.execute(q)
 
-		// Summarize outside q.mu: checksums and top-N walk full O(V)
-		// result vectors, and snapshot readers (Get/List) must not
-		// stall behind that.
-		var result map[string]any
+		// Build the result set and its summary outside q.mu: checksums
+		// and top-N walk full O(V) result vectors, and snapshot readers
+		// (Get/List) must not stall behind that.
+		var rs *result.ResultSet
+		var summary map[string]any
 		if err == nil {
-			result = q.summarize()
+			rs = result.From(q.alg, q.req.Algo)
+			summary = rs.Summary()
 		}
 		q.mu.Lock()
 		q.finished = time.Now()
+		q.alg = nil // state beyond the ResultSet is never needed again
 		if err != nil {
 			q.state = StateFailed
 			q.errMsg = err.Error()
 		} else {
 			q.state = StateDone
 			q.stats = st
-			q.result = result
-		}
-		if !s.cfg.RetainResults {
-			q.alg = nil // release the O(V) result vectors; the summary stays
+			q.summary = summary
+			q.rs = rs
+			q.rsBytes = rs.MemoryBytes()
 		}
 		q.mu.Unlock()
 
@@ -343,12 +520,48 @@ func (s *Server) runLoop() {
 			s.failed++
 		} else {
 			s.completed++
+			s.retained = append(s.retained, q)
+			s.retBytes += q.rsBytes
+			s.enforceResultBudgetLocked()
 		}
 		s.finished = append(s.finished, q.id)
 		s.evictHistoryLocked()
 		s.mu.Unlock()
 		close(q.done)
 	}
+}
+
+// enforceResultBudgetLocked releases full result vectors, oldest
+// finished first, until retained bytes fit Config.ResultBytes (called
+// with s.mu held). Summaries survive; only lookup/top-K access is lost.
+// A single result larger than the whole budget is released immediately.
+func (s *Server) enforceResultBudgetLocked() {
+	budget := s.cfg.ResultBytes
+	if budget < 0 {
+		budget = 0
+	}
+	for s.retBytes > budget && len(s.retained) > 0 {
+		q := s.retained[0]
+		s.retained = s.retained[1:]
+		if !s.releaseResultLocked(q) && s.retDead > 0 {
+			s.retDead-- // head was already released by history eviction
+		}
+	}
+}
+
+// releaseResultLocked drops q's full vectors and refunds their bytes,
+// reporting whether anything was actually released (called with s.mu
+// held; takes q.mu — the only lock nesting in the package is
+// s.mu -> q.mu).
+func (s *Server) releaseResultLocked(q *query) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.rs == nil {
+		return false
+	}
+	q.rs = nil
+	s.retBytes -= q.rsBytes
+	return true
 }
 
 // evictHistoryLocked drops the oldest finished queries beyond
@@ -358,10 +571,17 @@ func (s *Server) runLoop() {
 // serving hot path.
 func (s *Server) evictHistoryLocked() {
 	for len(s.finished)-s.finHead > s.cfg.MaxHistory {
-		delete(s.queries, s.finished[s.finHead])
+		id := s.finished[s.finHead]
+		if q, ok := s.queries[id]; ok {
+			if s.releaseResultLocked(q) { // refund the result budget with the record
+				s.retDead++ // its s.retained entry is now dead; compacted lazily
+			}
+			delete(s.queries, id)
+		}
 		s.finHead++
 	}
-	// Compact the consumed head and the order list once mostly dead.
+	// Compact the consumed head and the bookkeeping lists once mostly
+	// dead.
 	if s.finHead > 64 && s.finHead > len(s.finished)/2 {
 		s.finished = append(s.finished[:0], s.finished[s.finHead:]...)
 		s.finHead = 0
@@ -375,6 +595,22 @@ func (s *Server) evictHistoryLocked() {
 		}
 		s.order = kept
 	}
+	// Compact s.retained only when mostly dead: a rescan per completion
+	// would be quadratic on the serving hot path, so dead entries (from
+	// history eviction) are counted and swept in bulk.
+	if s.retDead > 64 && s.retDead > len(s.retained)/2 {
+		kept := s.retained[:0]
+		for _, q := range s.retained {
+			q.mu.Lock()
+			live := q.rs != nil
+			q.mu.Unlock()
+			if live {
+				kept = append(kept, q)
+			}
+		}
+		s.retained = kept
+		s.retDead = 0
+	}
 }
 
 // execute runs one query, converting engine panics (e.g. a fatal device
@@ -386,7 +622,7 @@ func (s *Server) execute(q *query) (st core.RunStats, err error) {
 			err = fmt.Errorf("query panicked: %v", r)
 		}
 	}()
-	eng := s.shared.NewRun()
+	eng := q.shared.NewRun()
 	st, err = eng.Run(q.alg)
 	st.Algorithm = q.req.Algo
 	return st, err
@@ -417,6 +653,49 @@ func (s *Server) Wait(id int64) (Query, error) {
 	return q.snapshot(), nil
 }
 
+// ResultSet returns a finished query's full typed result. It fails with
+// ErrUnknownQuery, ErrNotFinished (queued/running/failed), or
+// ErrResultReleased (evicted by the byte budget). The returned set is
+// immutable and safe for concurrent readers.
+func (s *Server) ResultSet(id int64) (*result.ResultSet, error) {
+	s.mu.Lock()
+	q, ok := s.queries[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownQuery
+	}
+	return q.resultSet()
+}
+
+// Lookup is the point query: the named vector's value at vertex for a
+// finished query ("" selects the algorithm's default vector).
+func (s *Server) Lookup(id int64, vector string, vertex int) (result.Entry, error) {
+	rs, err := s.ResultSet(id)
+	if err != nil {
+		return result.Entry{}, err
+	}
+	return rs.Lookup(vector, vertex)
+}
+
+// TopK returns ranks [offset, offset+k) of the named vector, value
+// descending with deterministic tie-breaks — the pagination contract.
+func (s *Server) TopK(id int64, vector string, k, offset int) ([]result.Entry, error) {
+	rs, err := s.ResultSet(id)
+	if err != nil {
+		return nil, err
+	}
+	return rs.TopK(vector, k, offset)
+}
+
+// Histogram bins the named vector of a finished query.
+func (s *Server) Histogram(id int64, vector string, bins int) (result.Histogram, error) {
+	rs, err := s.ResultSet(id)
+	if err != nil {
+		return result.Histogram{}, err
+	}
+	return rs.Histogram(vector, bins)
+}
+
 // List snapshots all queries in submission order.
 func (s *Server) List() []Query {
 	s.mu.Lock()
@@ -436,13 +715,15 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Submitted:   s.submitted,
-		Rejected:    s.rejected,
-		Completed:   s.completed,
-		Failed:      s.failed,
-		Running:     s.running,
-		Queued:      len(s.queue),
-		PeakRunning: s.peakRunning,
+		Submitted:       s.submitted,
+		Rejected:        s.rejected,
+		Completed:       s.completed,
+		Failed:          s.failed,
+		Running:         s.running,
+		Queued:          len(s.queue),
+		PeakRunning:     s.peakRunning,
+		RetainedResults: len(s.retained) - s.retDead,
+		RetainedBytes:   s.retBytes,
 	}
 }
 

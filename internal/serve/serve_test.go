@@ -10,6 +10,7 @@ import (
 	"flashgraph/internal/core"
 	"flashgraph/internal/gen"
 	"flashgraph/internal/graph"
+	"flashgraph/internal/result"
 	"flashgraph/internal/safs"
 	"flashgraph/internal/ssd"
 )
@@ -32,35 +33,35 @@ func buildShared(t *testing.T, threads int) *core.Shared {
 
 // TestConcurrentMatchesSerialBitIdentical is the serve-layer isolation
 // guarantee: N concurrent runs of BFS, PageRank, and WCC over one
-// shared engine substrate produce results bit-identical to serial runs.
-// Threads=1 makes each individual run's float accumulation order
-// deterministic, so any divergence must come from cross-query state
-// leakage — exactly what the test is hunting.
+// shared engine substrate produce ResultSets bit-identical to serial
+// runs — verified through the typed result contract (point lookups and
+// checksums), not by reaching into algorithm internals. Threads=1 makes
+// each individual run's float accumulation order deterministic, so any
+// divergence must come from cross-query state leakage.
 func TestConcurrentMatchesSerialBitIdentical(t *testing.T) {
 	shared := buildShared(t, 1)
 
-	// Serial references.
-	refBFS := algo.NewBFS(0)
-	if _, err := shared.NewRun().Run(refBFS); err != nil {
-		t.Fatal(err)
-	}
-	refPR := algo.NewPageRank()
-	if _, err := shared.NewRun().Run(refPR); err != nil {
-		t.Fatal(err)
-	}
-	refWCC := algo.NewWCC()
-	if _, err := shared.NewRun().Run(refWCC); err != nil {
-		t.Fatal(err)
+	// Serial references, through the same ResultSet contract.
+	refs := map[string]*result.ResultSet{}
+	for name, alg := range map[string]core.Algorithm{
+		"bfs":      algo.NewBFS(0),
+		"pagerank": algo.NewPageRank(),
+		"wcc":      algo.NewWCC(),
+	} {
+		if _, err := shared.NewRun().Run(alg); err != nil {
+			t.Fatal(err)
+		}
+		refs[name] = result.From(alg, name)
 	}
 
-	srv := New(shared, Config{MaxConcurrent: 4, RetainResults: true})
+	srv := New(shared, Config{MaxConcurrent: 4})
 	defer srv.Close()
 
 	const copies = 3
 	var ids []int64
 	for i := 0; i < copies; i++ {
 		for _, algoName := range []string{"bfs", "pagerank", "wcc"} {
-			id, err := srv.Submit(Request{Algo: algoName})
+			id, err := srv.Submit(Request{Version: 1, Algo: algoName})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -78,32 +79,33 @@ func TestConcurrentMatchesSerialBitIdentical(t *testing.T) {
 		if q.Stats.EdgeRequests == 0 {
 			t.Fatalf("query %d (%s): no per-query I/O stats", id, q.Req.Algo)
 		}
-		switch q.Req.Algo {
-		case "bfs":
-			got := q.Alg.(*algo.BFS).Level
-			for v := range refBFS.Level {
-				if got[v] != refBFS.Level[v] {
-					t.Fatalf("bfs query %d: Level[%d] = %d, want %d", id, v, got[v], refBFS.Level[v])
-				}
+		ref := refs[q.Req.Algo]
+		rs, err := srv.ResultSet(id)
+		if err != nil {
+			t.Fatalf("query %d: ResultSet: %v", id, err)
+		}
+		if got, want := rs.Checksum(), ref.Checksum(); got != want {
+			t.Fatalf("%s query %d: checksum %s, want %s (not bit-identical)", q.Req.Algo, id, got, want)
+		}
+		// Point lookups must agree exactly too (float64 compared by bits).
+		for _, v := range []int{0, 1, 100, (1 << 9) - 1} {
+			got, err := srv.Lookup(id, "", v)
+			if err != nil {
+				t.Fatal(err)
 			}
-		case "pagerank":
-			got := q.Alg.(*algo.PageRank).Scores
-			for v := range refPR.Scores {
-				if math.Float64bits(got[v]) != math.Float64bits(refPR.Scores[v]) {
-					t.Fatalf("pagerank query %d: Scores[%d] = %x, want %x (not bit-identical)",
-						id, v, math.Float64bits(got[v]), math.Float64bits(refPR.Scores[v]))
+			want, _ := ref.Lookup("", v)
+			gf, gok := got.Value.(float64)
+			wf, wok := want.Value.(float64)
+			if gok && wok {
+				if math.Float64bits(gf) != math.Float64bits(wf) {
+					t.Fatalf("%s lookup[%d] = %x, want %x", q.Req.Algo, v, math.Float64bits(gf), math.Float64bits(wf))
 				}
-			}
-		case "wcc":
-			got := q.Alg.(*algo.WCC).Labels
-			for v := range refWCC.Labels {
-				if got[v] != refWCC.Labels[v] {
-					t.Fatalf("wcc query %d: Labels[%d] = %d, want %d", id, v, got[v], refWCC.Labels[v])
-				}
+			} else if got.Value != want.Value {
+				t.Fatalf("%s lookup[%d] = %v, want %v", q.Req.Algo, v, got.Value, want.Value)
 			}
 		}
 	}
-	// All copies of one algorithm must also report one checksum.
+	// All copies of one algorithm must also publish one summary checksum.
 	sums := map[string]map[string]bool{}
 	for _, q := range srv.List() {
 		if cs, ok := q.Result["checksum"].(string); ok {
@@ -117,6 +119,149 @@ func TestConcurrentMatchesSerialBitIdentical(t *testing.T) {
 		if len(set) != 1 {
 			t.Fatalf("%s: %d distinct checksums across identical queries: %v", name, len(set), set)
 		}
+	}
+}
+
+// TestMultiGraphRouting registers two graphs on one SAFS instance and
+// checks Request.Graph routes queries to the right one.
+func TestMultiGraphRouting(t *testing.T) {
+	arr := ssd.NewArray(ssd.ArrayParams{Devices: 2})
+	t.Cleanup(arr.Close)
+	fs := safs.New(arr, safs.Config{CacheBytes: 1 << 20})
+
+	build := func(scale, epv int, seed uint64, name string) *core.Shared {
+		a := graph.FromEdges(1<<scale, gen.RMAT(scale, epv, seed), true)
+		a.Dedup()
+		img := graph.BuildImage(a, 0, nil)
+		sh, err := core.NewShared(img, core.Config{Threads: 2, FS: fs, RangeShift: 3, GraphName: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sh
+	}
+	small := build(6, 4, 1, "small")
+	big := build(8, 6, 2, "big")
+
+	srv := New(small, Config{DefaultGraph: "small"})
+	defer srv.Close()
+	if err := srv.AddGraph("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddGraph("big", big); !errors.Is(err, ErrDuplicateGraph) {
+		t.Fatalf("duplicate AddGraph: %v, want ErrDuplicateGraph", err)
+	}
+	if err := srv.AddGraph("", big); err == nil {
+		t.Fatal("empty graph name accepted")
+	}
+
+	infos := srv.Graphs()
+	if len(infos) != 2 || infos[0].Name != "small" || !infos[0].Default || infos[1].Name != "big" {
+		t.Fatalf("graphs = %+v", infos)
+	}
+
+	// The same wcc query against each graph must report each graph's own
+	// vertex count — proof of routing.
+	for _, tc := range []struct {
+		graph string
+		wantN int
+	}{{"", 1 << 6}, {"small", 1 << 6}, {"big", 1 << 8}} {
+		id, err := srv.Submit(Request{Graph: tc.graph, Algo: "wcc"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q, err := srv.Wait(id); err != nil || q.State != StateDone {
+			t.Fatalf("graph %q: %v %v", tc.graph, q.State, err)
+		}
+		rs, err := srv.ResultSet(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := rs.Vectors()[0].Len(); n != tc.wantN {
+			t.Fatalf("graph %q: component vector length %d, want %d", tc.graph, n, tc.wantN)
+		}
+	}
+
+	if _, err := srv.Submit(Request{Graph: "nope", Algo: "bfs"}); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("unknown graph: %v, want ErrUnknownGraph", err)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	shared := buildShared(t, 2)
+	srv := New(shared, Config{})
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		name string
+		req  Request
+	}{
+		{"future version", Request{Version: 2, Algo: "bfs"}},
+		{"missing algo", Request{}},
+		{"negative k", Request{Algo: "kcore", Params: Params{K: -1}}},
+		{"negative iters", Request{Algo: "pagerank", Params: Params{Iters: -5}}},
+	} {
+		if _, err := srv.Submit(tc.req); err == nil {
+			t.Fatalf("%s accepted", tc.name)
+		}
+	}
+}
+
+// TestResultBudgetEvictsOldestFirst bounds retained result memory by
+// bytes: with a budget that fits only one BFS result, earlier results
+// are released (summary survives, vectors gone) while the newest stays
+// queryable.
+func TestResultBudgetEvictsOldestFirst(t *testing.T) {
+	shared := buildShared(t, 2)
+	// One BFS result: 512 int32 levels = 2KiB + 256 slack.
+	srv := New(shared, Config{MaxConcurrent: 1, ResultBytes: 3 << 10})
+	defer srv.Close()
+
+	var ids []int64
+	for i := 0; i < 3; i++ {
+		id, err := srv.Submit(Request{Algo: "bfs"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Wait(id); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+
+	if _, err := srv.ResultSet(ids[0]); !errors.Is(err, ErrResultReleased) {
+		t.Fatalf("oldest result: %v, want ErrResultReleased", err)
+	}
+	if _, err := srv.TopK(ids[0], "", 5, 0); !errors.Is(err, ErrResultReleased) {
+		t.Fatalf("topk on released result: %v, want ErrResultReleased", err)
+	}
+	if _, err := srv.ResultSet(ids[2]); err != nil {
+		t.Fatalf("newest result must stay queryable: %v", err)
+	}
+	// The released query's summary survives.
+	q, ok := srv.Get(ids[0])
+	if !ok || q.Result["checksum"] == nil || q.ResultRetained {
+		t.Fatalf("released query summary = %+v (retained=%v)", q.Result, q.ResultRetained)
+	}
+	st := srv.Stats()
+	if st.RetainedBytes <= 0 || st.RetainedBytes > 3<<10 {
+		t.Fatalf("retained bytes %d outside (0, budget]", st.RetainedBytes)
+	}
+	if st.RetainedResults != 1 {
+		t.Fatalf("retained results = %d, want 1", st.RetainedResults)
+	}
+
+	// Negative budget: retain nothing, ever.
+	none := New(shared, Config{MaxConcurrent: 1, ResultBytes: -1})
+	defer none.Close()
+	id, err := none.Submit(Request{Algo: "bfs"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := none.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := none.ResultSet(id); !errors.Is(err, ErrResultReleased) {
+		t.Fatalf("negative budget: %v, want ErrResultReleased", err)
 	}
 }
 
@@ -151,9 +296,8 @@ func gatedServer(t *testing.T, cfg Config) (*Server, chan *gatedAlg, chan struct
 	if cfg.Factories == nil {
 		cfg.Factories = map[string]Factory{}
 	}
-	cfg.Factories["gate"] = func(req Request, img *graph.Image) (core.Algorithm, func() map[string]any, error) {
-		g := &gatedAlg{entered: entered, release: release}
-		return g, func() map[string]any { return map[string]any{"gated": true} }, nil
+	cfg.Factories["gate"] = func(req Request, img *graph.Image) (core.Algorithm, error) {
+		return &gatedAlg{entered: entered, release: release}, nil
 	}
 	return New(shared, cfg), entered, release
 }
@@ -224,6 +368,11 @@ func TestQueriesExecuteSimultaneously(t *testing.T) {
 			t.Fatalf("query %d: %v %v", id, q.State, err)
 		}
 	}
+	// Custom algorithms without a ResultProducer still get a uniform
+	// (empty) result summary.
+	if q, _ := srv.Get(ids[0]); q.Result["algorithm"] != "gate" {
+		t.Fatalf("non-producer summary = %v", q.Result)
+	}
 }
 
 func TestSubmitValidation(t *testing.T) {
@@ -234,7 +383,7 @@ func TestSubmitValidation(t *testing.T) {
 	if _, err := srv.Submit(Request{Algo: "nope"}); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
-	if _, err := srv.Submit(Request{Algo: "bfs", Src: 1 << 30}); err == nil {
+	if _, err := srv.Submit(Request{Algo: "bfs", Params: Params{Src: 1 << 30}}); err == nil {
 		t.Fatal("out-of-range source accepted")
 	}
 	if _, err := srv.Submit(Request{Algo: "sssp"}); err == nil {
@@ -252,8 +401,8 @@ func TestSubmitValidation(t *testing.T) {
 
 func TestFailedQueryDoesNotKillSlot(t *testing.T) {
 	srv, _, release := gatedServer(t, Config{MaxConcurrent: 1, MaxQueued: 4, Factories: map[string]Factory{
-		"panic": func(req Request, img *graph.Image) (core.Algorithm, func() map[string]any, error) {
-			return &panicAlg{}, func() map[string]any { return nil }, nil
+		"panic": func(req Request, img *graph.Image) (core.Algorithm, error) {
+			return &panicAlg{}, nil
 		},
 	}})
 	defer srv.Close()
@@ -269,6 +418,9 @@ func TestFailedQueryDoesNotKillSlot(t *testing.T) {
 	}
 	if q.State != StateFailed || q.Error == "" {
 		t.Fatalf("state = %s, error = %q; want failed with message", q.State, q.Error)
+	}
+	if _, err := srv.ResultSet(id); !errors.Is(err, ErrNotFinished) {
+		t.Fatalf("failed query ResultSet: %v, want ErrNotFinished", err)
 	}
 	// The slot must survive and serve the next query.
 	id2, err := srv.Submit(Request{Algo: "bfs"})
@@ -303,8 +455,8 @@ func (p *workerPanicAlg) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.
 
 func TestWorkerGoroutinePanicFailsQueryNotDaemon(t *testing.T) {
 	srv, _, release := gatedServer(t, Config{MaxConcurrent: 1, MaxQueued: 4, Factories: map[string]Factory{
-		"wpanic": func(req Request, img *graph.Image) (core.Algorithm, func() map[string]any, error) {
-			return &workerPanicAlg{}, func() map[string]any { return nil }, nil
+		"wpanic": func(req Request, img *graph.Image) (core.Algorithm, error) {
+			return &workerPanicAlg{}, nil
 		},
 	}})
 	defer srv.Close()
@@ -356,28 +508,10 @@ func TestHistoryEvictionBoundsMemory(t *testing.T) {
 	if q, ok := srv.Get(ids[4]); !ok || q.State != StateDone {
 		t.Fatal("newest finished query must be retained")
 	}
-}
-
-func TestTopScoresMatchesFullSort(t *testing.T) {
-	scores := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3.5}
-	got := topScores(scores, 4)
-	want := []struct {
-		v graph.VertexID
-		s float64
-	}{{5, 9}, {7, 6}, {4, 5}, {8, 5}}
-	if len(got) != len(want) {
-		t.Fatalf("len = %d, want %d", len(got), len(want))
-	}
-	for i := range want {
-		if got[i]["vertex"] != want[i].v || got[i]["score"] != want[i].s {
-			t.Fatalf("top[%d] = %v, want %+v", i, got[i], want[i])
-		}
-	}
-	// n larger than the slice.
-	if all := topScores([]float64{2, 7}, 10); len(all) != 2 || all[0]["score"] != 7.0 {
-		t.Fatalf("short-slice selection wrong: %v", all)
-	}
-	if empty := topScores(nil, 5); len(empty) != 0 {
-		t.Fatalf("nil scores gave %v", empty)
+	// Record eviction refunds the result budget: retained bytes must
+	// account only the surviving records.
+	st := srv.Stats()
+	if st.RetainedResults > 2 {
+		t.Fatalf("retained results = %d after history eviction", st.RetainedResults)
 	}
 }
