@@ -32,7 +32,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fg-bench: ")
 	var (
-		exp        = flag.String("exp", "all", "all | table1 | fig8 | fig9 | fig10 | fig11 | table2 | fig12 | fig13 | fig14 | ablations | concurrent")
+		exp        = flag.String("exp", "all", "all | table1 | fig8 | fig9 | fig10 | fig11 | table2 | fig12 | fig13 | fig14 | ablations | concurrent | ingest")
 		scaleAdd   = flag.Int("scale-add", 0, "log2 dataset scale adjustment")
 		threads    = flag.Int("threads", 8, "engine worker threads")
 		noThrottle = flag.Bool("no-throttle", false, "disable device timing")
@@ -44,6 +44,11 @@ func main() {
 		qps           = flag.Float64("qps", 0, "concurrent: target aggregate qps (0 = closed loop)")
 		maxConcurrent = flag.Int("max-concurrent", 4, "concurrent: scheduler slots")
 		mix           = flag.String("mix", "bfs,pagerank,wcc", "concurrent: comma-separated algorithm rotation")
+
+		// -exp ingest knobs (streaming image construction).
+		ingestScale = flag.Int("ingest-scale", 0, "ingest: RMAT log2 vertex count (0 = bench default)")
+		ingestEPV   = flag.Int("ingest-epv", 0, "ingest: edges per vertex (0 = default 16)")
+		ingestJSON  = flag.String("ingest-json", "BENCH_ingest.json", "ingest: machine-readable output path")
 	)
 	flag.Parse()
 
@@ -78,6 +83,12 @@ func main() {
 		bench.Fig14(cfg, w)
 	case "ablations":
 		bench.Ablations(cfg, w)
+	case "ingest":
+		bench.Ingest(cfg, bench.IngestConfig{
+			Scale:    *ingestScale,
+			EPV:      *ingestEPV,
+			JSONPath: *ingestJSON,
+		}, w)
 	case "concurrent":
 		bench.Concurrent(cfg, bench.ConcurrentConfig{
 			Clients:       *clients,

@@ -4,6 +4,12 @@
 // queries concurrently with admission control and typed, queryable
 // results.
 //
+// In semi-external-memory mode (the default) images are opened
+// file-backed: only the container header and compact index enter RAM,
+// edge data streams disk → SAFS in chunks and is read back through
+// the shared page cache — graphs larger than memory serve normally.
+// In-memory mode (-mem, the paper's FG-mem) decodes images fully.
+//
 // Usage:
 //
 //	fg-serve -graph twitter.fg                        # serve one image (name = file base)
@@ -86,21 +92,34 @@ func main() {
 	defer cat.Close()
 
 	for _, spec := range specs {
-		g, err := flashgraph.LoadFile(spec.path)
+		// Semi-external-memory catalogs serve images file-backed: only
+		// the header and compact index enter RAM, edge data streams
+		// disk → SAFS and is read back through the shared page cache.
+		// In-memory mode (FG-mem) needs the decoded image.
+		var eng *flashgraph.Engine
+		var err error
+		mode := "file-backed"
+		if *inMemory {
+			mode = "decoded"
+			var g *flashgraph.Graph
+			if g, err = flashgraph.LoadFile(spec.path); err == nil {
+				eng, err = cat.Add(spec.name, g)
+			}
+		} else {
+			eng, err = cat.AddFile(spec.name, spec.path)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := cat.Add(spec.name, g); err != nil {
-			log.Fatal(err)
-		}
-		logGraph(spec.name, g)
+		logGraph(spec.name, mode, eng)
 	}
 	if *rmatScale > 0 {
 		g := flashgraph.NewGraph(1<<*rmatScale, flashgraph.GenerateRMAT(*rmatScale, *epv, *seed), flashgraph.Directed)
-		if _, err := cat.Add(*rmatName, g); err != nil {
+		eng, err := cat.Add(*rmatName, g)
+		if err != nil {
 			log.Fatal(err)
 		}
-		logGraph(*rmatName, g)
+		logGraph(*rmatName, "generated", eng)
 	}
 	names := cat.Graphs()
 	if len(names) == 0 {
@@ -139,7 +158,8 @@ func main() {
 	log.Fatal(server.ListenAndServe())
 }
 
-func logGraph(name string, g *flashgraph.Graph) {
-	log.Printf("graph %q: %d vertices, %d edges, %s on SSD, %s index",
-		name, g.NumVertices(), g.NumEdges(), util.HumanBytes(g.SizeBytes()), util.HumanBytes(g.IndexBytes()))
+func logGraph(name, mode string, eng *flashgraph.Engine) {
+	img := eng.Shared().Image()
+	log.Printf("graph %q (%s): %d vertices, %d edges, %s on SSD, %s index",
+		name, mode, img.NumV, img.NumEdges, util.HumanBytes(img.DataSize()), util.HumanBytes(img.IndexMemory()))
 }

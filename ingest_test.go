@@ -1,0 +1,185 @@
+package flashgraph
+
+import (
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func fileChecksum(t *testing.T, path string) uint64 {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	h := fnv.New64a()
+	if _, err := io.Copy(h, f); err != nil {
+		t.Fatal(err)
+	}
+	return h.Sum64()
+}
+
+// TestOutOfCoreIngestAndServe is the acceptance path of the streaming
+// ingest pipeline: an RMAT graph is built through BuildGraphFile under
+// a 64MiB builder budget, must be checksum-identical to the fully
+// in-memory path, and must serve BFS and PageRank from a file-backed
+// catalog without ever materializing edge data in RAM. The full run
+// uses RMAT scale 20 (~1M vertices, ~16M edges); -short scales down.
+func TestOutOfCoreIngestAndServe(t *testing.T) {
+	scale, epv := 20, 16
+	if testing.Short() {
+		scale, epv = 14, 8
+	}
+	dir := t.TempDir()
+	streamed := filepath.Join(dir, "streamed.fg")
+
+	st, err := BuildGraphFile(streamed, GenerateRMATStream(scale, epv, 1), BuildOptions{
+		NumVertices: 1 << scale,
+		Directed:    true,
+		MemBytes:    64 << 20,
+		TmpDir:      dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PeakMemBytes > 64<<20 {
+		t.Fatalf("builder peak memory %d exceeds the 64MiB budget", st.PeakMemBytes)
+	}
+	if !testing.Short() {
+		// ~16M edges × 8B × 2 sorters cannot fit a 64MiB budget: the
+		// build must have gone external.
+		if st.Spills < 2 {
+			t.Fatalf("spills = %d; scale-%d build was expected to sort externally", st.Spills, scale)
+		}
+		if st.InputEdges != int64(epv)<<scale {
+			t.Fatalf("ingested %d edges, want %d", st.InputEdges, int64(epv)<<scale)
+		}
+	}
+
+	// The legacy in-memory path must produce the identical image file.
+	inMem := filepath.Join(dir, "inmem.fg")
+	g := NewGraph(1<<scale, GenerateRMAT(scale, epv, 1), Directed)
+	if err := g.SaveFile(inMem); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := fileChecksum(t, streamed), fileChecksum(t, inMem); a != b {
+		t.Fatalf("streaming image checksum %x != in-memory image checksum %x", a, b)
+	}
+
+	// Serve the streamed file from a file-backed catalog.
+	cat := NewCatalog(Options{CacheBytes: 16 << 20})
+	defer cat.Close()
+	eng, err := cat.AddFile("rmat", streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := eng.Shared().Image()
+	if !img.FileBacked() {
+		t.Fatal("catalog engine is not serving a file-backed image")
+	}
+	if img.OutData != nil || img.InData != nil {
+		t.Fatal("file-backed serving materialized edge data in RAM")
+	}
+
+	// Reference engine over the decoded in-memory graph, same substrate
+	// parameters, for result checksums.
+	ref, err := Open(g, Options{CacheBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	// BFS levels are integers: the file-backed catalog must reproduce
+	// the in-memory engine's result checksum exactly.
+	b1, b2 := NewBFS(0), NewBFS(0)
+	if _, err := eng.Run(b1); err != nil {
+		t.Fatalf("bfs on file-backed catalog: %v", err)
+	}
+	if _, err := ref.Run(b2); err != nil {
+		t.Fatalf("bfs on reference engine: %v", err)
+	}
+	if s1, s2 := b1.Result().Checksum(), b2.Result().Checksum(); s1 != s2 {
+		t.Fatalf("bfs: file-backed checksum %s != in-memory checksum %s", s1, s2)
+	}
+
+	// PageRank sums floats in scheduling order, so exact bits vary run
+	// to run; the file-backed scores must agree within float tolerance.
+	p1, p2 := NewPageRank(), NewPageRank()
+	p1.Iters, p2.Iters = 5, 5 // enough to touch every edge list repeatedly
+	if _, err := eng.Run(p1); err != nil {
+		t.Fatalf("pagerank on file-backed catalog: %v", err)
+	}
+	if _, err := ref.Run(p2); err != nil {
+		t.Fatalf("pagerank on reference engine: %v", err)
+	}
+	if len(p1.Scores) != len(p2.Scores) {
+		t.Fatalf("pagerank score lengths differ: %d vs %d", len(p1.Scores), len(p2.Scores))
+	}
+	for v := range p1.Scores {
+		d := p1.Scores[v] - p2.Scores[v]
+		if d < -1e-9 || d > 1e-9 {
+			t.Fatalf("pagerank diverges at vertex %d: %g vs %g", v, p1.Scores[v], p2.Scores[v])
+		}
+	}
+
+	if img.OutData != nil || img.InData != nil {
+		t.Fatal("queries materialized edge data in RAM")
+	}
+}
+
+// TestFileBackedGraphRejectsInMemoryMode pins the mode contract:
+// file-backed images serve semi-external-memory only.
+func TestFileBackedGraphRejectsInMemoryMode(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.fg")
+	if _, err := BuildGraphFile(path, GenerateRMATStream(8, 4, 1), BuildOptions{Directed: true, TmpDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := OpenGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if !g.FileBacked() {
+		t.Fatal("OpenGraphFile must return a file-backed graph")
+	}
+	if _, err := Open(g, Options{InMemory: true}); err == nil {
+		t.Fatal("in-memory engine over a file-backed graph must fail")
+	}
+	// Semi-external-memory mode works.
+	eng, err := Open(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	bfs := NewBFS(0)
+	if _, err := eng.Run(bfs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildGraphFileWeighted exercises attribute generation through
+// the streaming path against the in-memory weighted builder.
+func TestBuildGraphFileWeighted(t *testing.T) {
+	attr := func(src, dst VertexID, buf []byte) {
+		buf[0], buf[1], buf[2], buf[3] = byte(src), byte(dst), byte(src^dst), 1
+	}
+	dir := t.TempDir()
+	streamed := filepath.Join(dir, "w.fg")
+	edges := GenerateRMAT(10, 4, 3)
+	if _, err := BuildGraphFile(streamed, GenerateRMATStream(10, 4, 3), BuildOptions{
+		NumVertices: 1 << 10, Directed: true, AttrSize: 4, Attr: attr, TmpDir: dir,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	inMem := filepath.Join(dir, "w-inmem.fg")
+	if err := NewWeightedGraph(1<<10, edges, Directed, attr).SaveFile(inMem); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := fileChecksum(t, streamed), fileChecksum(t, inMem); a != b {
+		t.Fatalf("weighted streaming image %x != in-memory image %x", a, b)
+	}
+}

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+
+	"flashgraph/internal/gen"
+	"flashgraph/internal/graph"
+	"flashgraph/internal/util"
+)
+
+// IngestConfig parameterizes the out-of-core ingest experiment.
+type IngestConfig struct {
+	// Scale is the RMAT log2 vertex count (default 18, shifted by
+	// Config.ScaleAdd like every dataset).
+	Scale int
+	// EPV is edges per vertex (default 16).
+	EPV int
+	// BudgetsMB lists the builder memory budgets to sweep (default
+	// 16, 64, 256).
+	BudgetsMB []int64
+	// JSONPath receives the machine-readable results; empty disables
+	// the file (fg-bench defaults its flag to "BENCH_ingest.json").
+	JSONPath string
+}
+
+func (c *IngestConfig) setDefaults(cfg *Config) {
+	if c.Scale == 0 {
+		c.Scale = 18 + cfg.ScaleAdd
+	}
+	if c.EPV == 0 {
+		c.EPV = 16
+	}
+	if len(c.BudgetsMB) == 0 {
+		c.BudgetsMB = []int64{16, 64, 256}
+	}
+}
+
+// IngestRun is one budget point of the ingest experiment, serialized
+// into BENCH_ingest.json so future PRs can track the construction
+// perf trajectory (the paper's Table 2 "init time" cost).
+type IngestRun struct {
+	Scale          int     `json:"scale"`
+	EPV            int     `json:"epv"`
+	MemBudgetBytes int64   `json:"mem_budget_bytes"`
+	Vertices       int     `json:"vertices"`
+	InputEdges     int64   `json:"input_edges"`
+	StoredEdges    int64   `json:"stored_edges"`
+	DataBytes      int64   `json:"data_bytes"`
+	IndexBytes     int64   `json:"index_bytes"`
+	ElapsedSec     float64 `json:"elapsed_sec"`
+	EdgesPerSec    float64 `json:"edges_per_sec"`
+	PeakBytes      int64   `json:"peak_bytes"`
+	SpillCount     int     `json:"spill_count"`
+	// ImageFNV64a fingerprints the produced image file: every budget
+	// (and every future encoder change that claims bit-identity) must
+	// produce the same value for the same generator parameters.
+	ImageFNV64a string `json:"image_fnv64a"`
+}
+
+// Ingest measures the streaming image builder across memory budgets:
+// one RMAT edge stream per budget is externally sorted and encoded to
+// a temp file, reporting edges/sec, peak builder memory, and spill
+// counts, and asserting (via the recorded checksum) that every budget
+// produces the identical image. Results are printed as a table and
+// written to cfg.JSONPath as JSON.
+func Ingest(cfg Config, icfg IngestConfig, w io.Writer) []Result {
+	cfg.setDefaults()
+	icfg.setDefaults(&cfg)
+	header(w, fmt.Sprintf("Ingest: streaming image construction (RMAT scale %d, %d edges/vertex)", icfg.Scale, icfg.EPV))
+	fmt.Fprintf(w, "%-10s %12s %12s %10s %8s %10s   %s\n",
+		"budget", "edges/s", "elapsed(s)", "peak-mem", "spills", "image", "fnv64a")
+
+	tmp, err := os.MkdirTemp("", "fg-ingest-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	var out []Result
+	var runs []IngestRun
+	var wantSum string
+	for _, mb := range icfg.BudgetsMB {
+		b := graph.NewStreamBuilder(graph.BuildConfig{
+			NumV:     1 << icfg.Scale,
+			Directed: true,
+			MemBytes: mb << 20,
+			TmpDir:   tmp,
+		})
+		err := gen.RMATStream(icfg.Scale, icfg.EPV, cfg.Seed+1, b.Add)
+		if err != nil {
+			panic(err)
+		}
+		path := filepath.Join(tmp, fmt.Sprintf("ingest-%dmb.fg", mb))
+		st, err := b.WriteFile(path)
+		if err != nil {
+			panic(err)
+		}
+		sum := fileFNV(path)
+		if wantSum == "" {
+			wantSum = sum
+		} else if sum != wantSum {
+			panic(fmt.Sprintf("bench: budget %dMiB produced image %s, other budgets produced %s — encoder is budget-dependent", mb, sum, wantSum))
+		}
+		os.Remove(path)
+
+		run := IngestRun{
+			Scale:          icfg.Scale,
+			EPV:            icfg.EPV,
+			MemBudgetBytes: mb << 20,
+			Vertices:       st.NumV,
+			InputEdges:     st.InputEdges,
+			StoredEdges:    st.NumEdges,
+			DataBytes:      st.DataBytes,
+			IndexBytes:     st.IndexBytes,
+			ElapsedSec:     st.Elapsed.Seconds(),
+			EdgesPerSec:    st.EdgesPerSec(),
+			PeakBytes:      st.PeakMemBytes,
+			SpillCount:     st.Spills,
+			ImageFNV64a:    sum,
+		}
+		runs = append(runs, run)
+		fmt.Fprintf(w, "%-10s %12.0f %12.3f %10s %8d %10s   %s\n",
+			util.HumanBytes(mb<<20), run.EdgesPerSec, run.ElapsedSec,
+			util.HumanBytes(run.PeakBytes), run.SpillCount,
+			util.HumanBytes(run.DataBytes), run.ImageFNV64a)
+		out = append(out, Result{
+			Exp: "ingest", Dataset: fmt.Sprintf("rmat-%d", icfg.Scale),
+			Variant: util.HumanBytes(mb << 20), Value: run.EdgesPerSec,
+			Extra: map[string]float64{
+				"elapsed_s": run.ElapsedSec,
+				"peak":      float64(run.PeakBytes),
+				"spills":    float64(run.SpillCount),
+			},
+		})
+	}
+
+	if icfg.JSONPath != "" {
+		blob, err := json.MarshalIndent(runs, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(icfg.JSONPath, append(blob, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(w, "wrote %s (%d runs)\n", icfg.JSONPath, len(runs))
+	}
+	return out
+}
+
+// fileFNV streams a file through FNV-64a.
+func fileFNV(path string) string {
+	f, err := os.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	h := fnv.New64a()
+	if _, err := io.Copy(h, f); err != nil {
+		panic(err)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestIngestExperimentShapes(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_ingest.json")
+	res := Ingest(Config{}, IngestConfig{
+		Scale:     13,
+		EPV:       16,
+		BudgetsMB: []int64{1, 64},
+		JSONPath:  jsonPath,
+	}, io.Discard)
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2 (one per budget)", len(res))
+	}
+	for _, r := range res {
+		if r.Exp != "ingest" || r.Value <= 0 {
+			t.Fatalf("bad result %+v", r)
+		}
+	}
+
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []IngestRun
+	if err := json.Unmarshal(blob, &runs); err != nil {
+		t.Fatalf("BENCH_ingest.json is not valid JSON: %v", err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("JSON has %d runs, want 2", len(runs))
+	}
+	// The 1MiB budget must have gone external; both budgets must agree
+	// on the produced image.
+	if runs[0].SpillCount < 2 {
+		t.Fatalf("1MiB budget spilled %d runs, expected external sort", runs[0].SpillCount)
+	}
+	if runs[0].ImageFNV64a != runs[1].ImageFNV64a {
+		t.Fatal("image checksum depends on the memory budget")
+	}
+	for _, r := range runs {
+		if r.EdgesPerSec <= 0 || r.PeakBytes <= 0 || r.ElapsedSec <= 0 {
+			t.Fatalf("missing metrics in %+v", r)
+		}
+		if r.InputEdges != 16<<13 {
+			t.Fatalf("input edges = %d, want %d", r.InputEdges, 16<<13)
+		}
+	}
+}

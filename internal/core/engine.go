@@ -126,6 +126,9 @@ type Shared struct {
 // are used directly.
 func NewShared(img *graph.Image, cfg Config) (*Shared, error) {
 	cfg.setDefaults()
+	if cfg.InMemory && img.FileBacked() {
+		return nil, fmt.Errorf("core: in-memory mode requires a RAM-resident image; file-backed images (graph.OpenImageFile) serve in semi-external-memory mode")
+	}
 	s := &Shared{cfg: cfg, img: img}
 	start := time.Now()
 	if !cfg.InMemory {

@@ -1,0 +1,372 @@
+// Package extsort implements an external merge sort for fixed-size
+// edge records, the substrate of FlashGraph's out-of-core graph
+// construction. The paper treats image construction as a first-class
+// cost (Table 2 "init time") on graphs whose edge lists dwarf RAM;
+// related out-of-core systems (GraphChi's shards, M-Flash's blocks,
+// NXgraph's intervals) all begin with exactly this primitive: sort an
+// edge stream on disk under a memory budget.
+//
+// A Sorter accepts (key, value) uint32 pairs — (src, dst) for
+// out-edge lists, (dst, src) for in-edge lists — buffers them packed
+// as uint64s, and spills sorted runs to temporary files whenever the
+// buffer reaches the memory budget. Sort finalizes the input; Iter
+// then merges the runs with a k-way heap. Iter may be called multiple
+// times: the sorted runs are kept on disk until Close, so the graph
+// image writer can take its two passes (degree pass, then record
+// pass) over the same sorted stream without re-sorting.
+package extsort
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+)
+
+// recordBytes is the on-disk size of one packed record.
+const recordBytes = 8
+
+// Config parameterizes a Sorter. The zero value sorts in 64MiB of
+// buffer with runs spilled to the default temp directory.
+type Config struct {
+	// MemBytes bounds the in-memory record buffer. Records are 8 bytes,
+	// so the buffer holds MemBytes/8 records between spills. Default
+	// 64MiB.
+	MemBytes int64
+	// TmpDir receives the spilled run files (os.CreateTemp naming).
+	// Default: the system temp directory.
+	TmpDir string
+	// MaxFanIn caps how many runs one merge reads at once; more runs
+	// than this are first combined by intermediate merge passes, keeping
+	// merge memory bounded at MaxFanIn × the per-run read buffer.
+	// Default 128.
+	MaxFanIn int
+	// ReadBufBytes sizes each run's merge read buffer. Default 256KiB.
+	ReadBufBytes int
+}
+
+func (c *Config) setDefaults() {
+	if c.MemBytes <= 0 {
+		c.MemBytes = 64 << 20
+	}
+	if c.MaxFanIn <= 0 {
+		c.MaxFanIn = 128
+	}
+	if c.ReadBufBytes <= 0 {
+		c.ReadBufBytes = 256 << 10
+	}
+}
+
+// Sorter is an external sorter for (key, value) uint32 pairs, ordered
+// by key then value. Add until done, call Sort once, then Iter any
+// number of times. A Sorter is not safe for concurrent use.
+type Sorter struct {
+	cfg    Config
+	buf    []uint64 // packed key<<32|value
+	bufCap int      // records per run
+	runs   []*os.File
+	count  int64
+	sorted bool
+	closed bool
+
+	spills  int
+	peakMem int64
+}
+
+// New returns an empty sorter.
+func New(cfg Config) *Sorter {
+	cfg.setDefaults()
+	bufCap := int(cfg.MemBytes / recordBytes)
+	if bufCap < 1024 {
+		bufCap = 1024 // floor: pathological budgets still make progress
+	}
+	return &Sorter{cfg: cfg, bufCap: bufCap}
+}
+
+// pack encodes a record so uint64 ordering equals (key, value) ordering.
+func pack(key, val uint32) uint64 { return uint64(key)<<32 | uint64(val) }
+
+func unpack(r uint64) (key, val uint32) { return uint32(r >> 32), uint32(r) }
+
+// Add appends one record, spilling a sorted run when the buffer is full.
+func (s *Sorter) Add(key, val uint32) error {
+	if s.sorted {
+		return fmt.Errorf("extsort: Add after Sort")
+	}
+	if s.buf == nil {
+		// Allocate the full budgeted capacity once: append-style growth
+		// would transiently hold old+new buffers (1.5× the budget), while
+		// a fixed-cap buffer commits physical pages only as records
+		// arrive and never exceeds the budget.
+		s.buf = make([]uint64, 0, s.bufCap)
+	}
+	s.buf = append(s.buf, pack(key, val))
+	s.count++
+	s.observeMem()
+	if len(s.buf) >= s.bufCap {
+		return s.spill()
+	}
+	return nil
+}
+
+// Len returns how many records were added.
+func (s *Sorter) Len() int64 { return s.count }
+
+// Spills returns how many sorted runs were written to disk.
+func (s *Sorter) Spills() int { return s.spills }
+
+// PeakMemBytes returns the high-water in-memory footprint of the
+// sorter: the record buffer plus, during merges, the per-run read
+// buffers.
+func (s *Sorter) PeakMemBytes() int64 { return s.peakMem }
+
+func (s *Sorter) observeMem() {
+	m := int64(cap(s.buf)) * recordBytes
+	if m > s.peakMem {
+		s.peakMem = m
+	}
+}
+
+func (s *Sorter) observeMergeMem(fanIn int) {
+	m := int64(fanIn)*int64(s.cfg.ReadBufBytes+recordBytes) + int64(cap(s.buf))*recordBytes
+	if m > s.peakMem {
+		s.peakMem = m
+	}
+}
+
+// spill sorts the buffer and writes it as one run file.
+func (s *Sorter) spill() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	slices.Sort(s.buf)
+	f, err := os.CreateTemp(s.cfg.TmpDir, "fg-extsort-*.run")
+	if err != nil {
+		return fmt.Errorf("extsort: creating run: %w", err)
+	}
+	// Unlink immediately: the OS reclaims the space when the fd closes,
+	// even if the process dies mid-build.
+	os.Remove(f.Name())
+	if err := writeRun(f, s.buf); err != nil {
+		f.Close()
+		return err
+	}
+	s.runs = append(s.runs, f)
+	s.spills++
+	s.buf = s.buf[:0]
+	return nil
+}
+
+// writeRun writes packed records through a buffered writer.
+func writeRun(w io.Writer, recs []uint64) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var scratch [recordBytes]byte
+	for _, r := range recs {
+		binary.LittleEndian.PutUint64(scratch[:], r)
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return fmt.Errorf("extsort: writing run: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("extsort: flushing run: %w", err)
+	}
+	return nil
+}
+
+// Sort finalizes the input. If everything fit in memory the buffer is
+// sorted in place; otherwise the remaining buffer spills and, when the
+// run count exceeds MaxFanIn, intermediate merge passes reduce it.
+func (s *Sorter) Sort() error {
+	if s.sorted {
+		return nil
+	}
+	if len(s.runs) == 0 {
+		slices.Sort(s.buf)
+		s.sorted = true
+		return nil
+	}
+	if err := s.spill(); err != nil {
+		return err
+	}
+	s.buf = nil // all records are on disk; release the buffer
+	for len(s.runs) > s.cfg.MaxFanIn {
+		if err := s.reduceRuns(); err != nil {
+			return err
+		}
+	}
+	s.sorted = true
+	return nil
+}
+
+// reduceRuns merges the first MaxFanIn runs into one new run.
+func (s *Sorter) reduceRuns() error {
+	batch := s.runs[:s.cfg.MaxFanIn]
+	merged, err := s.mergeIter(batch)
+	if err != nil {
+		return err
+	}
+	out, err := os.CreateTemp(s.cfg.TmpDir, "fg-extsort-*.run")
+	if err != nil {
+		return fmt.Errorf("extsort: creating merged run: %w", err)
+	}
+	os.Remove(out.Name())
+	bw := bufio.NewWriterSize(out, 1<<20)
+	var scratch [recordBytes]byte
+	for {
+		k, v, ok := merged.Next()
+		if !ok {
+			break
+		}
+		binary.LittleEndian.PutUint64(scratch[:], pack(k, v))
+		if _, err := bw.Write(scratch[:]); err != nil {
+			out.Close()
+			return fmt.Errorf("extsort: writing merged run: %w", err)
+		}
+	}
+	if err := merged.Err(); err != nil {
+		out.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		out.Close()
+		return fmt.Errorf("extsort: flushing merged run: %w", err)
+	}
+	for _, f := range batch {
+		f.Close()
+	}
+	s.runs = append([]*os.File{out}, s.runs[s.cfg.MaxFanIn:]...)
+	return nil
+}
+
+// Iter returns a fresh iterator over the sorted records. It may be
+// called repeatedly; each call rewinds the runs and merges them again,
+// which is how the image writer takes its degree pass and its record
+// pass over one sort.
+func (s *Sorter) Iter() (*Iterator, error) {
+	if !s.sorted {
+		return nil, fmt.Errorf("extsort: Iter before Sort")
+	}
+	if s.closed {
+		return nil, fmt.Errorf("extsort: Iter after Close")
+	}
+	if len(s.runs) == 0 {
+		return &Iterator{mem: s.buf}, nil
+	}
+	return s.mergeIter(s.runs)
+}
+
+// mergeIter builds a k-way merge iterator over run files.
+func (s *Sorter) mergeIter(runs []*os.File) (*Iterator, error) {
+	s.observeMergeMem(len(runs))
+	it := &Iterator{}
+	for _, f := range runs {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("extsort: rewinding run: %w", err)
+		}
+		rr := &runReader{br: bufio.NewReaderSize(f, s.cfg.ReadBufBytes)}
+		if rr.advance() {
+			it.heap = append(it.heap, rr)
+		} else if rr.err != nil {
+			return nil, rr.err
+		}
+	}
+	heap.Init(&it.heap)
+	return it, nil
+}
+
+// runReader streams one sorted run.
+type runReader struct {
+	br  *bufio.Reader
+	cur uint64
+	err error
+}
+
+// advance loads the next record; false at EOF or error.
+func (r *runReader) advance() bool {
+	var scratch [recordBytes]byte
+	if _, err := io.ReadFull(r.br, scratch[:]); err != nil {
+		if err != io.EOF {
+			r.err = fmt.Errorf("extsort: reading run: %w", err)
+		}
+		return false
+	}
+	r.cur = binary.LittleEndian.Uint64(scratch[:])
+	return true
+}
+
+// runHeap is a min-heap of run readers keyed by their current record.
+type runHeap []*runReader
+
+func (h runHeap) Len() int           { return len(h) }
+func (h runHeap) Less(i, j int) bool { return h[i].cur < h[j].cur }
+func (h runHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)        { *h = append(*h, x.(*runReader)) }
+func (h *runHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h runHeap) peek() *runReader   { return h[0] }
+
+// Iterator yields sorted records. Exactly one of mem/heap is active.
+type Iterator struct {
+	mem  []uint64 // in-memory path: remaining records
+	heap runHeap  // disk path: k-way merge
+	err  error
+}
+
+// Next returns the next record in (key, value) order.
+func (it *Iterator) Next() (key, val uint32, ok bool) {
+	if it.heap != nil {
+		if it.err != nil || it.heap.Len() == 0 {
+			return 0, 0, false
+		}
+		top := it.heap.peek()
+		rec := top.cur
+		if top.advance() {
+			heap.Fix(&it.heap, 0)
+		} else {
+			if top.err != nil {
+				it.err = top.err
+				return 0, 0, false
+			}
+			heap.Pop(&it.heap)
+		}
+		k, v := unpack(rec)
+		return k, v, true
+	}
+	if len(it.mem) == 0 {
+		return 0, 0, false
+	}
+	k, v := unpack(it.mem[0])
+	it.mem = it.mem[1:]
+	return k, v, true
+}
+
+// Err reports the first read failure, if any.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases the iterator. Run files belong to the Sorter and stay
+// open for further Iter calls; Close here only drops references.
+func (it *Iterator) Close() error {
+	it.mem = nil
+	it.heap = nil
+	return nil
+}
+
+// Close removes all run files and releases the buffer. The sorter is
+// unusable afterwards.
+func (s *Sorter) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.buf = nil
+	var first error
+	for _, f := range s.runs {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.runs = nil
+	return first
+}

@@ -12,7 +12,12 @@
 //   - ER produces uniform random graphs (no skew control);
 //   - Ring produces a cycle with optional chords (diameter tests).
 //
-// All generators are deterministic in their seed.
+// All generators are deterministic in their seed, and every generator
+// has two forms: a streaming form (RMATStream, ERStream, ...) that
+// emits edges one at a time through a callback — the out-of-core
+// ingest path, which never holds an edge list — and a slice form
+// implemented over it for convenience at small scales. Both forms
+// produce identical edge sequences for the same parameters.
 package gen
 
 import (
@@ -20,15 +25,30 @@ import (
 	"flashgraph/internal/util"
 )
 
-// RMAT generates 2^scale vertices and approximately edgesPerVertex ×
-// 2^scale directed edges with power-law degree distributions, using the
-// standard R-MAT recursive quadrant probabilities (a=0.57, b=0.19,
-// c=0.19, d=0.05) with light noise per level.
-func RMAT(scale, edgesPerVertex int, seed uint64) []graph.Edge {
+// Emit receives generated edges one at a time. Returning an error
+// aborts generation (e.g. a failed spill in a downstream builder).
+type Emit func(graph.Edge) error
+
+// collect adapts a streaming generator to the slice form.
+func collect(capacity int, stream func(Emit) error) []graph.Edge {
+	edges := make([]graph.Edge, 0, capacity)
+	// The collector never fails, so the stream cannot either.
+	_ = stream(func(e graph.Edge) error {
+		edges = append(edges, e)
+		return nil
+	})
+	return edges
+}
+
+// RMATStream generates 2^scale vertices and approximately
+// edgesPerVertex × 2^scale directed edges with power-law degree
+// distributions, using the standard R-MAT recursive quadrant
+// probabilities (a=0.57, b=0.19, c=0.19, d=0.05) with light noise per
+// level, emitting each edge as it is drawn.
+func RMATStream(scale, edgesPerVertex int, seed uint64, emit Emit) error {
 	n := 1 << scale
 	m := n * edgesPerVertex
 	r := util.NewRNG(seed)
-	edges := make([]graph.Edge, 0, m)
 	const a, b, c = 0.57, 0.19, 0.19
 	for i := 0; i < m; i++ {
 		src, dst := 0, 0
@@ -51,25 +71,43 @@ func RMAT(scale, edgesPerVertex int, seed uint64) []graph.Edge {
 		if src == dst {
 			dst = (dst + 1) % n // avoid self loops
 		}
-		edges = append(edges, graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)})
+		if err := emit(graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)}); err != nil {
+			return err
+		}
 	}
-	return edges
+	return nil
 }
 
-// ER generates m uniform random directed edges over n vertices
-// (self-loops excluded).
-func ER(n, m int, seed uint64) []graph.Edge {
+// RMAT is the slice form of RMATStream.
+func RMAT(scale, edgesPerVertex int, seed uint64) []graph.Edge {
+	n := 1 << scale
+	return collect(n*edgesPerVertex, func(emit Emit) error {
+		return RMATStream(scale, edgesPerVertex, seed, emit)
+	})
+}
+
+// ERStream generates m uniform random directed edges over n vertices
+// (self-loops excluded), emitting each as it is drawn.
+func ERStream(n, m int, seed uint64, emit Emit) error {
 	r := util.NewRNG(seed)
-	edges := make([]graph.Edge, 0, m)
 	for i := 0; i < m; i++ {
 		src := graph.VertexID(r.Intn(n))
 		dst := graph.VertexID(r.Intn(n))
 		if src == dst {
 			dst = graph.VertexID((int(dst) + 1) % n)
 		}
-		edges = append(edges, graph.Edge{Src: src, Dst: dst})
+		if err := emit(graph.Edge{Src: src, Dst: dst}); err != nil {
+			return err
+		}
 	}
-	return edges
+	return nil
+}
+
+// ER is the slice form of ERStream.
+func ER(n, m int, seed uint64) []graph.Edge {
+	return collect(m, func(emit Emit) error {
+		return ERStream(n, m, seed, emit)
+	})
 }
 
 // ClusteredConfig parameterizes the web-like clustered generator.
@@ -88,18 +126,18 @@ type ClusteredConfig struct {
 	Seed uint64
 }
 
-// Clustered generates a domain-clustered directed graph. Vertex v lives
-// in domain v/DomainSize, so sorting by vertex ID clusters edge lists by
-// domain on SSD — the page-graph property that gives FlashGraph good
-// cache hit rates (Table 2).
-func Clustered(cfg ClusteredConfig) []graph.Edge {
+// ClusteredStream generates a domain-clustered directed graph,
+// emitting each edge as it is drawn. Vertex v lives in domain
+// v/DomainSize, so sorting by vertex ID clusters edge lists by domain
+// on SSD — the page-graph property that gives FlashGraph good cache
+// hit rates (Table 2).
+func ClusteredStream(cfg ClusteredConfig, emit Emit) error {
 	if cfg.IntraProb == 0 {
 		cfg.IntraProb = 0.85
 	}
 	n := cfg.Domains * cfg.DomainSize
 	m := n * cfg.EdgesPerVertex
 	r := util.NewRNG(cfg.Seed)
-	edges := make([]graph.Edge, 0, m)
 	for i := 0; i < m; i++ {
 		src := r.Intn(n)
 		dom := src / cfg.DomainSize
@@ -125,43 +163,74 @@ func Clustered(cfg ClusteredConfig) []graph.Edge {
 		if dst == src {
 			dst = (dst + 1) % n
 		}
-		edges = append(edges, graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)})
+		if err := emit(graph.Edge{Src: graph.VertexID(src), Dst: graph.VertexID(dst)}); err != nil {
+			return err
+		}
 	}
-	return edges
+	return nil
 }
 
-// Ring generates a directed cycle of n vertices with `chords` extra
-// random shortcut edges. Diameter without chords is n-1.
-func Ring(n, chords int, seed uint64) []graph.Edge {
-	edges := make([]graph.Edge, 0, n+chords)
+// Clustered is the slice form of ClusteredStream.
+func Clustered(cfg ClusteredConfig) []graph.Edge {
+	return collect(cfg.Domains*cfg.DomainSize*cfg.EdgesPerVertex, func(emit Emit) error {
+		return ClusteredStream(cfg, emit)
+	})
+}
+
+// RingStream generates a directed cycle of n vertices with `chords`
+// extra random shortcut edges, emitting each edge in turn. Diameter
+// without chords is n-1.
+func RingStream(n, chords int, seed uint64, emit Emit) error {
 	for v := 0; v < n; v++ {
-		edges = append(edges, graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID((v + 1) % n)})
+		if err := emit(graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID((v + 1) % n)}); err != nil {
+			return err
+		}
 	}
 	r := util.NewRNG(seed)
 	for i := 0; i < chords; i++ {
 		src := graph.VertexID(r.Intn(n))
 		dst := graph.VertexID(r.Intn(n))
 		if src != dst {
-			edges = append(edges, graph.Edge{Src: src, Dst: dst})
+			if err := emit(graph.Edge{Src: src, Dst: dst}); err != nil {
+				return err
+			}
 		}
 	}
-	return edges
+	return nil
 }
 
-// Grid generates a directed 2D grid (rows×cols) with edges right and
-// down. Useful for predictable-diameter tests.
-func Grid(rows, cols int) []graph.Edge {
-	var edges []graph.Edge
+// Ring is the slice form of RingStream.
+func Ring(n, chords int, seed uint64) []graph.Edge {
+	return collect(n+chords, func(emit Emit) error {
+		return RingStream(n, chords, seed, emit)
+	})
+}
+
+// GridStream generates a directed 2D grid (rows×cols) with edges
+// right and down, emitting each edge in turn. Useful for
+// predictable-diameter tests.
+func GridStream(rows, cols int, emit Emit) error {
 	id := func(r, c int) graph.VertexID { return graph.VertexID(r*cols + c) }
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			if c+1 < cols {
-				edges = append(edges, graph.Edge{Src: id(r, c), Dst: id(r, c+1)})
+				if err := emit(graph.Edge{Src: id(r, c), Dst: id(r, c+1)}); err != nil {
+					return err
+				}
 			}
 			if r+1 < rows {
-				edges = append(edges, graph.Edge{Src: id(r, c), Dst: id(r+1, c)})
+				if err := emit(graph.Edge{Src: id(r, c), Dst: id(r+1, c)}); err != nil {
+					return err
+				}
 			}
 		}
 	}
-	return edges
+	return nil
+}
+
+// Grid is the slice form of GridStream.
+func Grid(rows, cols int) []graph.Edge {
+	return collect(2*rows*cols, func(emit Emit) error {
+		return GridStream(rows, cols, emit)
+	})
 }

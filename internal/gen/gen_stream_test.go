@@ -1,0 +1,72 @@
+package gen
+
+import (
+	"errors"
+	"testing"
+
+	"flashgraph/internal/graph"
+)
+
+// TestStreamFormsMatchSliceForms pins the contract that the streaming
+// generators emit exactly the sequence the slice forms return — the
+// out-of-core ingest path must build the same graph the in-memory
+// path does.
+func TestStreamFormsMatchSliceForms(t *testing.T) {
+	cases := []struct {
+		name   string
+		slice  func() []graph.Edge
+		stream func(Emit) error
+	}{
+		{"rmat", func() []graph.Edge { return RMAT(8, 4, 3) },
+			func(e Emit) error { return RMATStream(8, 4, 3, e) }},
+		{"er", func() []graph.Edge { return ER(500, 2000, 5) },
+			func(e Emit) error { return ERStream(500, 2000, 5, e) }},
+		{"clustered", func() []graph.Edge {
+			return Clustered(ClusteredConfig{Domains: 16, DomainSize: 8, EdgesPerVertex: 4, Seed: 7})
+		}, func(e Emit) error {
+			return ClusteredStream(ClusteredConfig{Domains: 16, DomainSize: 8, EdgesPerVertex: 4, Seed: 7}, e)
+		}},
+		{"ring", func() []graph.Edge { return Ring(100, 10, 2) },
+			func(e Emit) error { return RingStream(100, 10, 2, e) }},
+		{"grid", func() []graph.Edge { return Grid(9, 7) },
+			func(e Emit) error { return GridStream(9, 7, e) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.slice()
+			var got []graph.Edge
+			if err := tc.stream(func(e graph.Edge) error {
+				got = append(got, e)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("stream emitted %d edges, slice form %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("edge %d: stream %v, slice %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestStreamAbortsOnEmitError(t *testing.T) {
+	sentinel := errors.New("stop")
+	count := 0
+	err := RMATStream(10, 8, 1, func(graph.Edge) error {
+		count++
+		if count == 5 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if count != 5 {
+		t.Fatalf("generator kept emitting after error: %d edges", count)
+	}
+}

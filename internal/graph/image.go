@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -100,8 +101,11 @@ func (a *Adjacency) Dedup() {
 type AttrFunc func(src, dst VertexID, buf []byte)
 
 // Image is a complete FlashGraph graph image: serialized edge-list files
-// plus their compact indexes. OutData/InData are the exact bytes stored
-// on SSDs.
+// plus their compact indexes. For RAM-resident images (BuildImage,
+// Decode) OutData/InData hold the exact bytes stored on SSDs; for
+// file-backed images (OpenImageFile) those slices are nil and edge
+// data is read from the backing host file on demand, so only the
+// header and compact indexes occupy memory.
 type Image struct {
 	Directed bool
 	NumV     int
@@ -112,56 +116,100 @@ type Image struct {
 	InData   []byte // nil if undirected
 	OutIndex *Index
 	InIndex  *Index // nil if undirected
+
+	// File backing (OpenImageFile): edge data stays on disk and is
+	// streamed from backing at outOff/inOff.
+	backing io.ReaderAt
+	closer  io.Closer
+	outOff  int64
+	inOff   int64
 }
 
-// encodeLists serializes adjacency lists into an edge-list file:
-// concatenated records ordered by vertex ID.
-func encodeLists(lists [][]VertexID, n int, attrSize int, src bool, attr AttrFunc) ([]byte, []uint32) {
-	degrees := make([]uint32, n)
-	var total int64
-	for v := 0; v < n; v++ {
-		degrees[v] = uint32(len(lists[v]))
-		total += RecordSize(degrees[v], attrSize)
+// FileBacked reports whether edge data lives on disk instead of RAM.
+func (img *Image) FileBacked() bool { return img.backing != nil }
+
+// Close releases the backing file of a file-backed image. It is a
+// no-op (and safe) for RAM-resident images.
+func (img *Image) Close() error {
+	if img.closer == nil {
+		return nil
 	}
-	data := make([]byte, total)
-	off := 0
-	for v := 0; v < n; v++ {
-		binary.LittleEndian.PutUint32(data[off:], degrees[v])
-		off += headerSize
-		for _, u := range lists[v] {
-			binary.LittleEndian.PutUint32(data[off:], u)
-			off += edgeSize
-		}
-		if attrSize > 0 {
-			for _, u := range lists[v] {
-				if attr != nil {
-					if src {
-						attr(VertexID(v), u, data[off:off+attrSize])
-					} else {
-						attr(u, VertexID(v), data[off:off+attrSize])
-					}
-				}
-				off += attrSize
-			}
-		}
-	}
-	return data, degrees
+	c := img.closer
+	img.closer = nil
+	return c.Close()
 }
 
-// BuildImage serializes adjacency lists into an image. attr may be nil
+// edgeReader returns a fresh sequential reader over one direction's
+// encoded edge-list file, wherever the bytes live.
+func (img *Image) edgeReader(dir EdgeDir) (io.Reader, int64, error) {
+	in := dir == InEdges && img.Directed
+	var size int64
+	if in {
+		size = img.InIndex.FileSize()
+	} else {
+		size = img.OutIndex.FileSize()
+	}
+	if img.backing != nil {
+		off := img.outOff
+		if in {
+			off = img.inOff
+		}
+		return io.NewSectionReader(img.backing, off, size), size, nil
+	}
+	if in {
+		if img.InData == nil {
+			return nil, 0, fmt.Errorf("graph: image has no in-edge data")
+		}
+		return bytes.NewReader(img.InData), size, nil
+	}
+	if img.OutData == nil {
+		return nil, 0, fmt.Errorf("graph: image has no out-edge data")
+	}
+	return bytes.NewReader(img.OutData), size, nil
+}
+
+// writer returns the canonical ImageWriter re-encoding this image: the
+// single path through which Encode (and any other serialization of an
+// existing image) produces on-SSD bytes.
+func (img *Image) writer() *ImageWriter {
+	iw := &ImageWriter{
+		NumV:     img.NumV,
+		Directed: img.Directed,
+		AttrSize: img.AttrSize,
+		Out: recordSource(func() (io.Reader, error) {
+			r, _, err := img.edgeReader(OutEdges)
+			return r, err
+		}, img.NumV, img.AttrSize),
+	}
+	if img.Directed {
+		iw.In = recordSource(func() (io.Reader, error) {
+			r, _, err := img.edgeReader(InEdges)
+			return r, err
+		}, img.NumV, img.AttrSize)
+	}
+	return iw
+}
+
+// BuildImage serializes adjacency lists into an image through the
+// streaming ImageWriter (the one canonical encoder). attr may be nil
 // when attrSize is zero.
 func BuildImage(a *Adjacency, attrSize int, attr AttrFunc) *Image {
-	img := &Image{Directed: a.Directed, NumV: a.N, AttrSize: attrSize}
-	outData, outDeg := encodeLists(a.Out, a.N, attrSize, true, attr)
-	img.OutData = outData
-	img.OutIndex = BuildIndex(outDeg, attrSize)
+	iw := &ImageWriter{
+		NumV:     a.N,
+		Directed: a.Directed,
+		AttrSize: attrSize,
+		Attr:     attr,
+		Out:      SliceSource(a.Out),
+	}
 	if a.Directed {
-		inData, inDeg := encodeLists(a.In, a.N, attrSize, false, attr)
-		img.InData = inData
-		img.InIndex = BuildIndex(inDeg, attrSize)
-		img.NumEdges = img.OutIndex.NumEdges()
-	} else {
-		img.NumEdges = img.OutIndex.NumEdges() / 2
+		iw.In = SliceSource(a.In)
+	}
+	img, err := iw.BuildImage()
+	if err != nil {
+		// Adjacency streams are sorted and in-range by construction; an
+		// error here is a programming bug, matching the historical
+		// cannot-fail contract of BuildImage.
+		panic(fmt.Sprintf("graph: BuildImage: %v", err))
 	}
 	return img
 }
@@ -177,6 +225,13 @@ func (img *Image) IndexMemory() int64 {
 
 // DataSize returns the on-SSD byte size of all edge-list files.
 func (img *Image) DataSize() int64 {
+	if img.OutIndex != nil {
+		s := img.OutIndex.FileSize()
+		if img.InIndex != nil {
+			s += img.InIndex.FileSize()
+		}
+		return s
+	}
 	return int64(len(img.OutData)) + int64(len(img.InData))
 }
 
@@ -186,23 +241,47 @@ type FSFiles struct {
 	In  *safs.File // nil if undirected
 }
 
+// loadChunk is the copy granularity of LoadToFS.
+const loadChunk = 1 << 20
+
 // LoadToFS writes the image's edge-list files into the filesystem
-// (FlashGraph's only SSD write: loading a graph for processing).
+// (FlashGraph's only SSD write: loading a graph for processing). Data
+// is streamed in fixed-size chunks, so loading a file-backed image
+// never materializes edge lists in RAM.
 func (img *Image) LoadToFS(fs *safs.FS, name string) (*FSFiles, error) {
-	out, err := fs.Create(name+".adj-out", int64(len(img.OutData)))
-	if err != nil {
-		return nil, err
+	copyIn := func(name string, dir EdgeDir) (*safs.File, error) {
+		r, size, err := img.edgeReader(dir)
+		if err != nil {
+			return nil, err
+		}
+		f, err := fs.Create(name, size)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, loadChunk)
+		for off := int64(0); off < size; {
+			n := int64(len(buf))
+			if size-off < n {
+				n = size - off
+			}
+			if _, err := io.ReadFull(r, buf[:n]); err != nil {
+				return nil, fmt.Errorf("graph: loading %q: %w", name, err)
+			}
+			if err := f.WriteAt(buf[:n], off); err != nil {
+				return nil, err
+			}
+			off += n
+		}
+		return f, nil
 	}
-	if err := out.WriteAt(img.OutData, 0); err != nil {
+	out, err := copyIn(name+".adj-out", OutEdges)
+	if err != nil {
 		return nil, err
 	}
 	files := &FSFiles{Out: out}
 	if img.Directed {
-		in, err := fs.Create(name+".adj-in", int64(len(img.InData)))
+		in, err := copyIn(name+".adj-in", InEdges)
 		if err != nil {
-			return nil, err
-		}
-		if err := in.WriteAt(img.InData, 0); err != nil {
 			return nil, err
 		}
 		files.In = in
@@ -212,80 +291,53 @@ func (img *Image) LoadToFS(fs *safs.FS, name string) (*FSFiles, error) {
 
 const imageMagic = "FGIMG001"
 
-// Encode serializes the image to a host file (fg-convert output).
+// imageHeaderSize is the byte length of the container magic + header.
+const imageHeaderSize = 8 + 1 + 4 + 8 + 8 + 8 + 8
+
+// Encode serializes the image to w in FlashGraph's image format, as a
+// thin wrapper over the streaming ImageWriter: the stored records are
+// streamed back through the canonical encoder, so RAM-resident and
+// file-backed images serialize byte-identically without ever holding
+// edge data beyond one vertex record.
 func (img *Image) Encode(w io.Writer) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.WriteString(imageMagic); err != nil {
-		return err
-	}
-	var flags uint8
-	if img.Directed {
-		flags = 1
-	}
-	hdr := []interface{}{
-		flags,
-		uint32(img.AttrSize),
-		uint64(img.NumV),
-		uint64(img.NumEdges),
-		uint64(len(img.OutData)),
-		uint64(len(img.InData)),
-	}
-	for _, f := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, f); err != nil {
-			return err
-		}
-	}
-	if _, err := bw.Write(img.OutData); err != nil {
-		return err
-	}
-	if _, err := bw.Write(img.InData); err != nil {
+	if _, err := img.writer().WriteImage(bw); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-// Decode deserializes an image written by Encode, rebuilding the
-// in-memory indexes by scanning record headers.
+// Decode deserializes an image written by Encode into RAM, rebuilding
+// the in-memory indexes by scanning record headers. Use OpenImageFile
+// instead to serve images larger than memory.
 func Decode(r io.Reader) (*Image, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	magic := make([]byte, len(imageMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("graph: reading magic: %w", err)
-	}
-	if string(magic) != imageMagic {
-		return nil, fmt.Errorf("graph: bad magic %q", magic)
-	}
-	var flags uint8
-	var attrSize uint32
-	var numV, numEdges, outLen, inLen uint64
-	for _, f := range []interface{}{&flags, &attrSize, &numV, &numEdges, &outLen, &inLen} {
-		if err := binary.Read(br, binary.LittleEndian, f); err != nil {
-			return nil, fmt.Errorf("graph: reading header: %w", err)
-		}
+	hdr, err := readImageHeader(br)
+	if err != nil {
+		return nil, err
 	}
 	img := &Image{
-		Directed: flags&1 != 0,
-		NumV:     int(numV),
-		NumEdges: int64(numEdges),
-		AttrSize: int(attrSize),
-		OutData:  make([]byte, outLen),
+		Directed: hdr.directed,
+		NumV:     int(hdr.numV),
+		NumEdges: int64(hdr.numEdges),
+		AttrSize: int(hdr.attrSize),
+		OutData:  make([]byte, hdr.outLen),
 	}
 	if _, err := io.ReadFull(br, img.OutData); err != nil {
 		return nil, fmt.Errorf("graph: reading out-edge data: %w", err)
 	}
-	if inLen > 0 {
-		img.InData = make([]byte, inLen)
+	if hdr.inLen > 0 {
+		img.InData = make([]byte, hdr.inLen)
 		if _, err := io.ReadFull(br, img.InData); err != nil {
 			return nil, fmt.Errorf("graph: reading in-edge data: %w", err)
 		}
 	}
-	var err error
-	img.OutIndex, err = scanIndex(img.OutData, img.NumV, img.AttrSize)
+	img.OutIndex, err = scanIndex(bytes.NewReader(img.OutData), img.NumV, img.AttrSize, int64(len(img.OutData)))
 	if err != nil {
 		return nil, fmt.Errorf("graph: out-edge file: %w", err)
 	}
 	if img.Directed {
-		img.InIndex, err = scanIndex(img.InData, img.NumV, img.AttrSize)
+		img.InIndex, err = scanIndex(bytes.NewReader(img.InData), img.NumV, img.AttrSize, int64(len(img.InData)))
 		if err != nil {
 			return nil, fmt.Errorf("graph: in-edge file: %w", err)
 		}
@@ -293,21 +345,68 @@ func Decode(r io.Reader) (*Image, error) {
 	return img, nil
 }
 
-// scanIndex walks an edge-list file's record headers to recover degrees
-// and build the index.
-func scanIndex(data []byte, n, attrSize int) (*Index, error) {
+// imageHeader is the decoded container header.
+type imageHeader struct {
+	directed bool
+	attrSize uint32
+	numV     uint64
+	numEdges uint64
+	outLen   uint64
+	inLen    uint64
+}
+
+// readImageHeader consumes and validates the magic + fixed header.
+func readImageHeader(r io.Reader) (*imageHeader, error) {
+	magic := make([]byte, len(imageMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(magic) != imageMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var flags uint8
+	h := &imageHeader{}
+	for _, f := range []interface{}{&flags, &h.attrSize, &h.numV, &h.numEdges, &h.outLen, &h.inLen} {
+		if err := binary.Read(r, binary.LittleEndian, f); err != nil {
+			return nil, fmt.Errorf("graph: reading header: %w", err)
+		}
+	}
+	h.directed = flags&1 != 0
+	return h, nil
+}
+
+// scanIndex walks an edge-list file's record headers sequentially to
+// recover degrees and build the compact index. Only the headers are
+// decoded; edge and attribute bytes are skipped, so the scan's memory
+// footprint is the index it builds.
+func scanIndex(r io.Reader, n, attrSize int, size int64) (*Index, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 1<<20)
+	}
 	degrees := make([]uint32, n)
 	off := int64(0)
+	var hdr [headerSize]byte
 	for v := 0; v < n; v++ {
-		if off+headerSize > int64(len(data)) {
+		if off+headerSize > size {
 			return nil, fmt.Errorf("truncated at vertex %d", v)
 		}
-		d := binary.LittleEndian.Uint32(data[off:])
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, fmt.Errorf("reading header of vertex %d: %w", v, err)
+		}
+		d := binary.LittleEndian.Uint32(hdr[:])
 		degrees[v] = d
-		off += RecordSize(d, attrSize)
+		rec := RecordSize(d, attrSize)
+		if off+rec > size {
+			return nil, fmt.Errorf("truncated at vertex %d", v)
+		}
+		if _, err := br.Discard(int(rec) - headerSize); err != nil {
+			return nil, fmt.Errorf("skipping record of vertex %d: %w", v, err)
+		}
+		off += rec
 	}
-	if off != int64(len(data)) {
-		return nil, fmt.Errorf("trailing bytes: scanned %d of %d", off, len(data))
+	if off != size {
+		return nil, fmt.Errorf("trailing bytes: scanned %d of %d", off, size)
 	}
 	return BuildIndex(degrees, attrSize), nil
 }

@@ -1,0 +1,426 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// NeighborStream yields one direction's edge endpoints in (vertex,
+// neighbor) order — the order edge-list records are laid out on SSD.
+// attr carries the edge's attribute bytes when the stream already has
+// them (re-encoding an existing image); a nil attr asks the writer to
+// generate them with its AttrFunc. The returned attr slice is only
+// valid until the next call.
+type NeighborStream interface {
+	Next() (v, u VertexID, attr []byte, ok bool, err error)
+}
+
+// StreamSource produces a fresh NeighborStream. The ImageWriter calls
+// it twice per direction — once for the degree pass, once for the
+// record pass — so a source must replay the same sequence each call
+// (extsort keeps its sorted runs on disk for exactly this reason).
+type StreamSource func() (NeighborStream, error)
+
+// sliceStream streams adjacency lists (attr always nil).
+type sliceStream struct {
+	lists [][]VertexID
+	v     int
+	i     int
+}
+
+// SliceSource adapts in-memory adjacency lists to a StreamSource.
+func SliceSource(lists [][]VertexID) StreamSource {
+	return func() (NeighborStream, error) {
+		return &sliceStream{lists: lists}, nil
+	}
+}
+
+func (s *sliceStream) Next() (VertexID, VertexID, []byte, bool, error) {
+	for s.v < len(s.lists) {
+		if s.i < len(s.lists[s.v]) {
+			u := s.lists[s.v][s.i]
+			s.i++
+			return VertexID(s.v), u, nil, true, nil
+		}
+		s.v++
+		s.i = 0
+	}
+	return 0, 0, nil, false, nil
+}
+
+// recordStream decodes an encoded edge-list file back into (vertex,
+// neighbor, attr) triples — the stream form of an existing image,
+// used to funnel Image.Encode through the one canonical encoder.
+type recordStream struct {
+	br       *bufio.Reader
+	n        int
+	attrSize int
+
+	v      int    // current vertex
+	deg    int    // its degree
+	i      int    // next neighbor ordinal
+	edges  []byte // current record's edge bytes
+	attrs  []byte // current record's attr bytes
+	loaded bool
+}
+
+// recordSource streams the records of one encoded edge-list file.
+// open must return a fresh reader positioned at the file's first
+// record each call.
+func recordSource(open func() (io.Reader, error), n, attrSize int) StreamSource {
+	return func() (NeighborStream, error) {
+		r, err := open()
+		if err != nil {
+			return nil, err
+		}
+		return &recordStream{br: bufio.NewReaderSize(r, 1<<20), n: n, attrSize: attrSize}, nil
+	}
+}
+
+func (s *recordStream) Next() (VertexID, VertexID, []byte, bool, error) {
+	for {
+		if !s.loaded {
+			if s.v >= s.n {
+				return 0, 0, nil, false, nil
+			}
+			var hdr [headerSize]byte
+			if _, err := io.ReadFull(s.br, hdr[:]); err != nil {
+				return 0, 0, nil, false, fmt.Errorf("graph: reading record header of vertex %d: %w", s.v, err)
+			}
+			s.deg = int(binary.LittleEndian.Uint32(hdr[:]))
+			s.i = 0
+			if need := s.deg * edgeSize; cap(s.edges) < need {
+				s.edges = make([]byte, need)
+			} else {
+				s.edges = s.edges[:need]
+			}
+			if _, err := io.ReadFull(s.br, s.edges); err != nil {
+				return 0, 0, nil, false, fmt.Errorf("graph: reading edges of vertex %d: %w", s.v, err)
+			}
+			if s.attrSize > 0 {
+				if need := s.deg * s.attrSize; cap(s.attrs) < need {
+					s.attrs = make([]byte, need)
+				} else {
+					s.attrs = s.attrs[:need]
+				}
+				if _, err := io.ReadFull(s.br, s.attrs); err != nil {
+					return 0, 0, nil, false, fmt.Errorf("graph: reading attrs of vertex %d: %w", s.v, err)
+				}
+			}
+			s.loaded = true
+		}
+		if s.i < s.deg {
+			u := binary.LittleEndian.Uint32(s.edges[s.i*edgeSize:])
+			var attr []byte
+			if s.attrSize > 0 {
+				attr = s.attrs[s.i*s.attrSize : (s.i+1)*s.attrSize]
+			}
+			v := VertexID(s.v)
+			s.i++
+			return v, u, attr, true, nil
+		}
+		s.v++
+		s.loaded = false
+	}
+}
+
+// countStream runs the degree pass: it consumes a stream, validates
+// ordering and vertex range, and returns per-vertex degrees.
+func countStream(st NeighborStream, n int) ([]uint32, error) {
+	degrees := make([]uint32, n)
+	last := int64(-1)
+	for {
+		v, _, _, ok, err := st.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return degrees, nil
+		}
+		if int64(v) < last {
+			return nil, fmt.Errorf("graph: edge stream not sorted: vertex %d after %d", v, last)
+		}
+		if int(v) >= n {
+			return nil, fmt.Errorf("graph: vertex %d out of range (n=%d)", v, n)
+		}
+		last = int64(v)
+		degrees[v] = degrees[v] + 1
+	}
+}
+
+// encodeStream is THE canonical encoder of FlashGraph's on-SSD
+// edge-list layout: concatenated [count u32][edges][attrs] records in
+// vertex-ID order, one empty record per edgeless vertex. Every path
+// that produces image bytes — BuildImage, Image.Encode, the streaming
+// ImageWriter — funnels through this function. It buffers only one
+// vertex's record at a time, so memory is bounded by the maximum
+// degree, not the graph.
+//
+// src tells the AttrFunc which endpoint owns the record (out-edge
+// records name their source first; in-edge records the destination).
+// Stream-supplied attr bytes win over the AttrFunc.
+func encodeStream(w io.Writer, st NeighborStream, n int, attrSize int, src bool, attr AttrFunc) ([]uint32, int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	degrees := make([]uint32, n)
+	var total int64
+	var nbrs []byte  // pending edge bytes of the current vertex
+	var attrs []byte // pending attr bytes of the current vertex
+	var attrScratch []byte
+	if attrSize > 0 {
+		attrScratch = make([]byte, attrSize)
+	}
+
+	pv, pu, pattr, pok, perr := st.Next()
+	if perr != nil {
+		return nil, 0, perr
+	}
+	var scratch [edgeSize]byte
+	for v := 0; v < n; v++ {
+		nbrs = nbrs[:0]
+		attrs = attrs[:0]
+		for pok && int(pv) == v {
+			binary.LittleEndian.PutUint32(scratch[:], pu)
+			nbrs = append(nbrs, scratch[:]...)
+			if attrSize > 0 {
+				if pattr != nil {
+					if len(pattr) != attrSize {
+						return nil, 0, fmt.Errorf("graph: edge (%d,%d): attr is %d bytes, want %d", pv, pu, len(pattr), attrSize)
+					}
+					attrs = append(attrs, pattr...)
+				} else {
+					buf := attrScratch
+					if attr != nil {
+						if src {
+							attr(VertexID(v), pu, buf)
+						} else {
+							attr(pu, VertexID(v), buf)
+						}
+					} else {
+						for i := range buf {
+							buf[i] = 0
+						}
+					}
+					attrs = append(attrs, buf...)
+				}
+			}
+			pv, pu, pattr, pok, perr = st.Next()
+			if perr != nil {
+				return nil, 0, perr
+			}
+		}
+		if pok && int(pv) < v {
+			return nil, 0, fmt.Errorf("graph: edge stream not sorted: vertex %d after %d", pv, v)
+		}
+		d := uint32(len(nbrs) / edgeSize)
+		degrees[v] = d
+		binary.LittleEndian.PutUint32(scratch[:], d)
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return nil, 0, err
+		}
+		if _, err := bw.Write(nbrs); err != nil {
+			return nil, 0, err
+		}
+		if _, err := bw.Write(attrs); err != nil {
+			return nil, 0, err
+		}
+		total += RecordSize(d, attrSize)
+	}
+	if pok {
+		return nil, 0, fmt.Errorf("graph: vertex %d out of range (n=%d)", pv, n)
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, 0, err
+	}
+	return degrees, total, nil
+}
+
+// ImageWriter builds a complete graph image from sorted neighbor
+// streams without ever materializing edge data in memory — the
+// out-of-core construction path (FAST'15 §3.5.2 builds the image once
+// and reuses it for every algorithm; this writer makes that build
+// scale with disk instead of RAM). It consumes each direction's
+// source twice: a degree pass sizes the edge-list files and builds
+// the compact indexes, then a record pass writes the files
+// sequentially. BuildImage and Image.Encode are thin wrappers over
+// this type, so exactly one encoder for the on-SSD layout exists.
+type ImageWriter struct {
+	// NumV is the vertex count (records are written for all of 0..NumV-1).
+	NumV int
+	// Directed selects separate out- and in-edge files.
+	Directed bool
+	// AttrSize is the per-edge attribute size in bytes.
+	AttrSize int
+	// Attr generates attribute bytes for edges whose stream does not
+	// carry them. May be nil when AttrSize is 0 or streams carry attrs.
+	Attr AttrFunc
+	// Out streams (src, dst) sorted by src then dst.
+	Out StreamSource
+	// In streams (dst, src) sorted by dst then src; required iff
+	// Directed.
+	In StreamSource
+}
+
+// ImageInfo reports what WriteImage produced.
+type ImageInfo struct {
+	NumV     int
+	NumEdges int64 // directed: #edges; undirected: #undirected edges
+	AttrSize int
+	Directed bool
+	OutBytes int64
+	InBytes  int64
+	OutIndex *Index
+	InIndex  *Index // nil if undirected
+}
+
+// DataBytes returns the total edge-list file size.
+func (info *ImageInfo) DataBytes() int64 { return info.OutBytes + info.InBytes }
+
+// IndexBytes returns the in-memory footprint of the compact indexes.
+func (info *ImageInfo) IndexBytes() int64 {
+	b := info.OutIndex.MemoryFootprint()
+	if info.InIndex != nil {
+		b += info.InIndex.MemoryFootprint()
+	}
+	return b
+}
+
+// countDirection runs the degree pass for one direction.
+func (iw *ImageWriter) countDirection(src StreamSource) ([]uint32, error) {
+	st, err := src()
+	if err != nil {
+		return nil, err
+	}
+	return countStream(st, iw.NumV)
+}
+
+// encodeDirection runs the record pass for one direction, verifying it
+// replayed the same degrees the degree pass saw.
+func (iw *ImageWriter) encodeDirection(w io.Writer, src StreamSource, isSrc bool, want *Index) error {
+	st, err := src()
+	if err != nil {
+		return err
+	}
+	degrees, total, err := encodeStream(w, st, iw.NumV, iw.AttrSize, isSrc, iw.Attr)
+	if err != nil {
+		return err
+	}
+	if total != want.FileSize() {
+		return fmt.Errorf("graph: stream replay mismatch: wrote %d bytes, degree pass promised %d", total, want.FileSize())
+	}
+	for v, d := range degrees {
+		if d != want.Degree(VertexID(v)) {
+			return fmt.Errorf("graph: stream replay mismatch at vertex %d: degree %d vs %d", v, d, want.Degree(VertexID(v)))
+		}
+	}
+	return nil
+}
+
+// WriteImage writes the full image container (magic, header, out-edge
+// file, in-edge file) to w in two passes per direction, holding only
+// the indexes and one vertex record in memory.
+func (iw *ImageWriter) WriteImage(w io.Writer) (*ImageInfo, error) {
+	if iw.NumV < 0 || iw.Out == nil || (iw.Directed && iw.In == nil) {
+		return nil, fmt.Errorf("graph: ImageWriter needs NumV and stream sources for every direction")
+	}
+	outDeg, err := iw.countDirection(iw.Out)
+	if err != nil {
+		return nil, fmt.Errorf("graph: out-edge degree pass: %w", err)
+	}
+	info := &ImageInfo{
+		NumV:     iw.NumV,
+		AttrSize: iw.AttrSize,
+		Directed: iw.Directed,
+		OutIndex: BuildIndex(outDeg, iw.AttrSize),
+	}
+	if iw.Directed {
+		inDeg, err := iw.countDirection(iw.In)
+		if err != nil {
+			return nil, fmt.Errorf("graph: in-edge degree pass: %w", err)
+		}
+		info.InIndex = BuildIndex(inDeg, iw.AttrSize)
+		info.NumEdges = info.OutIndex.NumEdges()
+		info.InBytes = info.InIndex.FileSize()
+	} else {
+		info.NumEdges = info.OutIndex.NumEdges() / 2
+	}
+	info.OutBytes = info.OutIndex.FileSize()
+
+	if err := writeImageHeader(w, info); err != nil {
+		return nil, err
+	}
+	if err := iw.encodeDirection(w, iw.Out, true, info.OutIndex); err != nil {
+		return nil, fmt.Errorf("graph: out-edge record pass: %w", err)
+	}
+	if iw.Directed {
+		if err := iw.encodeDirection(w, iw.In, false, info.InIndex); err != nil {
+			return nil, fmt.Errorf("graph: in-edge record pass: %w", err)
+		}
+	}
+	return info, nil
+}
+
+// BuildImage materializes an in-memory Image through the same encoder
+// (one record pass per direction; the degree pass is subsumed because
+// the data lands in RAM where lengths are free).
+func (iw *ImageWriter) BuildImage() (*Image, error) {
+	if iw.NumV < 0 || iw.Out == nil || (iw.Directed && iw.In == nil) {
+		return nil, fmt.Errorf("graph: ImageWriter needs NumV and stream sources for every direction")
+	}
+	img := &Image{Directed: iw.Directed, NumV: iw.NumV, AttrSize: iw.AttrSize}
+	var outBuf bytes.Buffer
+	st, err := iw.Out()
+	if err != nil {
+		return nil, err
+	}
+	outDeg, _, err := encodeStream(&outBuf, st, iw.NumV, iw.AttrSize, true, iw.Attr)
+	if err != nil {
+		return nil, err
+	}
+	img.OutData = outBuf.Bytes()
+	img.OutIndex = BuildIndex(outDeg, iw.AttrSize)
+	if iw.Directed {
+		var inBuf bytes.Buffer
+		st, err := iw.In()
+		if err != nil {
+			return nil, err
+		}
+		inDeg, _, err := encodeStream(&inBuf, st, iw.NumV, iw.AttrSize, false, iw.Attr)
+		if err != nil {
+			return nil, err
+		}
+		img.InData = inBuf.Bytes()
+		img.InIndex = BuildIndex(inDeg, iw.AttrSize)
+		img.NumEdges = img.OutIndex.NumEdges()
+	} else {
+		img.NumEdges = img.OutIndex.NumEdges() / 2
+	}
+	return img, nil
+}
+
+// writeImageHeader writes the container magic and fixed header.
+func writeImageHeader(w io.Writer, info *ImageInfo) error {
+	if _, err := io.WriteString(w, imageMagic); err != nil {
+		return err
+	}
+	var flags uint8
+	if info.Directed {
+		flags = 1
+	}
+	hdr := []interface{}{
+		flags,
+		uint32(info.AttrSize),
+		uint64(info.NumV),
+		uint64(info.NumEdges),
+		uint64(info.OutBytes),
+		uint64(info.InBytes),
+	}
+	for _, f := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

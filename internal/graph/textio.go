@@ -8,15 +8,13 @@ import (
 	"strings"
 )
 
-// ParseEdgeList reads a whitespace-separated text edge list ("src dst"
-// per line; '#' and '%' start comments) and returns the edges and the
-// number of vertices (max ID + 1).
-func ParseEdgeList(r io.Reader) ([]Edge, int, error) {
+// ScanEdgeList reads a whitespace-separated text edge list ("src dst"
+// per line; '#' and '%' start comments) and hands each edge to emit
+// without ever materializing the list — the ingest form for edge
+// files larger than RAM. emit errors abort the scan.
+func ScanEdgeList(r io.Reader, emit func(Edge) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var edges []Edge
-	maxID := VertexID(0)
-	seen := false
 	line := 0
 	for sc.Scan() {
 		line++
@@ -26,26 +24,40 @@ func ParseEdgeList(r io.Reader) ([]Edge, int, error) {
 		}
 		fields := strings.Fields(text)
 		if len(fields) < 2 {
-			return nil, 0, fmt.Errorf("graph: line %d: want 'src dst', got %q", line, text)
+			return fmt.Errorf("graph: line %d: want 'src dst', got %q", line, text)
 		}
 		src, err := strconv.ParseUint(fields[0], 10, 32)
 		if err != nil {
-			return nil, 0, fmt.Errorf("graph: line %d: bad src: %w", line, err)
+			return fmt.Errorf("graph: line %d: bad src: %w", line, err)
 		}
 		dst, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
-			return nil, 0, fmt.Errorf("graph: line %d: bad dst: %w", line, err)
+			return fmt.Errorf("graph: line %d: bad dst: %w", line, err)
 		}
-		edges = append(edges, Edge{Src: VertexID(src), Dst: VertexID(dst)})
-		if VertexID(src) > maxID {
-			maxID = VertexID(src)
+		if err := emit(Edge{Src: VertexID(src), Dst: VertexID(dst)}); err != nil {
+			return err
 		}
-		if VertexID(dst) > maxID {
-			maxID = VertexID(dst)
+	}
+	return sc.Err()
+}
+
+// ParseEdgeList is the slice form of ScanEdgeList: it returns the
+// edges and the number of vertices (max ID + 1).
+func ParseEdgeList(r io.Reader) ([]Edge, int, error) {
+	var edges []Edge
+	maxID := VertexID(0)
+	seen := false
+	if err := ScanEdgeList(r, func(e Edge) error {
+		edges = append(edges, e)
+		if e.Src > maxID {
+			maxID = e.Src
+		}
+		if e.Dst > maxID {
+			maxID = e.Dst
 		}
 		seen = true
-	}
-	if err := sc.Err(); err != nil {
+		return nil
+	}); err != nil {
 		return nil, 0, err
 	}
 	n := 0

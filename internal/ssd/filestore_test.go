@@ -1,0 +1,91 @@
+package ssd
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestFileStoreZeroFillPastEOF is the regression test for the EOF
+// handling bug: reads past the end of the backing file must zero-fill
+// and report success (like MemStore), and the EOF sentinel must be
+// recognized through wrapping (errors.Is, not err.Error() == "EOF").
+func TestFileStoreZeroFillPastEOF(t *testing.T) {
+	s, err := NewFileStore(filepath.Join(t.TempDir(), "dev.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.WriteAt([]byte{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read straddling EOF: written prefix + zero-filled tail.
+	buf := bytes.Repeat([]byte{9}, 8)
+	n, err := s.ReadAt(buf, 0)
+	if err != nil {
+		t.Fatalf("straddling read failed: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("n = %d, want %d (zero-filled to full length)", n, len(buf))
+	}
+	if want := []byte{1, 2, 3, 0, 0, 0, 0, 0}; !bytes.Equal(buf, want) {
+		t.Fatalf("got %v, want %v", buf, want)
+	}
+
+	// Read entirely past EOF: all zeros, no error.
+	buf = bytes.Repeat([]byte{9}, 16)
+	n, err = s.ReadAt(buf, 1<<20)
+	if err != nil {
+		t.Fatalf("past-EOF read failed: %v", err)
+	}
+	if n != len(buf) {
+		t.Fatalf("n = %d, want %d", n, len(buf))
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+}
+
+// TestFileStoreMatchesMemStore cross-checks the two Store
+// implementations over the same operation sequence, including reads
+// that MemStore satisfies beyond its written size.
+func TestFileStoreMatchesMemStore(t *testing.T) {
+	fs, err := NewFileStore(filepath.Join(t.TempDir(), "dev.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	ms := NewMemStore()
+	writes := []struct {
+		off  int64
+		data []byte
+	}{
+		{0, []byte("alpha")},
+		{4096, bytes.Repeat([]byte{0xAB}, 512)},
+		{100, []byte("beta")},
+	}
+	for _, w := range writes {
+		if _, err := fs.WriteAt(w.data, w.off); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ms.WriteAt(w.data, w.off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, off := range []int64{0, 90, 4000, 4600, 9000} {
+		a := make([]byte, 700)
+		b := make([]byte, 700)
+		if _, err := fs.ReadAt(a, off); err != nil {
+			t.Fatalf("FileStore read at %d: %v", off, err)
+		}
+		if _, err := ms.ReadAt(b, off); err != nil {
+			t.Fatalf("MemStore read at %d: %v", off, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("stores diverge at offset %d", off)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package ssd
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 )
@@ -77,7 +79,10 @@ func NewFileStore(path string) (*FileStore, error) {
 	return &FileStore{f: f}, nil
 }
 
-// ReadAt implements Store; short reads past EOF are zero-filled.
+// ReadAt implements Store; short reads past EOF are zero-filled,
+// matching a thin-provisioned flash device (and MemStore). os.File
+// wraps EOF in *os.PathError on some paths, so the sentinel must be
+// matched with errors.Is, not string comparison.
 func (s *FileStore) ReadAt(p []byte, off int64) (int, error) {
 	n, err := s.f.ReadAt(p, off)
 	if n < len(p) {
@@ -85,7 +90,7 @@ func (s *FileStore) ReadAt(p []byte, off int64) (int, error) {
 			p[i] = 0
 		}
 	}
-	if err != nil && err.Error() == "EOF" {
+	if errors.Is(err, io.EOF) {
 		err = nil
 	}
 	return len(p), err
