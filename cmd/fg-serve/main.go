@@ -25,10 +25,15 @@
 //	GET  /queries/{id}/result/lookup     ?vertex=V[&vector=name]
 //	GET  /queries/{id}/result/topk       ?k=K[&offset=N][&vector=name]
 //	GET  /queries/{id}/result/histogram  ?bins=B[&vector=name]
-//	GET  /graphs | /queries | /stats | /healthz
+//	GET  /graphs | /algos | /queries | /stats | /healthz
 //
-// Algorithms: bfs, pagerank, wcc, bc, tc, kcore (undirected images),
-// sssp (weighted images), scanstat.
+// Algorithms come from the open registry (GET /algos lists name, doc,
+// capability requirements, and param schema): the built-ins — bfs,
+// pagerank, ppagerank, wcc, bc, tc, kcore (undirected images), sssp
+// (weighted images), scanstat — plus anything registered through
+// flashgraph.Register. The daemon is a thin shell over
+// flashgraph.NewServer; embed that to serve custom vertex programs
+// (see examples/custom).
 package main
 
 import (
@@ -41,7 +46,6 @@ import (
 	"time"
 
 	"flashgraph"
-	"flashgraph/internal/serve"
 	"flashgraph/internal/util"
 )
 
@@ -127,34 +131,35 @@ func main() {
 	}
 
 	// The first graph is the default route for unqualified requests.
-	// -result-mb 0 means "retain nothing" (serve.Config uses 0 as its
+	// -result-mb 0 means "retain nothing" (the config uses 0 as its
 	// own default sentinel, so translate to the negative convention).
 	resultBytes := *resultMB << 20
 	if *resultMB <= 0 {
 		resultBytes = -1
 	}
-	first, _ := cat.Engine(names[0])
-	srv := serve.New(first.Shared(), serve.Config{
+	// The daemon is the public server, verbatim: the same constructor,
+	// registry, and HTTP handler a library embedder gets.
+	srv, err := flashgraph.NewServer(cat, flashgraph.ServerConfig{
 		MaxConcurrent: *maxConcurrent,
 		MaxQueued:     *maxQueued,
 		MaxHistory:    *maxHistory,
 		ResultBytes:   resultBytes,
-		DefaultGraph:  names[0],
 	})
-	defer srv.Close()
-	for _, name := range names[1:] {
-		eng, _ := cat.Engine(name)
-		if err := srv.AddGraph(name, eng.Shared()); err != nil {
-			log.Fatal(err)
-		}
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer srv.Close()
 
+	algos := make([]string, 0, len(srv.Algorithms()))
+	for _, a := range srv.Algorithms() {
+		algos = append(algos, a.Name)
+	}
 	log.Printf("catalog: %d graphs on one shared substrate (default %q)", len(names), names[0])
 	log.Printf("scheduler: %d concurrent slots, queue depth %d, %s result budget; algorithms: %v",
-		*maxConcurrent, *maxQueued, util.HumanBytes(*resultMB<<20), serve.Algorithms())
+		*maxConcurrent, *maxQueued, util.HumanBytes(*resultMB<<20), algos)
 	log.Printf("listening on %s", *addr)
 
-	server := &http.Server{Addr: *addr, Handler: serve.Handler(srv), ReadHeaderTimeout: 10 * time.Second}
+	server := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	log.Fatal(server.ListenAndServe())
 }
 

@@ -1,6 +1,7 @@
 package flashgraph_test
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"flashgraph"
@@ -43,6 +44,99 @@ func Example_typedResults() {
 	// level[3] = 2
 	// vertex 3 at level 2
 	// vertex 1 at level 1
+}
+
+// degreeCount is a custom vertex program: it counts each vertex's
+// out-degree from the streamed edge list (trivial on purpose — the
+// point is the registration and serving machinery around it).
+type degreeCount struct {
+	MinDegree int
+	Degrees   []uint32
+}
+
+func (d *degreeCount) Init(eng *flashgraph.RunContext) {
+	d.Degrees = make([]uint32, eng.NumVertices())
+	eng.ActivateAllSeeds()
+}
+func (d *degreeCount) Run(ctx *flashgraph.Ctx, v flashgraph.VertexID) {
+	if int(ctx.OutDegree(v)) >= d.MinDegree {
+		ctx.RequestSelf(flashgraph.OutEdges)
+	}
+}
+func (d *degreeCount) RunOnVertex(ctx *flashgraph.Ctx, v flashgraph.VertexID, pv *flashgraph.PageVertex) {
+	d.Degrees[v] = uint32(pv.NumEdges())
+}
+func (d *degreeCount) RunOnMessage(ctx *flashgraph.Ctx, v flashgraph.VertexID, msg flashgraph.Message) {
+}
+func (d *degreeCount) Result() *flashgraph.ResultSet {
+	rs := flashgraph.NewResultSet("degreecount")
+	rs.AddUint32("degree", d.Degrees)
+	return rs
+}
+
+// Any vertex program can be served next to the built-ins: describe it
+// with an AlgorithmSpec (name, doc, capability requirements, typed
+// params), register it, and every Server — and fg-serve daemon — can
+// run it over HTTP or in-process, with the same strict param
+// validation and typed results the built-ins get. examples/custom
+// shows the full HTTP round trip.
+func Example_customAlgorithm() {
+	spec := flashgraph.AlgorithmSpec{
+		Name: "degreecount",
+		Doc:  "per-vertex out-degree of vertices with at least min_degree out-edges",
+		Params: struct {
+			MinDegree int `json:"min_degree"`
+		}{},
+		New: func(raw json.RawMessage, g flashgraph.GraphMeta) (flashgraph.Algorithm, error) {
+			var p struct {
+				MinDegree int `json:"min_degree"`
+			}
+			if err := flashgraph.DecodeParams(raw, &p); err != nil {
+				return nil, err
+			}
+			return &degreeCount{MinDegree: p.MinDegree}, nil
+		},
+	}
+
+	cat := flashgraph.NewCatalog(flashgraph.Options{CacheBytes: 1 << 20})
+	defer cat.Close()
+	if _, err := cat.Add("star", flashgraph.NewGraph(4, []flashgraph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 1, Dst: 2},
+	}, flashgraph.Directed)); err != nil {
+		panic(err)
+	}
+	// Register server-locally via the config (flashgraph.Register would
+	// publish it process-wide instead).
+	srv, err := flashgraph.NewServer(cat, flashgraph.ServerConfig{
+		Algorithms: []flashgraph.AlgorithmSpec{spec},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	id, err := srv.Submit(flashgraph.Request{
+		Algo:   "degreecount",
+		Params: json.RawMessage(`{"min_degree":2}`),
+	})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := srv.Wait(id); err != nil {
+		panic(err)
+	}
+	e, _ := srv.Lookup(id, "degree", 0)
+	fmt.Printf("degree[0] = %v\n", e.Value)
+
+	// Typed params are strict: unknown fields name the accepted ones.
+	_, err = srv.Submit(flashgraph.Request{
+		Algo:   "degreecount",
+		Params: json.RawMessage(`{"mindeg":2}`),
+	})
+	fmt.Println(err)
+	// Output:
+	// degree[0] = 3
+	// degreecount: serve: bad algorithm params: unknown param "mindeg" (accepted params: min_degree (integer))
 }
 
 // A Catalog serves many named graphs from ONE shared substrate — a

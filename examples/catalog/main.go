@@ -1,6 +1,7 @@
 // Catalog: serve multiple named graphs from ONE shared substrate — a
 // single SAFS instance, page cache, and simulated SSD array — and query
-// them through the typed result API, the way fg-serve does over HTTP.
+// them through the public Server and its typed result API, the way
+// fg-serve does over HTTP.
 //
 //	go run ./examples/catalog
 package main
@@ -10,7 +11,6 @@ import (
 	"log"
 
 	"flashgraph"
-	"flashgraph/internal/serve"
 )
 
 func main() {
@@ -28,19 +28,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The serve scheduler routes requests by graph name — exactly what
-	// fg-serve exposes at POST /queries.
-	first, _ := cat.Engine("social")
-	srv := serve.New(first.Shared(), serve.Config{MaxConcurrent: 4, DefaultGraph: "social"})
-	defer srv.Close()
-	webEng, _ := cat.Engine("web")
-	if err := srv.AddGraph("web", webEng.Shared()); err != nil {
+	// The public server routes requests by graph name — exactly what
+	// fg-serve exposes at POST /queries (srv.Handler() is that HTTP
+	// surface, if you want it).
+	srv, err := flashgraph.NewServer(cat, flashgraph.ServerConfig{MaxConcurrent: 4})
+	if err != nil {
 		log.Fatal(err)
 	}
+	defer srv.Close()
 
 	for _, graphName := range []string{"social", "web"} {
-		id, err := srv.Submit(serve.Request{
-			Version: serve.RequestVersion,
+		id, err := srv.Submit(flashgraph.Request{
+			Version: flashgraph.RequestVersion,
 			Graph:   graphName,
 			Algo:    "pagerank",
 		})
@@ -51,7 +50,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if q.State != serve.StateDone {
+		if q.State != flashgraph.QueryDone {
 			log.Fatalf("%s query failed: %s", graphName, q.Error)
 		}
 

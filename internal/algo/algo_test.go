@@ -335,6 +335,60 @@ func TestSSSPMatchesOracle(t *testing.T) {
 	}
 }
 
+// TestPPRMatchesOracle checks weighted personalized PageRank against
+// the dense delta-push oracle, on both the SEM and in-memory engines.
+func TestPPRMatchesOracle(t *testing.T) {
+	edges := gen.RMAT(9, 6, 13)
+	a := graph.FromEdges(1<<9, edges, true)
+	a.Dedup()
+	img := graph.BuildImage(a, 4, weightAttr)
+	ref := csr.FromAdjacency(a)
+	weight := func(v graph.VertexID, i int) uint32 {
+		var buf [4]byte
+		weightAttr(v, ref.Out(v)[i], buf[:])
+		return binary.LittleEndian.Uint32(buf[:])
+	}
+	const src = 3
+	want := galois.PPRDelta(ref, src, 30, 0.85, 1e-9, weight)
+	for name, eng := range engines(t, img) {
+		ppr := NewPPR(src)
+		if _, err := eng.Run(ppr); err != nil {
+			t.Fatal(err)
+		}
+		for v := range want {
+			if math.Abs(ppr.Scores[v]-want[v]) > 1e-8*(1+want[v]) {
+				t.Fatalf("%s: ppr[%d] = %v, want %v", name, v, ppr.Scores[v], want[v])
+			}
+		}
+		// Restart mass concentrates at the source; total mass never
+		// exceeds 1 (dangling vertices drop theirs).
+		var sum float64
+		for _, s := range ppr.Scores {
+			sum += s
+		}
+		if sum > 1+1e-9 || ppr.Scores[src] < (1-ppr.Damping)-1e-12 {
+			t.Fatalf("%s: mass sum %v, score[src] %v", name, sum, ppr.Scores[src])
+		}
+	}
+}
+
+// TestPPRUnweightedFallsBackUniform runs PPR on an image without edge
+// attributes: shares must be uniform (matching the nil-weight oracle).
+func TestPPRUnweightedFallsBackUniform(t *testing.T) {
+	g := rmatGraph(t, 9, 6, 14, true)
+	want := galois.PPRDelta(g.ref, 0, 30, 0.85, 1e-9, nil)
+	eng := engines(t, g.img)["mem"]
+	ppr := NewPPR(0)
+	if _, err := eng.Run(ppr); err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if math.Abs(ppr.Scores[v]-want[v]) > 1e-8*(1+want[v]) {
+			t.Fatalf("ppr[%d] = %v, want %v", v, ppr.Scores[v], want[v])
+		}
+	}
+}
+
 func TestAlgorithmsReportState(t *testing.T) {
 	g := rmatGraph(t, 8, 4, 12, true)
 	eng := engines(t, g.img)["mem"]

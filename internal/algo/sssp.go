@@ -31,7 +31,7 @@ func NewSSSP(src graph.VertexID) *SSSP { return &SSSP{Src: src} }
 
 // Init implements core.Algorithm.
 func (s *SSSP) Init(eng *core.Engine) {
-	if eng.Image().AttrSize != 4 {
+	if !eng.Weighted() {
 		panic("algo: SSSP needs a graph image with 4-byte edge weights")
 	}
 	n := eng.NumVertices()

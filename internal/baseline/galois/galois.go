@@ -162,6 +162,75 @@ func PageRankDelta(g *csr.Graph, maxIters int, damping, threshold float64) []flo
 	return pr
 }
 
+// PPRDelta runs delta-based personalized PageRank: all restart mass
+// starts at src, and pushes follow out-edges with probability
+// proportional to weight(v, i) (nil or all-zero weights = uniform).
+// The correctness oracle for algo.PPR.
+func PPRDelta(g *csr.Graph, src graph.VertexID, maxIters int, damping, threshold float64, weight func(v graph.VertexID, i int) uint32) []float64 {
+	pr := make([]float64, g.N)
+	accum := make([]float64, g.N)
+	active := make([]bool, g.N)
+	accum[src] = 1 - damping
+	active[src] = true
+	for iter := 0; iter < maxIters; iter++ {
+		deltas := make([]float64, g.N)
+		for v := 0; v < g.N; v++ {
+			if !active[v] {
+				continue
+			}
+			d := accum[v]
+			accum[v] = 0
+			pr[v] += d
+			deltas[v] = d
+			active[v] = false
+		}
+		pushed := false
+		for v := 0; v < g.N; v++ {
+			if deltas[v] == 0 {
+				continue
+			}
+			outs := g.Out(graph.VertexID(v))
+			if len(outs) == 0 {
+				continue
+			}
+			var total uint64
+			if weight != nil {
+				for i := range outs {
+					total += uint64(weight(graph.VertexID(v), i))
+				}
+			}
+			if total > 0 {
+				scale := damping * deltas[v] / float64(total)
+				for i, u := range outs {
+					if w := weight(graph.VertexID(v), i); w > 0 {
+						accum[u] += scale * float64(w)
+					}
+				}
+			} else {
+				share := damping * deltas[v] / float64(len(outs))
+				for _, u := range outs {
+					accum[u] += share
+				}
+			}
+			pushed = true
+		}
+		if !pushed {
+			break
+		}
+		any := false
+		for v := 0; v < g.N; v++ {
+			if accum[v] > threshold || accum[v] < -threshold {
+				active[v] = true
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	return pr
+}
+
 // WCC labels weakly connected components (direction ignored) with the
 // smallest member vertex ID, via union-find with path compression.
 func WCC(g *csr.Graph) []graph.VertexID {

@@ -99,17 +99,26 @@ func Concurrent(cfg Config, ccfg ConcurrentConfig, w io.Writer) []Result {
 	defer srv.Close()
 
 	src := bfsSource(d.Img)
+	// Build each mix entry's typed request once, outside the submission
+	// loop: single-source algorithms get the dataset's canonical source
+	// as params, and the load generator never re-marshals JSON.
+	reqs := make(map[string]serve.Request, len(ccfg.Mix))
+	for _, name := range ccfg.Mix {
+		req := serve.Request{Version: serve.RequestVersion, Algo: name}
+		switch name {
+		case "bfs", "bc", "sssp":
+			req.Params = serve.MarshalParams(serve.SrcParams{Src: src})
+		case "ppagerank":
+			req.Params = serve.MarshalParams(serve.PPRParams{Src: src})
+		}
+		reqs[name] = req
+	}
 	// Name-existence was checked in setDefaults; graph compatibility
 	// (e.g. sssp needs weights, kcore needs undirected) can only be
 	// checked against the built image — do it before generating load so
 	// a bad mix fails with one clear message, not a client panic.
 	for _, name := range ccfg.Mix {
-		req := serve.Request{Version: serve.RequestVersion, Algo: name}
-		switch name {
-		case "bfs", "bc", "sssp":
-			req.Params.Src = src
-		}
-		if err := srv.Validate(req); err != nil {
+		if err := srv.Validate(reqs[name]); err != nil {
 			panic(fmt.Sprintf("bench: mix entry %q cannot run on %s: %v", name, d.Name, err))
 		}
 	}
@@ -162,11 +171,7 @@ func Concurrent(cfg Config, ccfg ConcurrentConfig, w io.Writer) []Result {
 				}
 				<-tickets
 				name := ccfg.Mix[i%len(ccfg.Mix)]
-				req := serve.Request{Version: serve.RequestVersion, Algo: name}
-				switch name {
-				case "bfs", "bc", "sssp":
-					req.Params.Src = src
-				}
+				req := reqs[name]
 				t0 := time.Now()
 				id, err := srv.Submit(req)
 				if err != nil {

@@ -306,6 +306,12 @@ func (e *Engine) NumVertices() int { return e.img.NumV }
 // Directed reports whether the graph is directed.
 func (e *Engine) Directed() bool { return e.img.Directed }
 
+// Weighted reports whether the image carries 4-byte per-edge
+// attributes (the weights PageVertex.AttrUint32 decodes). Algorithms
+// that need weights check it in Init; the serve layer's capability
+// validator (Caps.RequiresWeighted) rejects such queries earlier.
+func (e *Engine) Weighted() bool { return e.img.Weighted() }
+
 // LoadTime returns how long loading the image onto the SSDs took
 // (Table 2's "init time").
 func (e *Engine) LoadTime() time.Duration { return e.loadTime }

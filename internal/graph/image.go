@@ -125,6 +125,16 @@ type Image struct {
 	inOff   int64
 }
 
+// Weighted reports whether the image carries the 4-byte per-edge
+// attributes PageVertex.AttrUint32 decodes — the ONE weightedness
+// predicate the capability validator, catalog listings, and engine all
+// share. Exactly 4: AttrUint32 reads the first 4 bytes of a record's
+// attribute, so a larger AttrSize would silently decode garbage and
+// must not count as weighted.
+func (img *Image) Weighted() bool {
+	return img.AttrSize == 4
+}
+
 // FileBacked reports whether edge data lives on disk instead of RAM.
 func (img *Image) FileBacked() bool { return img.backing != nil }
 

@@ -22,6 +22,7 @@ import (
 //	GET  /queries/{id}/result/topk       paginated top-K: ?k=K[&offset=N][&vector=name]
 //	GET  /queries/{id}/result/histogram  ?bins=B[&vector=name]
 //	GET  /graphs                         the catalog of served graphs
+//	GET  /algos                          the algorithm registry: name, doc, caps, param schema
 //	GET  /stats                          scheduler + substrate counters
 //	GET  /healthz                        liveness
 func Handler(s *Server) http.Handler {
@@ -162,11 +163,15 @@ func Handler(s *Server) http.Handler {
 		writeJSON(w, http.StatusOK, s.Graphs())
 	})
 
+	mux.HandleFunc("GET /algos", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Algorithms())
+	})
+
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		out := map[string]any{
 			"scheduler":  s.Stats(),
 			"graphs":     s.Graphs(),
-			"algorithms": Algorithms(),
+			"algorithms": s.AlgorithmNames(),
 		}
 		if sh, err := s.Shared(""); err == nil {
 			if fs := sh.FS(); fs != nil {
@@ -215,6 +220,9 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownAlgorithm), errors.Is(err, ErrBadParam),
+		errors.Is(err, ErrIncompatibleGraph):
+		return http.StatusBadRequest
 	case errors.Is(err, result.ErrUnknownVector), errors.Is(err, result.ErrNoVectors),
 		errors.Is(err, result.ErrVertexRange), errors.Is(err, result.ErrBadRange):
 		return http.StatusBadRequest

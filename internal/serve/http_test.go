@@ -23,6 +23,7 @@ import (
 // fg-serve HTTP surface.
 type httpFixture struct {
 	ts     *httptest.Server
+	srv    *Server
 	fs     *safs.FS
 	shared map[string]*core.Shared
 }
@@ -54,7 +55,7 @@ func newHTTPFixture(t *testing.T) *httpFixture {
 	}
 	ts := httptest.NewServer(Handler(srv))
 	t.Cleanup(ts.Close)
-	return &httpFixture{ts: ts, fs: fs, shared: shared}
+	return &httpFixture{ts: ts, srv: srv, fs: fs, shared: shared}
 }
 
 func (f *httpFixture) do(t *testing.T, method, path, body string) (int, map[string]any) {
@@ -262,7 +263,12 @@ func TestHTTPErrorPaths(t *testing.T) {
 		{"future version", "POST", "/queries", `{"version":9,"algo":"bfs"}`, http.StatusBadRequest},
 		{"out-of-range source", "POST", "/queries", `{"algo":"bfs","params":{"src":99999}}`, http.StatusBadRequest},
 		{"sssp on unweighted", "POST", "/queries", `{"algo":"sssp"}`, http.StatusBadRequest},
+		{"ppagerank on unweighted", "POST", "/queries", `{"algo":"ppagerank"}`, http.StatusBadRequest},
 		{"kcore on directed", "POST", "/queries", `{"algo":"kcore"}`, http.StatusBadRequest},
+		{"unknown per-algo param", "POST", "/queries", `{"algo":"bfs","params":{"srcc":1}}`, http.StatusBadRequest},
+		{"mistyped per-algo param", "POST", "/queries", `{"algo":"pagerank","params":{"iters":"ten"}}`, http.StatusBadRequest},
+		{"params on no-param algo", "POST", "/queries", `{"algo":"wcc","params":{"src":0}}`, http.StatusBadRequest},
+		{"negative iters", "POST", "/queries", `{"algo":"pagerank","params":{"iters":-3}}`, http.StatusBadRequest},
 		{"unknown query id", "GET", "/queries/999", "", http.StatusNotFound},
 		{"unknown query wait", "GET", "/queries/999?wait=1", "", http.StatusNotFound},
 		{"bad query id", "GET", "/queries/abc", "", http.StatusBadRequest},
@@ -293,6 +299,82 @@ func TestHTTPErrorPaths(t *testing.T) {
 		fmt.Sprintf("/queries/%d/result/topk?k=9223372036854775807&offset=9223372036854775807", id), "")
 	if status != http.StatusOK || len(page["entries"].([]any)) != 0 {
 		t.Fatalf("huge topk params: %d %v", status, page)
+	}
+}
+
+// TestHTTPAlgosAndStrictParams covers the registry surface over HTTP:
+// GET /algos lists every registered algorithm with doc, caps, and
+// param schema (including a server-local custom registration), and
+// bad per-algorithm params come back as 400s naming the offending
+// field and the accepted params.
+func TestHTTPAlgosAndStrictParams(t *testing.T) {
+	f := newHTTPFixture(t)
+	if err := f.srv.Register(AlgorithmSpec{
+		Name: "touch",
+		Doc:  "test: touches every vertex",
+		Params: struct {
+			Rounds int `json:"rounds"`
+		}{},
+		New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+			var p struct {
+				Rounds int `json:"rounds"`
+			}
+			if err := DecodeParams(raw, &p); err != nil {
+				return nil, err
+			}
+			return &touchAlg{rounds: max(p.Rounds, 1)}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	status, raw := f.doRaw(t, "GET", "/algos", "")
+	if status != http.StatusOK {
+		t.Fatalf("/algos: %d", status)
+	}
+	var infos []AlgoInfo
+	if err := json.Unmarshal(raw, &infos); err != nil {
+		t.Fatalf("/algos payload %s: %v", raw, err)
+	}
+	byName := map[string]AlgoInfo{}
+	for _, info := range infos {
+		byName[info.Name] = info
+	}
+	for _, name := range []string{"bfs", "pagerank", "ppagerank", "wcc", "bc", "tc", "kcore", "sssp", "scanstat", "touch"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("/algos missing %q (got %v)", name, raw)
+		}
+	}
+	if !byName["kcore"].Caps.RequiresUndirected || !byName["sssp"].Caps.RequiresWeighted || !byName["bfs"].Caps.NeedsSrc {
+		t.Fatalf("/algos caps wrong: %s", raw)
+	}
+	if p := byName["ppagerank"].Params; len(p) != 3 || p[0].Name != "src" || p[2] != (ParamInfo{Name: "damping", Type: "number"}) {
+		t.Fatalf("ppagerank schema = %+v", p)
+	}
+	if p := byName["touch"].Params; len(p) != 1 || p[0] != (ParamInfo{Name: "rounds", Type: "integer"}) {
+		t.Fatalf("touch schema = %+v", p)
+	}
+	if len(byName["wcc"].Params) != 0 {
+		t.Fatalf("wcc schema = %+v", byName["wcc"].Params)
+	}
+
+	// The custom algorithm runs over HTTP with its typed params...
+	id := f.submitWait(t, `{"algo":"touch","params":{"rounds":2}}`)
+	if status, sum := f.do(t, "GET", fmt.Sprintf("/queries/%d/result", id), ""); status != http.StatusOK || sum["checksum"] == nil {
+		t.Fatalf("touch result: %d %v", status, sum)
+	}
+	// ...and rejects bad params with the accepted-params message.
+	status, body := f.do(t, "POST", "/queries", `{"algo":"touch","params":{"round":2}}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad touch param: %d %v", status, body)
+	}
+	msg, _ := body["error"].(string)
+	if !strings.Contains(msg, `unknown param "round"`) || !strings.Contains(msg, "rounds (integer)") {
+		t.Fatalf("bad-param message %q must name the field and accepted params", msg)
+	}
+	status, body = f.do(t, "POST", "/queries", `{"algo":"nope"}`)
+	if status != http.StatusBadRequest || !strings.Contains(body["error"].(string), "registered: bc, bfs") {
+		t.Fatalf("unknown algo must list registered names: %d %v", status, body)
 	}
 }
 

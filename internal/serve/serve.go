@@ -22,6 +22,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -92,9 +93,6 @@ type Config struct {
 	// DefaultGraph names the graph passed to New, the one unqualified
 	// requests (empty Request.Graph) route to. Default "default".
 	DefaultGraph string
-	// Factories extends (or overrides) the built-in algorithm registry.
-	// Keys are Request.Algo names.
-	Factories map[string]Factory
 }
 
 func (c *Config) setDefaults() {
@@ -121,17 +119,6 @@ func (c *Config) setDefaults() {
 // src/k/iters are rejected by the HTTP layer's strict decoding.
 const RequestVersion = 1
 
-// Params carries the typed per-algorithm parameters. Algorithms ignore
-// parameters they do not take.
-type Params struct {
-	// Src is the source vertex for bfs, bc, and sssp.
-	Src uint32 `json:"src,omitempty"`
-	// K is the core threshold for kcore (0 = default 3).
-	K int `json:"k,omitempty"`
-	// Iters caps pagerank iterations (0 = algorithm default).
-	Iters int `json:"iters,omitempty"`
-}
-
 // Request names a graph, an algorithm, and its typed parameters.
 type Request struct {
 	// Version is the request schema version (0 or 1 today).
@@ -139,29 +126,25 @@ type Request struct {
 	// Graph routes the query to a named graph in the server's catalog;
 	// empty means the default graph.
 	Graph string `json:"graph,omitempty"`
-	// Algo selects the algorithm: bfs | pagerank | wcc | bc | tc |
-	// kcore | sssp | scanstat (plus any Config.Factories entries).
+	// Algo selects the algorithm by its registered name (GET /algos
+	// lists the server's registry).
 	Algo string `json:"algo"`
-	// Params carries the algorithm parameters.
-	Params Params `json:"params,omitempty"`
+	// Params carries the algorithm's own typed parameters as raw JSON;
+	// the algorithm's constructor decodes them strictly (unknown or
+	// mistyped fields are rejected with the accepted-params list).
+	Params json.RawMessage `json:"params,omitempty"`
 }
 
-// Validate checks the request's shape — version, algorithm presence,
-// parameter ranges — independent of any graph. Graph- and
-// algorithm-specific checks (source in range, weighted image, ...)
-// happen in the algorithm factory at submit time.
+// Validate checks the request's shape — version and algorithm
+// presence — independent of any graph. Capability checks run in the
+// registry's central validator and parameter decoding in the
+// algorithm's constructor, both at submit time.
 func (r Request) Validate() error {
 	if r.Version < 0 || r.Version > RequestVersion {
 		return fmt.Errorf("serve: unsupported request version %d (max %d)", r.Version, RequestVersion)
 	}
 	if r.Algo == "" {
 		return fmt.Errorf("serve: request missing algo")
-	}
-	if r.Params.K < 0 {
-		return fmt.Errorf("serve: k must be >= 0, got %d", r.Params.K)
-	}
-	if r.Params.Iters < 0 {
-		return fmt.Errorf("serve: iters must be >= 0, got %d", r.Params.Iters)
 	}
 	return nil
 }
@@ -280,6 +263,7 @@ type Stats struct {
 // substrate.
 type Server struct {
 	cfg Config
+	reg *Registry // private: seeded from the default registry at New
 
 	queue chan *query
 
@@ -309,10 +293,15 @@ type Server struct {
 // cfg.DefaultGraph) with cfg.MaxConcurrent scheduler goroutines. Add
 // more graphs sharing the same substrate with AddGraph; stop the server
 // with Close.
+//
+// The server's algorithm registry is a private snapshot of the default
+// registry (the built-ins plus everything registered process-wide
+// beforehand); extend it for this server alone with Register.
 func New(shared *core.Shared, cfg Config) *Server {
 	cfg.setDefaults()
 	s := &Server{
 		cfg:        cfg,
+		reg:        defaultRegistry.Clone(),
 		queue:      make(chan *query, cfg.MaxQueued),
 		queries:    map[int64]*query{},
 		graphs:     map[string]*core.Shared{cfg.DefaultGraph: shared},
@@ -359,7 +348,7 @@ func (s *Server) Graphs() []GraphInfo {
 			Vertices: img.NumV,
 			Edges:    img.NumEdges,
 			Directed: img.Directed,
-			Weighted: img.AttrSize >= 4,
+			Weighted: img.Weighted(),
 			SSDBytes: img.DataSize(),
 		})
 	}
@@ -384,37 +373,43 @@ func (s *Server) sharedLocked(name string) (*core.Shared, error) {
 	return sh, nil
 }
 
-// factoryFor resolves req's algorithm factory (Config.Factories wins
-// over the builtins).
-func (s *Server) factoryFor(req Request) (Factory, error) {
-	factory := s.cfg.Factories[req.Algo]
-	if factory == nil {
-		factory = builtins[req.Algo]
-	}
-	if factory == nil {
-		return nil, fmt.Errorf("serve: unknown algorithm %q", req.Algo)
-	}
-	return factory, nil
+// Register adds an algorithm to THIS server's registry (other servers
+// and the process-wide default registry are untouched). Safe to call
+// while the server is running; later submissions see the algorithm.
+func (s *Server) Register(spec AlgorithmSpec) error {
+	return s.reg.Register(spec)
+}
+
+// Algorithms describes this server's registered algorithms — name,
+// doc, capability requirements, and param schema — sorted by name (the
+// GET /algos payload).
+func (s *Server) Algorithms() []AlgoInfo {
+	return s.reg.Infos()
+}
+
+// AlgorithmNames lists this server's registered algorithm names.
+func (s *Server) AlgorithmNames() []string {
+	return s.reg.Names()
 }
 
 // prepare validates req end to end — schema, graph, algorithm,
-// parameters against the target image — and builds the algorithm
-// instance.
+// capabilities and parameters against the target image — and builds
+// the algorithm instance through the registry.
 func (s *Server) prepare(req Request) (core.Algorithm, *core.Shared, error) {
 	if err := req.Validate(); err != nil {
 		return nil, nil, err
 	}
-	shared, err := s.Shared(req.Graph)
+	name := req.Graph
+	if name == "" {
+		name = s.cfg.DefaultGraph
+	}
+	shared, err := s.Shared(name)
 	if err != nil {
 		return nil, nil, err
 	}
-	factory, err := s.factoryFor(req)
+	alg, err := s.reg.build(req, metaOf(name, shared.Image()))
 	if err != nil {
 		return nil, nil, err
-	}
-	alg, err := factory(req, shared.Image())
-	if err != nil {
-		return nil, nil, fmt.Errorf("serve: %s: %w", req.Algo, err)
 	}
 	return alg, shared, nil
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"math"
 	"strings"
@@ -197,8 +198,8 @@ func TestRequestValidation(t *testing.T) {
 	}{
 		{"future version", Request{Version: 2, Algo: "bfs"}},
 		{"missing algo", Request{}},
-		{"negative k", Request{Algo: "kcore", Params: Params{K: -1}}},
-		{"negative iters", Request{Algo: "pagerank", Params: Params{Iters: -5}}},
+		{"negative iters", Request{Algo: "pagerank", Params: MarshalParams(PageRankParams{Iters: -5})}},
+		{"unknown param", Request{Algo: "pagerank", Params: json.RawMessage(`{"bogus":1}`)}},
 	} {
 		if _, err := srv.Submit(tc.req); err == nil {
 			t.Fatalf("%s accepted", tc.name)
@@ -293,13 +294,20 @@ func gatedServer(t *testing.T, cfg Config) (*Server, chan *gatedAlg, chan struct
 	}
 	entered := make(chan *gatedAlg, 64)
 	release := make(chan struct{})
-	if cfg.Factories == nil {
-		cfg.Factories = map[string]Factory{}
+	srv := New(shared, cfg)
+	// The test fixture algorithm registers through the same public spec
+	// path as everything else — server-locally, so parallel tests and
+	// other servers never see it.
+	if err := srv.Register(AlgorithmSpec{
+		Name: "gate",
+		Doc:  "test fixture: blocks inside Init until released",
+		New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+			return &gatedAlg{entered: entered, release: release}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
 	}
-	cfg.Factories["gate"] = func(req Request, img *graph.Image) (core.Algorithm, error) {
-		return &gatedAlg{entered: entered, release: release}, nil
-	}
-	return New(shared, cfg), entered, release
+	return srv, entered, release
 }
 
 func TestAdmissionControlQueueFull(t *testing.T) {
@@ -380,11 +388,11 @@ func TestSubmitValidation(t *testing.T) {
 	srv := New(shared, Config{})
 	defer srv.Close()
 
-	if _, err := srv.Submit(Request{Algo: "nope"}); err == nil {
-		t.Fatal("unknown algorithm accepted")
+	if _, err := srv.Submit(Request{Algo: "nope"}); !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Fatalf("unknown algorithm: %v, want ErrUnknownAlgorithm", err)
 	}
-	if _, err := srv.Submit(Request{Algo: "bfs", Params: Params{Src: 1 << 30}}); err == nil {
-		t.Fatal("out-of-range source accepted")
+	if _, err := srv.Submit(Request{Algo: "bfs", Params: MarshalParams(SrcParams{Src: 1 << 30})}); !errors.Is(err, ErrIncompatibleGraph) {
+		t.Fatalf("out-of-range source: %v, want ErrIncompatibleGraph", err)
 	}
 	if _, err := srv.Submit(Request{Algo: "sssp"}); err == nil {
 		t.Fatal("sssp accepted on unweighted image")
@@ -400,12 +408,13 @@ func TestSubmitValidation(t *testing.T) {
 }
 
 func TestFailedQueryDoesNotKillSlot(t *testing.T) {
-	srv, _, release := gatedServer(t, Config{MaxConcurrent: 1, MaxQueued: 4, Factories: map[string]Factory{
-		"panic": func(req Request, img *graph.Image) (core.Algorithm, error) {
-			return &panicAlg{}, nil
-		},
-	}})
+	srv, _, release := gatedServer(t, Config{MaxConcurrent: 1, MaxQueued: 4})
 	defer srv.Close()
+	if err := srv.Register(AlgorithmSpec{Name: "panic", New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+		return &panicAlg{}, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
 	close(release)
 
 	id, err := srv.Submit(Request{Algo: "panic"})
@@ -454,12 +463,13 @@ func (p *workerPanicAlg) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.
 func (p *workerPanicAlg) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.Message)    {}
 
 func TestWorkerGoroutinePanicFailsQueryNotDaemon(t *testing.T) {
-	srv, _, release := gatedServer(t, Config{MaxConcurrent: 1, MaxQueued: 4, Factories: map[string]Factory{
-		"wpanic": func(req Request, img *graph.Image) (core.Algorithm, error) {
-			return &workerPanicAlg{}, nil
-		},
-	}})
+	srv, _, release := gatedServer(t, Config{MaxConcurrent: 1, MaxQueued: 4})
 	defer srv.Close()
+	if err := srv.Register(AlgorithmSpec{Name: "wpanic", New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+		return &workerPanicAlg{}, nil
+	}}); err != nil {
+		t.Fatal(err)
+	}
 	close(release)
 
 	id, err := srv.Submit(Request{Algo: "wpanic"})
