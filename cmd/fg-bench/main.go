@@ -15,6 +15,7 @@
 //
 //	fg-bench -exp concurrent -clients 8 -requests 48 -max-concurrent 4
 //	fg-bench -exp concurrent -qps 10 -mix bfs,pagerank,wcc,tc
+//	fg-bench -exp encoding    # raw vs delta edge lists → BENCH_encoding.json
 package main
 
 import (
@@ -32,7 +33,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fg-bench: ")
 	var (
-		exp        = flag.String("exp", "all", "all | table1 | fig8 | fig9 | fig10 | fig11 | table2 | fig12 | fig13 | fig14 | ablations | concurrent | ingest")
+		exp        = flag.String("exp", "all", "all | table1 | fig8 | fig9 | fig10 | fig11 | table2 | fig12 | fig13 | fig14 | ablations | concurrent | ingest | encoding")
 		scaleAdd   = flag.Int("scale-add", 0, "log2 dataset scale adjustment")
 		threads    = flag.Int("threads", 8, "engine worker threads")
 		noThrottle = flag.Bool("no-throttle", false, "disable device timing")
@@ -49,6 +50,12 @@ func main() {
 		ingestScale = flag.Int("ingest-scale", 0, "ingest: RMAT log2 vertex count (0 = bench default)")
 		ingestEPV   = flag.Int("ingest-epv", 0, "ingest: edges per vertex (0 = default 16)")
 		ingestJSON  = flag.String("ingest-json", "BENCH_ingest.json", "ingest: machine-readable output path")
+
+		// -exp encoding knobs (raw vs delta edge-list layouts).
+		encScale   = flag.Int("encoding-scale", 0, "encoding: RMAT log2 vertex count (0 = default 20)")
+		encEPV     = flag.Int("encoding-epv", 0, "encoding: edges per vertex (0 = default 16)")
+		encCacheMB = flag.Int64("encoding-cache", 0, "encoding: serving page cache MiB (0 = default 64)")
+		encJSON    = flag.String("encoding-json", "BENCH_encoding.json", "encoding: machine-readable output path")
 	)
 	flag.Parse()
 
@@ -88,6 +95,13 @@ func main() {
 			Scale:    *ingestScale,
 			EPV:      *ingestEPV,
 			JSONPath: *ingestJSON,
+		}, w)
+	case "encoding":
+		bench.EncodingExp(cfg, bench.EncodingConfig{
+			Scale:    *encScale,
+			EPV:      *encEPV,
+			CacheMB:  *encCacheMB,
+			JSONPath: *encJSON,
 		}, w)
 	case "concurrent":
 		bench.Concurrent(cfg, bench.ConcurrentConfig{

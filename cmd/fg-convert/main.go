@@ -37,6 +37,7 @@ func main() {
 		in         = flag.String("in", "", "input edge list (text)")
 		out        = flag.String("out", "", "output image path")
 		undirected = flag.Bool("undirected", false, "treat edges as undirected")
+		encoding   = flag.String("encoding", "raw", "edge-list layout, raw | delta (delta stores sorted neighbor IDs as varint gaps — smaller images, fewer SSD bytes per query)")
 		weights    = flag.Bool("weights", false, "attach deterministic 4-byte edge weights (SSSP demos)")
 		keepDupes  = flag.Bool("keep-duplicates", false, "keep duplicate edges and self loops")
 		memMB      = flag.Int64("mem", 256, "builder memory budget (MiB) for the external sort")
@@ -45,6 +46,10 @@ func main() {
 	flag.Parse()
 	if *in == "" || *out == "" {
 		log.Fatal("need -in and -out")
+	}
+	enc, err := flashgraph.ParseEncoding(*encoding)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	attrSize := 0
@@ -66,6 +71,7 @@ func main() {
 		return graph.ScanEdgeList(f, emit)
 	}, flashgraph.BuildOptions{
 		Directed:       !*undirected,
+		Encoding:       enc,
 		AttrSize:       attrSize,
 		Attr:           attr,
 		MemBytes:       *memMB << 20,

@@ -47,10 +47,15 @@ func main() {
 		out        = flag.String("out", "", "text edge-list output path (default stdout)")
 		image      = flag.String("image", "", "build a FlashGraph image directly at this path instead of text")
 		undirected = flag.Bool("undirected", false, "image: treat edges as undirected")
+		encoding   = flag.String("encoding", "raw", "image: edge-list layout, raw | delta (delta stores sorted neighbor IDs as varint gaps — smaller images, fewer SSD bytes per query)")
 		memMB      = flag.Int64("mem", 256, "image: builder memory budget (MiB)")
 		tmpDir     = flag.String("tmp", "", "image: directory for spilled sort runs")
 	)
 	flag.Parse()
+	enc, err := flashgraph.ParseEncoding(*encoding)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var source flashgraph.EdgeSource
 	switch *kind {
@@ -86,6 +91,7 @@ func main() {
 	if *image != "" {
 		st, err := flashgraph.BuildGraphFile(*image, source, flashgraph.BuildOptions{
 			Directed: !*undirected,
+			Encoding: enc,
 			MemBytes: *memMB << 20,
 			TmpDir:   *tmpDir,
 		})

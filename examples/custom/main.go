@@ -87,10 +87,7 @@ func (lp *LabelProp) RunOnVertex(ctx *flashgraph.Ctx, v flashgraph.VertexID, pv 
 	if n == 0 {
 		return
 	}
-	targets := make([]flashgraph.VertexID, n)
-	for i := 0; i < n; i++ {
-		targets[i] = pv.Edge(i)
-	}
+	targets := pv.Edges(make([]flashgraph.VertexID, 0, n), nil) // streaming decode
 	ctx.Multicast(targets, flashgraph.Message{I64: int64(lp.Labels[v])})
 }
 

@@ -35,6 +35,7 @@ type BC struct {
 
 	bucketMu sync.Mutex
 	buckets  [][]graph.VertexID
+	scratch  []decodeScratch
 }
 
 const (
@@ -51,6 +52,7 @@ func (b *BC) Init(eng *core.Engine) {
 	b.Centrality = make([]float64, n)
 	b.level = make([]int32, n)
 	b.sigma = make([]float64, n)
+	b.scratch = newScratchPool(eng)
 	for i := range b.level {
 		b.level[i] = -1
 	}
@@ -93,10 +95,7 @@ func (b *BC) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex) 
 	if n == 0 {
 		return
 	}
-	targets := make([]graph.VertexID, n)
-	for i := 0; i < n; i++ {
-		targets[i] = pv.Edge(i)
-	}
+	targets := b.scratch[ctx.WorkerID()].edges(pv) // streaming decode, no alloc
 	if atomic.LoadInt32(&b.phase) == 0 {
 		ctx.Multicast(targets, core.Message{
 			Kind: bcForward,

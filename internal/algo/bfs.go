@@ -67,7 +67,10 @@ func (b *BFS) Run(ctx *core.Ctx, v graph.VertexID) {
 	}
 }
 
-// RunOnVertex implements core.Algorithm: activate all neighbors.
+// RunOnVertex implements core.Algorithm: activate all neighbors. The
+// ascending Edge(i) walk is allocation-free and sequential — amortized
+// O(1) per edge under both edge-list encodings (delta records keep an
+// internal decode cursor for exactly this access pattern).
 func (b *BFS) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex) {
 	n := pv.NumEdges()
 	for i := 0; i < n; i++ {

@@ -20,7 +20,8 @@ type KCore struct {
 	// Alive[v] reports membership in the k-core after Run.
 	Alive []bool
 
-	deg []int32
+	deg     []int32
+	scratch []decodeScratch
 }
 
 // NewKCore returns a k-core program for threshold k.
@@ -34,6 +35,7 @@ func (kc *KCore) Init(eng *core.Engine) {
 	n := eng.NumVertices()
 	kc.Alive = make([]bool, n)
 	kc.deg = make([]int32, n)
+	kc.scratch = newScratchPool(eng)
 	for v := 0; v < n; v++ {
 		kc.Alive[v] = true
 		kc.deg[v] = int32(eng.OutDegree(graph.VertexID(v)))
@@ -59,10 +61,7 @@ func (kc *KCore) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVert
 	if n == 0 {
 		return
 	}
-	targets := make([]graph.VertexID, n)
-	for i := 0; i < n; i++ {
-		targets[i] = pv.Edge(i)
-	}
+	targets := kc.scratch[ctx.WorkerID()].edges(pv) // streaming decode, no alloc
 	ctx.Multicast(targets, core.Message{})
 }
 

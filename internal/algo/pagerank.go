@@ -23,8 +23,9 @@ type PageRank struct {
 	// Scores[v] is v's PageRank after Run.
 	Scores []float64
 
-	delta []float64
-	accum []float64
+	delta   []float64
+	accum   []float64
+	scratch []decodeScratch
 }
 
 // NewPageRank returns a PageRank program with the paper's defaults.
@@ -41,6 +42,7 @@ func (p *PageRank) Init(eng *core.Engine) {
 	p.Scores = make([]float64, n)
 	p.delta = make([]float64, n)
 	p.accum = make([]float64, n)
+	p.scratch = newScratchPool(eng)
 	base := 1 - p.Damping
 	for v := range p.accum {
 		p.accum[v] = base
@@ -74,10 +76,9 @@ func (p *PageRank) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVe
 	}
 	share := p.Damping * p.delta[v] / float64(n)
 	p.delta[v] = 0
-	targets := make([]graph.VertexID, n)
-	for i := 0; i < n; i++ {
-		targets[i] = pv.Edge(i)
-	}
+	// Streaming decode into per-worker scratch: one sequential pass,
+	// no per-vertex allocation, works for both edge-list encodings.
+	targets := p.scratch[ctx.WorkerID()].edges(pv)
 	ctx.Multicast(targets, core.Message{F64: share})
 }
 

@@ -35,6 +35,7 @@ type PPR struct {
 	weighted bool
 	delta    []float64
 	accum    []float64
+	scratch  []decodeScratch
 }
 
 // NewPPR returns a personalized PageRank program restarting at src.
@@ -52,6 +53,7 @@ func (p *PPR) Init(eng *core.Engine) {
 	p.Scores = make([]float64, n)
 	p.delta = make([]float64, n)
 	p.accum = make([]float64, n)
+	p.scratch = newScratchPool(eng)
 	p.accum[p.Src] = 1 - p.Damping
 	eng.ActivateSeed(p.Src)
 }
@@ -88,22 +90,22 @@ func (p *PPR) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex)
 			total += uint64(pv.AttrUint32(i))
 		}
 		if total > 0 {
+			// Streaming decode into per-worker scratch (delta records
+			// decode sequentially); attribute access stays O(1) per edge.
+			edges := p.scratch[ctx.WorkerID()].edges(pv)
 			scale := p.Damping * d / float64(total)
-			for i := 0; i < n; i++ {
+			for i, u := range edges {
 				w := pv.AttrUint32(i)
 				if w == 0 {
 					continue // zero-weight edges carry no walk probability
 				}
-				ctx.Send(pv.Edge(i), core.Message{F64: scale * float64(w)})
+				ctx.Send(u, core.Message{F64: scale * float64(w)})
 			}
 			return
 		}
 	}
 	share := p.Damping * d / float64(n)
-	targets := make([]graph.VertexID, n)
-	for i := 0; i < n; i++ {
-		targets[i] = pv.Edge(i)
-	}
+	targets := p.scratch[ctx.WorkerID()].edges(pv) // streaming decode, no alloc
 	ctx.Multicast(targets, core.Message{F64: share})
 }
 

@@ -63,6 +63,9 @@ func (s *SSSP) Run(ctx *core.Ctx, v graph.VertexID) {
 func (s *SSSP) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex) {
 	d := s.Dist[v]
 	n := pv.NumEdges()
+	// Ascending Edge(i) is allocation-free and amortized O(1) per edge
+	// under both encodings (delta keeps a sequential decode cursor);
+	// weights stay O(1) random access under both.
 	for i := 0; i < n; i++ {
 		nd := d + uint64(pv.AttrUint32(i))
 		u := pv.Edge(i)

@@ -16,6 +16,7 @@ type WCC struct {
 	Labels []graph.VertexID
 
 	improved []bool
+	scratch  []decodeScratch
 }
 
 // NewWCC returns a WCC program.
@@ -26,6 +27,7 @@ func (w *WCC) Init(eng *core.Engine) {
 	n := eng.NumVertices()
 	w.Labels = make([]graph.VertexID, n)
 	w.improved = make([]bool, n)
+	w.scratch = newScratchPool(eng)
 	for v := range w.Labels {
 		w.Labels[v] = graph.VertexID(v)
 		w.improved[v] = true // everyone broadcasts initially
@@ -53,10 +55,7 @@ func (w *WCC) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex)
 	if n == 0 {
 		return
 	}
-	targets := make([]graph.VertexID, n)
-	for i := 0; i < n; i++ {
-		targets[i] = pv.Edge(i)
-	}
+	targets := w.scratch[ctx.WorkerID()].edges(pv) // streaming decode, no alloc
 	ctx.Multicast(targets, core.Message{I64: int64(w.Labels[v])})
 }
 

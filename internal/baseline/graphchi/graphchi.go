@@ -44,6 +44,12 @@ type Engine struct {
 
 // New loads img into fs under the given name and returns an engine.
 func New(img *graph.Image, fs *safs.FS, name string, threads int) (*Engine, error) {
+	if img.Encoding != graph.EncodingRaw {
+		// The baseline's shard scanner parses fixed-size raw records
+		// directly; it is a comparison harness, not a serving path, so
+		// it has no delta decoder.
+		return nil, fmt.Errorf("graphchi: baseline requires a raw-encoded image (got %s)", img.Encoding)
+	}
 	files, err := img.LoadToFS(fs, name)
 	if err != nil {
 		return nil, fmt.Errorf("graphchi: %w", err)

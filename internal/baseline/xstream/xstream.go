@@ -50,6 +50,11 @@ type Engine struct {
 // New serializes the image's directed edges into a flat edge file on fs
 // (X-Stream's native format) and returns an engine.
 func New(img *graph.Image, fs *safs.FS, name string, threads int) (*Engine, error) {
+	if img.Encoding != graph.EncodingRaw {
+		// The flattener below parses fixed-size raw records out of
+		// OutData directly; the baseline harness has no delta decoder.
+		return nil, fmt.Errorf("xstream: baseline requires a raw-encoded image (got %s)", img.Encoding)
+	}
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}

@@ -65,19 +65,19 @@ func (d *Dataset) Ref() *csr.Graph {
 // csrFromImage decodes an image back into CSR form.
 func csrFromImage(img *graph.Image) *csr.Graph {
 	a := &graph.Adjacency{N: img.NumV, Directed: img.Directed}
-	a.Out = decodeLists(img.OutData, img.OutIndex, img.AttrSize)
+	a.Out = decodeLists(img.OutData, img.OutIndex, img.AttrSize, img.Encoding)
 	if img.Directed {
-		a.In = decodeLists(img.InData, img.InIndex, img.AttrSize)
+		a.In = decodeLists(img.InData, img.InIndex, img.AttrSize, img.Encoding)
 	}
 	return csr.FromAdjacency(a)
 }
 
-func decodeLists(data []byte, ix *graph.Index, attrSize int) [][]graph.VertexID {
+func decodeLists(data []byte, ix *graph.Index, attrSize int, enc graph.Encoding) [][]graph.VertexID {
 	lists := make([][]graph.VertexID, ix.NumVertices())
 	for v := range lists {
 		off, size := ix.Locate(graph.VertexID(v))
 		span := graph.ByteSpan(data[off : off+size])
-		pv := graph.NewPageVertex(graph.VertexID(v), graph.OutEdges, span, attrSize)
+		pv := graph.NewPageVertex(graph.VertexID(v), graph.OutEdges, span, attrSize, enc)
 		lists[v] = pv.Edges(nil, nil)
 	}
 	return lists

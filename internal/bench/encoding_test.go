@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestEncodingExperimentShapes runs the raw-vs-delta experiment at a
+// small scale and asserts the invariants the full-scale acceptance run
+// relies on: delta images are smaller, queries read fewer bytes, and
+// both encodings return checksum-identical results (the experiment
+// itself panics on divergence).
+func TestEncodingExperimentShapes(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_encoding.json")
+	res := EncodingExp(Config{Threads: 2}, EncodingConfig{
+		Scale:    13,
+		EPV:      16,
+		CacheMB:  1,
+		JSONPath: jsonPath,
+	}, io.Discard)
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2 (raw, delta)", len(res))
+	}
+
+	blob, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []EncodingRun
+	if err := json.Unmarshal(blob, &runs); err != nil {
+		t.Fatalf("BENCH_encoding.json is not valid JSON: %v", err)
+	}
+	if len(runs) != 2 || runs[0].Encoding != "raw" || runs[1].Encoding != "delta" {
+		t.Fatalf("runs = %+v, want [raw delta]", runs)
+	}
+	raw, delta := runs[0], runs[1]
+
+	if delta.DataBytes >= raw.DataBytes {
+		t.Fatalf("delta data %d >= raw %d", delta.DataBytes, raw.DataBytes)
+	}
+	if delta.BytesPerEdge >= raw.BytesPerEdge {
+		t.Fatalf("delta %.2f B/edge >= raw %.2f", delta.BytesPerEdge, raw.BytesPerEdge)
+	}
+	if raw.BFSChecksum != delta.BFSChecksum || raw.PRChecksum != delta.PRChecksum {
+		t.Fatal("checksums diverge across encodings")
+	}
+	// The PageRank sweep touches the whole edge file repeatedly with a
+	// deliberately tiny cache; fewer on-SSD bytes must show up as fewer
+	// bytes read.
+	if delta.PRBytesRead >= raw.PRBytesRead {
+		t.Fatalf("delta PageRank read %d bytes >= raw %d", delta.PRBytesRead, raw.PRBytesRead)
+	}
+	for _, r := range runs {
+		if r.EdgesPerSec <= 0 || r.BFSSec <= 0 || r.PRSec <= 0 || r.ImageBytes <= 0 {
+			t.Fatalf("missing metrics in %+v", r)
+		}
+		if r.BFSChecksum == "" || r.PRChecksum == "" {
+			t.Fatalf("missing checksums in %+v", r)
+		}
+	}
+}

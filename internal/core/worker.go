@@ -317,7 +317,7 @@ func (w *worker) issue() {
 		for i := 0; i < len(reqs); i++ {
 			r := reqs[i]
 			span := graph.ByteSpan(e.data(r.dir)[r.off : r.off+r.size])
-			pv := graph.NewPageVertex(r.target, r.dir, span, e.img.AttrSize)
+			pv := graph.NewPageVertex(r.target, r.dir, span, e.img.AttrSize, e.img.Encoding)
 			ctx.cur = r.requester
 			e.alg.RunOnVertex(ctx, r.requester, &pv)
 			w.vertexRequestDone(r.requester)
@@ -389,7 +389,7 @@ func (w *worker) issueMerged(group []edgeReq, end int64) {
 		ctx := w.partCtx
 		for _, it := range items {
 			sub := view.Sub(it.off-start, it.size)
-			pv := graph.NewPageVertex(it.target, it.dir, sub, e.img.AttrSize)
+			pv := graph.NewPageVertex(it.target, it.dir, sub, e.img.AttrSize, e.img.Encoding)
 			ctx.cur = it.requester
 			e.alg.RunOnVertex(ctx, it.requester, &pv)
 			w.vertexRequestDone(it.requester)

@@ -12,6 +12,10 @@ type BuildConfig struct {
 	NumV int
 	// Directed selects separate in-/out-edge files.
 	Directed bool
+	// Encoding selects the on-SSD edge-list layout (default
+	// EncodingRaw; EncodingDelta stores sorted neighbors as varint
+	// deltas — fewer bytes per edge on graphs with ID locality).
+	Encoding Encoding
 	// AttrSize/Attr generate per-edge attributes (weights) at encode
 	// time; attributes are never stored in the builder.
 	AttrSize int
@@ -167,6 +171,7 @@ func (b *StreamBuilder) writer() (*ImageWriter, error) {
 	iw := &ImageWriter{
 		NumV:     n,
 		Directed: b.cfg.Directed,
+		Encoding: b.cfg.Encoding,
 		AttrSize: b.cfg.AttrSize,
 		Attr:     b.cfg.Attr,
 		Out:      b.source(b.out),
@@ -232,6 +237,7 @@ func (b *StreamBuilder) Build() (*Image, *BuildStats, error) {
 		NumEdges: img.NumEdges,
 		AttrSize: img.AttrSize,
 		Directed: img.Directed,
+		Encoding: img.Encoding,
 		OutBytes: int64(len(img.OutData)),
 		InBytes:  int64(len(img.InData)),
 		OutIndex: img.OutIndex,

@@ -111,6 +111,9 @@ type Image struct {
 	NumV     int
 	NumEdges int64 // directed: #edges; undirected: #undirected edges
 	AttrSize int
+	// Encoding is the on-SSD edge-list layout of OutData/InData (and of
+	// the bytes LoadToFS copies onto the SSDs). Decoders dispatch on it.
+	Encoding Encoding
 
 	OutData  []byte
 	InData   []byte // nil if undirected
@@ -185,17 +188,18 @@ func (img *Image) writer() *ImageWriter {
 	iw := &ImageWriter{
 		NumV:     img.NumV,
 		Directed: img.Directed,
+		Encoding: img.Encoding,
 		AttrSize: img.AttrSize,
 		Out: recordSource(func() (io.Reader, error) {
 			r, _, err := img.edgeReader(OutEdges)
 			return r, err
-		}, img.NumV, img.AttrSize),
+		}, img.NumV, img.AttrSize, img.Encoding),
 	}
 	if img.Directed {
 		iw.In = recordSource(func() (io.Reader, error) {
 			r, _, err := img.edgeReader(InEdges)
 			return r, err
-		}, img.NumV, img.AttrSize)
+		}, img.NumV, img.AttrSize, img.Encoding)
 	}
 	return iw
 }
@@ -299,10 +303,21 @@ func (img *Image) LoadToFS(fs *safs.FS, name string) (*FSFiles, error) {
 	return files, nil
 }
 
-const imageMagic = "FGIMG001"
+// Container magics. v1 ("FGIMG001") images carry raw-layout edge lists
+// and no index section: reopening one re-scans every record header. v2
+// ("FGIMG002") images record the edge-list encoding and persist the
+// per-vertex degree (and, for delta layouts, record-size) arrays, so
+// reopening is O(index). The writer always emits v2; v1 stays readable.
+const (
+	imageMagicV1 = "FGIMG001"
+	imageMagicV2 = "FGIMG002"
+)
 
-// imageHeaderSize is the byte length of the container magic + header.
-const imageHeaderSize = 8 + 1 + 4 + 8 + 8 + 8 + 8
+// Fixed header lengths (magic included) per container version.
+const (
+	imageHeaderSizeV1 = 8 + 1 + 4 + 8 + 8 + 8 + 8
+	imageHeaderSizeV2 = 8 + 1 + 1 + 4 + 8 + 8 + 8 + 8
+)
 
 // Encode serializes the image to w in FlashGraph's image format, as a
 // thin wrapper over the streaming ImageWriter: the stored records are
@@ -317,9 +332,11 @@ func (img *Image) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Decode deserializes an image written by Encode into RAM, rebuilding
-// the in-memory indexes by scanning record headers. Use OpenImageFile
-// instead to serve images larger than memory.
+// Decode deserializes an image written by Encode into RAM. For v2
+// containers the indexes are rebuilt from the persisted degree and
+// record-size arrays; v1 containers (no index section) fall back to
+// scanning record headers. Use OpenImageFile instead to serve images
+// larger than memory.
 func Decode(r io.Reader) (*Image, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	hdr, err := readImageHeader(br)
@@ -331,7 +348,19 @@ func Decode(r io.Reader) (*Image, error) {
 		NumV:     int(hdr.numV),
 		NumEdges: int64(hdr.numEdges),
 		AttrSize: int(hdr.attrSize),
+		Encoding: hdr.encoding,
 		OutData:  make([]byte, hdr.outLen),
+	}
+	var outMeta, inMeta *indexArrays
+	if hdr.version >= 2 {
+		if outMeta, err = readIndexArrays(br, img.NumV, hdr.encoding); err != nil {
+			return nil, fmt.Errorf("graph: reading out-edge index: %w", err)
+		}
+		if img.Directed {
+			if inMeta, err = readIndexArrays(br, img.NumV, hdr.encoding); err != nil {
+				return nil, fmt.Errorf("graph: reading in-edge index: %w", err)
+			}
+		}
 	}
 	if _, err := io.ReadFull(br, img.OutData); err != nil {
 		return nil, fmt.Errorf("graph: reading out-edge data: %w", err)
@@ -341,6 +370,19 @@ func Decode(r io.Reader) (*Image, error) {
 		if _, err := io.ReadFull(br, img.InData); err != nil {
 			return nil, fmt.Errorf("graph: reading in-edge data: %w", err)
 		}
+	}
+	if hdr.version >= 2 {
+		img.OutIndex, err = outMeta.build(img.AttrSize, hdr.encoding, int64(hdr.outLen))
+		if err != nil {
+			return nil, fmt.Errorf("graph: out-edge file: %w", err)
+		}
+		if img.Directed {
+			img.InIndex, err = inMeta.build(img.AttrSize, hdr.encoding, int64(hdr.inLen))
+			if err != nil {
+				return nil, fmt.Errorf("graph: in-edge file: %w", err)
+			}
+		}
+		return img, nil
 	}
 	img.OutIndex, err = scanIndex(bytes.NewReader(img.OutData), img.NumV, img.AttrSize, int64(len(img.OutData)))
 	if err != nil {
@@ -357,7 +399,9 @@ func Decode(r io.Reader) (*Image, error) {
 
 // imageHeader is the decoded container header.
 type imageHeader struct {
+	version  int
 	directed bool
+	encoding Encoding
 	attrSize uint32
 	numV     uint64
 	numEdges uint64
@@ -365,24 +409,96 @@ type imageHeader struct {
 	inLen    uint64
 }
 
-// readImageHeader consumes and validates the magic + fixed header.
+// dataOffset returns the byte offset of the out-edge file within the
+// container: past the fixed header and (v2) the persisted index
+// section.
+func (h *imageHeader) dataOffset() int64 {
+	if h.version < 2 {
+		return imageHeaderSizeV1
+	}
+	arrays := int64(1)
+	if h.encoding == EncodingDelta {
+		arrays = 2
+	}
+	dirs := int64(1)
+	if h.directed {
+		dirs = 2
+	}
+	return imageHeaderSizeV2 + dirs*arrays*4*int64(h.numV)
+}
+
+// readImageHeader consumes and validates the magic + fixed header,
+// dispatching on the container version.
 func readImageHeader(r io.Reader) (*imageHeader, error) {
-	magic := make([]byte, len(imageMagic))
+	magic := make([]byte, len(imageMagicV1))
 	if _, err := io.ReadFull(r, magic); err != nil {
 		return nil, fmt.Errorf("graph: reading magic: %w", err)
 	}
-	if string(magic) != imageMagic {
+	h := &imageHeader{}
+	switch string(magic) {
+	case imageMagicV1:
+		h.version = 1
+	case imageMagicV2:
+		h.version = 2
+	default:
 		return nil, fmt.Errorf("graph: bad magic %q", magic)
 	}
 	var flags uint8
-	h := &imageHeader{}
-	for _, f := range []interface{}{&flags, &h.attrSize, &h.numV, &h.numEdges, &h.outLen, &h.inLen} {
+	fields := []interface{}{&flags, &h.attrSize, &h.numV, &h.numEdges, &h.outLen, &h.inLen}
+	if h.version >= 2 {
+		var enc uint8
+		if err := binary.Read(r, binary.LittleEndian, &flags); err != nil {
+			return nil, fmt.Errorf("graph: reading header: %w", err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, &enc); err != nil {
+			return nil, fmt.Errorf("graph: reading header: %w", err)
+		}
+		if enc >= uint8(numEncodings) {
+			return nil, fmt.Errorf("graph: unknown edge-list encoding %d", enc)
+		}
+		h.encoding = Encoding(enc)
+		fields = []interface{}{&h.attrSize, &h.numV, &h.numEdges, &h.outLen, &h.inLen}
+	}
+	for _, f := range fields {
 		if err := binary.Read(r, binary.LittleEndian, f); err != nil {
 			return nil, fmt.Errorf("graph: reading header: %w", err)
 		}
 	}
 	h.directed = flags&1 != 0
 	return h, nil
+}
+
+// indexArrays is one direction's persisted index section: per-vertex
+// degrees and (delta layouts) true record byte sizes.
+type indexArrays struct {
+	degrees []uint32
+	sizes   []int64 // nil for raw layouts
+}
+
+// readIndexArrays reads one direction's index section.
+func readIndexArrays(r io.Reader, n int, enc Encoding) (*indexArrays, error) {
+	ia := &indexArrays{degrees: make([]uint32, n)}
+	if err := readU32Array(r, n, func(v int, x uint32) { ia.degrees[v] = x }); err != nil {
+		return nil, err
+	}
+	if enc == EncodingDelta {
+		ia.sizes = make([]int64, n)
+		if err := readU32Array(r, n, func(v int, x uint32) { ia.sizes[v] = int64(x) }); err != nil {
+			return nil, err
+		}
+	}
+	return ia, nil
+}
+
+// build constructs the compact index from the persisted arrays,
+// cross-checking the recorded file size (cheap corruption detection in
+// place of the v1 full scan).
+func (ia *indexArrays) build(attrSize int, enc Encoding, wantSize int64) (*Index, error) {
+	ix := BuildIndexSized(ia.degrees, ia.sizes, attrSize, enc)
+	if ix.FileSize() != wantSize {
+		return nil, fmt.Errorf("index promises %d data bytes, header says %d", ix.FileSize(), wantSize)
+	}
+	return ix, nil
 }
 
 // scanIndex walks an edge-list file's record headers sequentially to

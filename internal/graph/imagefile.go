@@ -8,12 +8,14 @@ import (
 )
 
 // OpenImageFile opens an image written by Encode/WriteImageFile
-// without loading edge data into memory: only the header is read and
-// the record headers are scanned sequentially to rebuild the compact
-// indexes (the paper's ~1.25 B/vertex/direction), while edge lists
-// stay in the host file. The resulting image serves semi-external-
-// memory engines — LoadToFS streams file→SAFS in chunks — and must be
-// Closed when no longer needed.
+// without loading edge data into memory: only the header and the
+// compact indexes (the paper's ~1.25 B/vertex/direction) become
+// resident, while edge lists stay in the host file. For v2 containers
+// the indexes come straight from the persisted degree/record-size
+// arrays — an O(index) open; legacy v1 containers fall back to
+// scanning every record header. The resulting image serves semi-
+// external-memory engines — LoadToFS streams file→SAFS in chunks —
+// and must be Closed when no longer needed.
 func OpenImageFile(path string) (*Image, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -35,14 +37,40 @@ func openImage(f *os.File) (*Image, error) {
 	if err != nil {
 		return nil, err
 	}
+	dataOff := hdr.dataOffset()
 	img := &Image{
 		Directed: hdr.directed,
 		NumV:     int(hdr.numV),
 		NumEdges: int64(hdr.numEdges),
 		AttrSize: int(hdr.attrSize),
+		Encoding: hdr.encoding,
 		backing:  f,
-		outOff:   imageHeaderSize,
-		inOff:    imageHeaderSize + int64(hdr.outLen),
+		outOff:   dataOff,
+		inOff:    dataOff + int64(hdr.outLen),
+	}
+	if !img.Directed && hdr.inLen != 0 {
+		return nil, fmt.Errorf("undirected image carries %d bytes of in-edge data", hdr.inLen)
+	}
+	if hdr.version >= 2 {
+		// O(index) open: the persisted arrays continue right after the
+		// fixed header in br; no record scan touches the data section.
+		outMeta, err := readIndexArrays(br, img.NumV, hdr.encoding)
+		if err != nil {
+			return nil, fmt.Errorf("reading out-edge index: %w", err)
+		}
+		if img.OutIndex, err = outMeta.build(img.AttrSize, hdr.encoding, int64(hdr.outLen)); err != nil {
+			return nil, fmt.Errorf("out-edge file: %w", err)
+		}
+		if img.Directed {
+			inMeta, err := readIndexArrays(br, img.NumV, hdr.encoding)
+			if err != nil {
+				return nil, fmt.Errorf("reading in-edge index: %w", err)
+			}
+			if img.InIndex, err = inMeta.build(img.AttrSize, hdr.encoding, int64(hdr.inLen)); err != nil {
+				return nil, fmt.Errorf("in-edge file: %w", err)
+			}
+		}
+		return img, nil
 	}
 	img.OutIndex, err = scanIndex(
 		io.NewSectionReader(f, img.outOff, int64(hdr.outLen)),
@@ -57,8 +85,6 @@ func openImage(f *os.File) (*Image, error) {
 		if err != nil {
 			return nil, fmt.Errorf("in-edge file: %w", err)
 		}
-	} else if hdr.inLen != 0 {
-		return nil, fmt.Errorf("undirected image carries %d bytes of in-edge data", hdr.inLen)
 	}
 	return img, nil
 }

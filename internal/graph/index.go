@@ -11,15 +11,23 @@ package graph
 //     fraction of vertices here).
 //
 // A lookup starts from the nearest stored offset and walks at most 31
-// degree bytes, computing record sizes arithmetically — "compute their
-// location and size at runtime". The amortized cost is ~1.25 bytes per
-// vertex per direction.
+// degree bytes, computing record sizes at runtime. For the raw layout a
+// record's size is a pure function of its degree; for the delta layout
+// record sizes are data-dependent, so the index additionally stores one
+// record-size byte per vertex (255 spills to a second hash table) — the
+// encoding-aware sizer behind Locate. The amortized cost is ~1.25 bytes
+// per vertex per direction raw, ~2.25 delta.
 type Index struct {
 	n        int
 	attrSize int
+	encoding Encoding
 	degree   []uint8
 	groupOff []int64 // exact offset of vertex (g*GroupSize)'s record
 	large    map[VertexID]uint32
+	// Delta layout only: true per-record byte sizes (one byte per
+	// vertex, 255 spills to the hash table).
+	recBytes []uint8
+	largeRec map[VertexID]int64
 	fileSize int64
 	numEdges int64
 }
@@ -31,15 +39,34 @@ const GroupSize = 32
 // largeDegree is the degree-byte sentinel for hash-table residents.
 const largeDegree = 255
 
-// BuildIndex constructs the index for an edge-list file whose records
-// are ordered by vertex ID with the given degrees.
+// largeRecord is the record-size-byte sentinel for hash-table residents.
+const largeRecord = 255
+
+// BuildIndex constructs the index for a raw-layout edge-list file whose
+// records are ordered by vertex ID with the given degrees.
 func BuildIndex(degrees []uint32, attrSize int) *Index {
+	return BuildIndexSized(degrees, nil, attrSize, EncodingRaw)
+}
+
+// BuildIndexSized constructs the index for an edge-list file in the
+// given encoding. sizes lists each record's true byte length; it is
+// required for EncodingDelta and ignored (may be nil) for EncodingRaw,
+// where sizes follow from degrees.
+func BuildIndexSized(degrees []uint32, sizes []int64, attrSize int, enc Encoding) *Index {
+	if enc == EncodingDelta && len(sizes) != len(degrees) {
+		panic("graph: BuildIndexSized: delta encoding needs one size per record")
+	}
 	ix := &Index{
 		n:        len(degrees),
 		attrSize: attrSize,
+		encoding: enc,
 		degree:   make([]uint8, len(degrees)),
 		groupOff: make([]int64, (len(degrees)+GroupSize-1)/GroupSize+1),
 		large:    make(map[VertexID]uint32),
+	}
+	if enc == EncodingDelta {
+		ix.recBytes = make([]uint8, len(degrees))
+		ix.largeRec = make(map[VertexID]int64)
 	}
 	off := int64(0)
 	var edges int64
@@ -53,7 +80,19 @@ func BuildIndex(degrees []uint32, attrSize int) *Index {
 		} else {
 			ix.degree[v] = uint8(d)
 		}
-		off += RecordSize(d, attrSize)
+		var rec int64
+		if enc == EncodingDelta {
+			rec = sizes[v]
+			if rec >= largeRecord {
+				ix.recBytes[v] = largeRecord
+				ix.largeRec[VertexID(v)] = rec
+			} else {
+				ix.recBytes[v] = uint8(rec)
+			}
+		} else {
+			rec = RecordSize(d, attrSize)
+		}
+		off += rec
 		edges += int64(d)
 	}
 	ix.fileSize = off
@@ -76,6 +115,9 @@ func (ix *Index) FileSize() int64 { return ix.fileSize }
 // AttrSize returns the per-edge attribute size.
 func (ix *Index) AttrSize() int { return ix.attrSize }
 
+// Encoding returns the on-SSD layout this index describes.
+func (ix *Index) Encoding() Encoding { return ix.encoding }
+
 // Degree returns vertex v's degree.
 func (ix *Index) Degree(v VertexID) uint32 {
 	d := ix.degree[v]
@@ -85,25 +127,52 @@ func (ix *Index) Degree(v VertexID) uint32 {
 	return uint32(d)
 }
 
+// RecordBytes is the encoding-aware sizer: the true on-SSD byte length
+// of v's record. For the raw layout it is computed from the degree; for
+// the delta layout it is the stored data-dependent extent.
+func (ix *Index) RecordBytes(v VertexID) int64 {
+	if ix.encoding == EncodingRaw {
+		return RecordSize(ix.Degree(v), ix.attrSize)
+	}
+	b := ix.recBytes[v]
+	if b == largeRecord {
+		return ix.largeRec[v]
+	}
+	return int64(b)
+}
+
 // Locate computes the byte extent [off, off+size) of v's record by
 // walking from the nearest stored group offset.
 func (ix *Index) Locate(v VertexID) (off, size int64) {
 	g := int(v) / GroupSize
 	off = ix.groupOff[g]
 	for u := VertexID(g * GroupSize); u < v; u++ {
-		off += RecordSize(ix.Degree(u), ix.attrSize)
+		off += ix.RecordBytes(u)
 	}
-	return off, RecordSize(ix.Degree(v), ix.attrSize)
+	return off, ix.RecordBytes(v)
 }
 
-// LargeVertices returns how many vertices live in the hash table
-// (diagnostics: power-law graphs keep this small).
-func (ix *Index) LargeVertices() int { return len(ix.large) }
+// LargeVertices returns how many distinct vertices live in the hash
+// tables (diagnostics: power-law graphs keep this small). A delta
+// vertex can be in both tables — a degree-spilled vertex's record is
+// necessarily also >= 255 bytes — so the union is counted, not the sum.
+func (ix *Index) LargeVertices() int {
+	n := len(ix.large)
+	for v := range ix.largeRec {
+		if _, dup := ix.large[v]; !dup {
+			n++
+		}
+	}
+	return n
+}
 
 // MemoryFootprint estimates the index's in-memory size in bytes: degree
-// bytes + group offsets + hash-table entries. This is the number the
-// paper quotes as ~1.25B/vertex (undirected) and ~2.5B/vertex (directed,
-// two indexes).
+// bytes (+ record-size bytes for delta layouts) + group offsets +
+// hash-table entries. This is the number the paper quotes as ~1.25
+// B/vertex (undirected) and ~2.5 B/vertex (directed, two indexes); the
+// delta layout pays one extra byte per vertex for its true extents.
 func (ix *Index) MemoryFootprint() int64 {
-	return int64(len(ix.degree)) + int64(len(ix.groupOff))*8 + int64(len(ix.large))*16
+	m := int64(len(ix.degree)) + int64(len(ix.groupOff))*8 + int64(len(ix.large))*16
+	m += int64(len(ix.recBytes)) + int64(len(ix.largeRec))*16
+	return m
 }

@@ -53,31 +53,81 @@ func (s *sliceStream) Next() (VertexID, VertexID, []byte, bool, error) {
 
 // recordStream decodes an encoded edge-list file back into (vertex,
 // neighbor, attr) triples — the stream form of an existing image,
-// used to funnel Image.Encode through the one canonical encoder.
+// used to funnel Image.Encode through the one canonical encoder. It
+// understands both on-SSD layouts.
 type recordStream struct {
 	br       *bufio.Reader
 	n        int
 	attrSize int
+	enc      Encoding
 
-	v      int    // current vertex
-	deg    int    // its degree
-	i      int    // next neighbor ordinal
-	edges  []byte // current record's edge bytes
-	attrs  []byte // current record's attr bytes
+	v      int        // current vertex
+	deg    int        // its degree
+	i      int        // next neighbor ordinal
+	ids    []VertexID // current record's decoded neighbor IDs
+	attrs  []byte     // current record's attr bytes
 	loaded bool
 }
 
 // recordSource streams the records of one encoded edge-list file.
 // open must return a fresh reader positioned at the file's first
 // record each call.
-func recordSource(open func() (io.Reader, error), n, attrSize int) StreamSource {
+func recordSource(open func() (io.Reader, error), n, attrSize int, enc Encoding) StreamSource {
 	return func() (NeighborStream, error) {
 		r, err := open()
 		if err != nil {
 			return nil, err
 		}
-		return &recordStream{br: bufio.NewReaderSize(r, 1<<20), n: n, attrSize: attrSize}, nil
+		return &recordStream{br: bufio.NewReaderSize(r, 1<<20), n: n, attrSize: attrSize, enc: enc}, nil
 	}
+}
+
+// loadRecord decodes the next record's neighbor IDs into s.ids.
+func (s *recordStream) loadRecord() error {
+	if s.enc == EncodingDelta {
+		cnt, err := binary.ReadUvarint(s.br)
+		if err != nil {
+			return fmt.Errorf("graph: reading record header of vertex %d: %w", s.v, err)
+		}
+		s.deg = int(cnt)
+		s.ids = s.ids[:0]
+		// The first varint is the absolute ID; starting prev at 0 makes
+		// it fall out of the same prev+gap accumulation.
+		prev := uint64(0)
+		for i := 0; i < s.deg; i++ {
+			gap, err := binary.ReadUvarint(s.br)
+			if err != nil {
+				return fmt.Errorf("graph: reading edges of vertex %d: %w", s.v, err)
+			}
+			prev += gap
+			s.ids = append(s.ids, VertexID(prev))
+		}
+	} else {
+		var hdr [headerSize]byte
+		if _, err := io.ReadFull(s.br, hdr[:]); err != nil {
+			return fmt.Errorf("graph: reading record header of vertex %d: %w", s.v, err)
+		}
+		s.deg = int(binary.LittleEndian.Uint32(hdr[:]))
+		s.ids = s.ids[:0]
+		var buf [edgeSize]byte
+		for i := 0; i < s.deg; i++ {
+			if _, err := io.ReadFull(s.br, buf[:]); err != nil {
+				return fmt.Errorf("graph: reading edges of vertex %d: %w", s.v, err)
+			}
+			s.ids = append(s.ids, binary.LittleEndian.Uint32(buf[:]))
+		}
+	}
+	if s.attrSize > 0 {
+		if need := s.deg * s.attrSize; cap(s.attrs) < need {
+			s.attrs = make([]byte, need)
+		} else {
+			s.attrs = s.attrs[:need]
+		}
+		if _, err := io.ReadFull(s.br, s.attrs); err != nil {
+			return fmt.Errorf("graph: reading attrs of vertex %d: %w", s.v, err)
+		}
+	}
+	return nil
 }
 
 func (s *recordStream) Next() (VertexID, VertexID, []byte, bool, error) {
@@ -86,34 +136,14 @@ func (s *recordStream) Next() (VertexID, VertexID, []byte, bool, error) {
 			if s.v >= s.n {
 				return 0, 0, nil, false, nil
 			}
-			var hdr [headerSize]byte
-			if _, err := io.ReadFull(s.br, hdr[:]); err != nil {
-				return 0, 0, nil, false, fmt.Errorf("graph: reading record header of vertex %d: %w", s.v, err)
-			}
-			s.deg = int(binary.LittleEndian.Uint32(hdr[:]))
 			s.i = 0
-			if need := s.deg * edgeSize; cap(s.edges) < need {
-				s.edges = make([]byte, need)
-			} else {
-				s.edges = s.edges[:need]
-			}
-			if _, err := io.ReadFull(s.br, s.edges); err != nil {
-				return 0, 0, nil, false, fmt.Errorf("graph: reading edges of vertex %d: %w", s.v, err)
-			}
-			if s.attrSize > 0 {
-				if need := s.deg * s.attrSize; cap(s.attrs) < need {
-					s.attrs = make([]byte, need)
-				} else {
-					s.attrs = s.attrs[:need]
-				}
-				if _, err := io.ReadFull(s.br, s.attrs); err != nil {
-					return 0, 0, nil, false, fmt.Errorf("graph: reading attrs of vertex %d: %w", s.v, err)
-				}
+			if err := s.loadRecord(); err != nil {
+				return 0, 0, nil, false, err
 			}
 			s.loaded = true
 		}
 		if s.i < s.deg {
-			u := binary.LittleEndian.Uint32(s.edges[s.i*edgeSize:])
+			u := s.ids[s.i]
 			var attr []byte
 			if s.attrSize > 0 {
 				attr = s.attrs[s.i*s.attrSize : (s.i+1)*s.attrSize]
@@ -152,20 +182,29 @@ func countStream(st NeighborStream, n int) ([]uint32, error) {
 }
 
 // encodeStream is THE canonical encoder of FlashGraph's on-SSD
-// edge-list layout: concatenated [count u32][edges][attrs] records in
-// vertex-ID order, one empty record per edgeless vertex. Every path
-// that produces image bytes — BuildImage, Image.Encode, the streaming
-// ImageWriter — funnels through this function. It buffers only one
-// vertex's record at a time, so memory is bounded by the maximum
-// degree, not the graph.
+// edge-list layouts: concatenated records in vertex-ID order, one empty
+// record per edgeless vertex. Every path that produces image bytes —
+// BuildImage, Image.Encode, the streaming ImageWriter — funnels through
+// this function. It buffers only one vertex's record at a time, so
+// memory is bounded by the maximum degree, not the graph.
+//
+// enc selects the record layout. EncodingRaw emits [count u32][edges
+// count×u32][attrs]; EncodingDelta emits [uvarint count][uvarint first
+// ID][uvarint gaps...][attrs] and requires each vertex's neighbors to
+// arrive in ascending ID order (the order every sorted source already
+// produces). The returned sizes slice carries each record's true byte
+// length for EncodingDelta (nil for raw, where sizes follow from
+// degrees) — the data the encoding-aware index sizer needs.
 //
 // src tells the AttrFunc which endpoint owns the record (out-edge
 // records name their source first; in-edge records the destination).
 // Stream-supplied attr bytes win over the AttrFunc.
-func encodeStream(w io.Writer, st NeighborStream, n int, attrSize int, src bool, attr AttrFunc) ([]uint32, int64, error) {
+func encodeStream(w io.Writer, st NeighborStream, n int, attrSize int, enc Encoding, src bool, attr AttrFunc) (degrees []uint32, sizes []int64, total int64, err error) {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	degrees := make([]uint32, n)
-	var total int64
+	degrees = make([]uint32, n)
+	if enc == EncodingDelta {
+		sizes = make([]int64, n)
+	}
 	var nbrs []byte  // pending edge bytes of the current vertex
 	var attrs []byte // pending attr bytes of the current vertex
 	var attrScratch []byte
@@ -175,19 +214,34 @@ func encodeStream(w io.Writer, st NeighborStream, n int, attrSize int, src bool,
 
 	pv, pu, pattr, pok, perr := st.Next()
 	if perr != nil {
-		return nil, 0, perr
+		return nil, nil, 0, perr
 	}
-	var scratch [edgeSize]byte
+	var scratch [binary.MaxVarintLen64]byte
 	for v := 0; v < n; v++ {
 		nbrs = nbrs[:0]
 		attrs = attrs[:0]
+		var cnt uint32
+		var prev VertexID
 		for pok && int(pv) == v {
-			binary.LittleEndian.PutUint32(scratch[:], pu)
-			nbrs = append(nbrs, scratch[:]...)
+			if enc == EncodingDelta {
+				if cnt == 0 {
+					nbrs = binary.AppendUvarint(nbrs, uint64(pu))
+				} else {
+					if pu < prev {
+						return nil, nil, 0, fmt.Errorf("graph: delta encoding needs ascending neighbors: vertex %d lists %d after %d", v, pu, prev)
+					}
+					nbrs = binary.AppendUvarint(nbrs, uint64(pu-prev))
+				}
+				prev = pu
+			} else {
+				binary.LittleEndian.PutUint32(scratch[:], pu)
+				nbrs = append(nbrs, scratch[:edgeSize]...)
+			}
+			cnt++
 			if attrSize > 0 {
 				if pattr != nil {
 					if len(pattr) != attrSize {
-						return nil, 0, fmt.Errorf("graph: edge (%d,%d): attr is %d bytes, want %d", pv, pu, len(pattr), attrSize)
+						return nil, nil, 0, fmt.Errorf("graph: edge (%d,%d): attr is %d bytes, want %d", pv, pu, len(pattr), attrSize)
 					}
 					attrs = append(attrs, pattr...)
 				} else {
@@ -208,33 +262,42 @@ func encodeStream(w io.Writer, st NeighborStream, n int, attrSize int, src bool,
 			}
 			pv, pu, pattr, pok, perr = st.Next()
 			if perr != nil {
-				return nil, 0, perr
+				return nil, nil, 0, perr
 			}
 		}
 		if pok && int(pv) < v {
-			return nil, 0, fmt.Errorf("graph: edge stream not sorted: vertex %d after %d", pv, v)
+			return nil, nil, 0, fmt.Errorf("graph: edge stream not sorted: vertex %d after %d", pv, v)
 		}
-		d := uint32(len(nbrs) / edgeSize)
-		degrees[v] = d
-		binary.LittleEndian.PutUint32(scratch[:], d)
-		if _, err := bw.Write(scratch[:]); err != nil {
-			return nil, 0, err
+		degrees[v] = cnt
+		var hdr []byte
+		if enc == EncodingDelta {
+			hdr = binary.AppendUvarint(scratch[:0], uint64(cnt))
+		} else {
+			binary.LittleEndian.PutUint32(scratch[:], cnt)
+			hdr = scratch[:headerSize]
+		}
+		if _, err := bw.Write(hdr); err != nil {
+			return nil, nil, 0, err
 		}
 		if _, err := bw.Write(nbrs); err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
 		if _, err := bw.Write(attrs); err != nil {
-			return nil, 0, err
+			return nil, nil, 0, err
 		}
-		total += RecordSize(d, attrSize)
+		rec := int64(len(hdr) + len(nbrs) + len(attrs))
+		if enc == EncodingDelta {
+			sizes[v] = rec
+		}
+		total += rec
 	}
 	if pok {
-		return nil, 0, fmt.Errorf("graph: vertex %d out of range (n=%d)", pv, n)
+		return nil, nil, 0, fmt.Errorf("graph: vertex %d out of range (n=%d)", pv, n)
 	}
 	if err := bw.Flush(); err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
-	return degrees, total, nil
+	return degrees, sizes, total, nil
 }
 
 // ImageWriter builds a complete graph image from sorted neighbor
@@ -251,6 +314,8 @@ type ImageWriter struct {
 	NumV int
 	// Directed selects separate out- and in-edge files.
 	Directed bool
+	// Encoding selects the on-SSD record layout (default EncodingRaw).
+	Encoding Encoding
 	// AttrSize is the per-edge attribute size in bytes.
 	AttrSize int
 	// Attr generates attribute bytes for edges whose stream does not
@@ -269,6 +334,7 @@ type ImageInfo struct {
 	NumEdges int64 // directed: #edges; undirected: #undirected edges
 	AttrSize int
 	Directed bool
+	Encoding Encoding
 	OutBytes int64
 	InBytes  int64
 	OutIndex *Index
@@ -287,28 +353,38 @@ func (info *ImageInfo) IndexBytes() int64 {
 	return b
 }
 
-// countDirection runs the degree pass for one direction.
-func (iw *ImageWriter) countDirection(src StreamSource) ([]uint32, error) {
+// countDirection runs the sizing pass for one direction. For the raw
+// layout degrees alone determine every extent, so a cheap counting scan
+// suffices; for the delta layout record sizes are data-dependent, so
+// the pass runs the canonical encoder against io.Discard to learn the
+// exact per-record byte lengths (the attr generator is skipped — attr
+// bytes have fixed size and cannot change extents).
+func (iw *ImageWriter) countDirection(src StreamSource, isSrc bool) ([]uint32, []int64, error) {
 	st, err := src()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return countStream(st, iw.NumV)
+	if iw.Encoding == EncodingRaw {
+		deg, err := countStream(st, iw.NumV)
+		return deg, nil, err
+	}
+	deg, sizes, _, err := encodeStream(io.Discard, st, iw.NumV, iw.AttrSize, iw.Encoding, isSrc, nil)
+	return deg, sizes, err
 }
 
 // encodeDirection runs the record pass for one direction, verifying it
-// replayed the same degrees the degree pass saw.
+// replayed the same degrees and byte total the sizing pass saw.
 func (iw *ImageWriter) encodeDirection(w io.Writer, src StreamSource, isSrc bool, want *Index) error {
 	st, err := src()
 	if err != nil {
 		return err
 	}
-	degrees, total, err := encodeStream(w, st, iw.NumV, iw.AttrSize, isSrc, iw.Attr)
+	degrees, _, total, err := encodeStream(w, st, iw.NumV, iw.AttrSize, iw.Encoding, isSrc, iw.Attr)
 	if err != nil {
 		return err
 	}
 	if total != want.FileSize() {
-		return fmt.Errorf("graph: stream replay mismatch: wrote %d bytes, degree pass promised %d", total, want.FileSize())
+		return fmt.Errorf("graph: stream replay mismatch: wrote %d bytes, sizing pass promised %d", total, want.FileSize())
 	}
 	for v, d := range degrees {
 		if d != want.Degree(VertexID(v)) {
@@ -318,29 +394,38 @@ func (iw *ImageWriter) encodeDirection(w io.Writer, src StreamSource, isSrc bool
 	return nil
 }
 
-// WriteImage writes the full image container (magic, header, out-edge
-// file, in-edge file) to w in two passes per direction, holding only
-// the indexes and one vertex record in memory.
+// WriteImage writes the full image container (magic, header, index
+// section, out-edge file, in-edge file) to w in two passes per
+// direction, holding only the indexes and one vertex record in memory.
+// The persisted index section (per-vertex degrees, plus true record
+// sizes for delta layouts) is what makes reopening the image O(index)
+// instead of an O(data) record-header scan.
 func (iw *ImageWriter) WriteImage(w io.Writer) (*ImageInfo, error) {
 	if iw.NumV < 0 || iw.Out == nil || (iw.Directed && iw.In == nil) {
 		return nil, fmt.Errorf("graph: ImageWriter needs NumV and stream sources for every direction")
 	}
-	outDeg, err := iw.countDirection(iw.Out)
+	if iw.Encoding >= numEncodings {
+		return nil, fmt.Errorf("graph: unknown edge-list encoding %d", iw.Encoding)
+	}
+	outDeg, outSizes, err := iw.countDirection(iw.Out, true)
 	if err != nil {
-		return nil, fmt.Errorf("graph: out-edge degree pass: %w", err)
+		return nil, fmt.Errorf("graph: out-edge sizing pass: %w", err)
 	}
 	info := &ImageInfo{
 		NumV:     iw.NumV,
 		AttrSize: iw.AttrSize,
 		Directed: iw.Directed,
-		OutIndex: BuildIndex(outDeg, iw.AttrSize),
+		Encoding: iw.Encoding,
+		OutIndex: BuildIndexSized(outDeg, outSizes, iw.AttrSize, iw.Encoding),
 	}
+	var inDeg []uint32
+	var inSizes []int64
 	if iw.Directed {
-		inDeg, err := iw.countDirection(iw.In)
+		inDeg, inSizes, err = iw.countDirection(iw.In, false)
 		if err != nil {
-			return nil, fmt.Errorf("graph: in-edge degree pass: %w", err)
+			return nil, fmt.Errorf("graph: in-edge sizing pass: %w", err)
 		}
-		info.InIndex = BuildIndex(inDeg, iw.AttrSize)
+		info.InIndex = BuildIndexSized(inDeg, inSizes, iw.AttrSize, iw.Encoding)
 		info.NumEdges = info.OutIndex.NumEdges()
 		info.InBytes = info.InIndex.FileSize()
 	} else {
@@ -350,6 +435,14 @@ func (iw *ImageWriter) WriteImage(w io.Writer) (*ImageInfo, error) {
 
 	if err := writeImageHeader(w, info); err != nil {
 		return nil, err
+	}
+	if err := writeIndexArrays(w, outDeg, outSizes, iw.Encoding); err != nil {
+		return nil, fmt.Errorf("graph: writing out-edge index: %w", err)
+	}
+	if iw.Directed {
+		if err := writeIndexArrays(w, inDeg, inSizes, iw.Encoding); err != nil {
+			return nil, fmt.Errorf("graph: writing in-edge index: %w", err)
+		}
 	}
 	if err := iw.encodeDirection(w, iw.Out, true, info.OutIndex); err != nil {
 		return nil, fmt.Errorf("graph: out-edge record pass: %w", err)
@@ -363,36 +456,39 @@ func (iw *ImageWriter) WriteImage(w io.Writer) (*ImageInfo, error) {
 }
 
 // BuildImage materializes an in-memory Image through the same encoder
-// (one record pass per direction; the degree pass is subsumed because
+// (one record pass per direction; the sizing pass is subsumed because
 // the data lands in RAM where lengths are free).
 func (iw *ImageWriter) BuildImage() (*Image, error) {
 	if iw.NumV < 0 || iw.Out == nil || (iw.Directed && iw.In == nil) {
 		return nil, fmt.Errorf("graph: ImageWriter needs NumV and stream sources for every direction")
 	}
-	img := &Image{Directed: iw.Directed, NumV: iw.NumV, AttrSize: iw.AttrSize}
+	if iw.Encoding >= numEncodings {
+		return nil, fmt.Errorf("graph: unknown edge-list encoding %d", iw.Encoding)
+	}
+	img := &Image{Directed: iw.Directed, NumV: iw.NumV, AttrSize: iw.AttrSize, Encoding: iw.Encoding}
 	var outBuf bytes.Buffer
 	st, err := iw.Out()
 	if err != nil {
 		return nil, err
 	}
-	outDeg, _, err := encodeStream(&outBuf, st, iw.NumV, iw.AttrSize, true, iw.Attr)
+	outDeg, outSizes, _, err := encodeStream(&outBuf, st, iw.NumV, iw.AttrSize, iw.Encoding, true, iw.Attr)
 	if err != nil {
 		return nil, err
 	}
 	img.OutData = outBuf.Bytes()
-	img.OutIndex = BuildIndex(outDeg, iw.AttrSize)
+	img.OutIndex = BuildIndexSized(outDeg, outSizes, iw.AttrSize, iw.Encoding)
 	if iw.Directed {
 		var inBuf bytes.Buffer
 		st, err := iw.In()
 		if err != nil {
 			return nil, err
 		}
-		inDeg, _, err := encodeStream(&inBuf, st, iw.NumV, iw.AttrSize, false, iw.Attr)
+		inDeg, inSizes, _, err := encodeStream(&inBuf, st, iw.NumV, iw.AttrSize, iw.Encoding, false, iw.Attr)
 		if err != nil {
 			return nil, err
 		}
 		img.InData = inBuf.Bytes()
-		img.InIndex = BuildIndex(inDeg, iw.AttrSize)
+		img.InIndex = BuildIndexSized(inDeg, inSizes, iw.AttrSize, iw.Encoding)
 		img.NumEdges = img.OutIndex.NumEdges()
 	} else {
 		img.NumEdges = img.OutIndex.NumEdges() / 2
@@ -400,9 +496,9 @@ func (iw *ImageWriter) BuildImage() (*Image, error) {
 	return img, nil
 }
 
-// writeImageHeader writes the container magic and fixed header.
+// writeImageHeader writes the v2 container magic and fixed header.
 func writeImageHeader(w io.Writer, info *ImageInfo) error {
-	if _, err := io.WriteString(w, imageMagic); err != nil {
+	if _, err := io.WriteString(w, imageMagicV2); err != nil {
 		return err
 	}
 	var flags uint8
@@ -411,6 +507,7 @@ func writeImageHeader(w io.Writer, info *ImageInfo) error {
 	}
 	hdr := []interface{}{
 		flags,
+		uint8(info.Encoding),
 		uint32(info.AttrSize),
 		uint64(info.NumV),
 		uint64(info.NumEdges),
@@ -420,6 +517,66 @@ func writeImageHeader(w io.Writer, info *ImageInfo) error {
 	for _, f := range hdr {
 		if err := binary.Write(w, binary.LittleEndian, f); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// indexChunk is the element granularity of index-section I/O.
+const indexChunk = 64 << 10
+
+// writeIndexArrays writes one direction's persisted index: per-vertex
+// degrees as little-endian uint32, followed (delta layouts only) by
+// per-vertex record byte sizes, also uint32.
+func writeIndexArrays(w io.Writer, degrees []uint32, sizes []int64, enc Encoding) error {
+	if err := writeU32Array(w, len(degrees), func(v int) uint32 { return degrees[v] }); err != nil {
+		return err
+	}
+	if enc != EncodingDelta {
+		return nil
+	}
+	for v, s := range sizes {
+		if s > int64(^uint32(0)) {
+			return fmt.Errorf("record of vertex %d is %d bytes, exceeding the u32 index limit", v, s)
+		}
+	}
+	return writeU32Array(w, len(sizes), func(v int) uint32 { return uint32(sizes[v]) })
+}
+
+// writeU32Array writes n little-endian uint32 values in bounded chunks.
+func writeU32Array(w io.Writer, n int, at func(int) uint32) error {
+	buf := make([]byte, 0, 4*indexChunk)
+	for v := 0; v < n; v++ {
+		buf = binary.LittleEndian.AppendUint32(buf, at(v))
+		if len(buf) == cap(buf) {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readU32Array reads n little-endian uint32 values in bounded chunks.
+func readU32Array(r io.Reader, n int, set func(int, uint32)) error {
+	buf := make([]byte, 4*indexChunk)
+	for v := 0; v < n; {
+		want := (n - v) * 4
+		if want > len(buf) {
+			want = len(buf)
+		}
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			return err
+		}
+		for i := 0; i < want; i += 4 {
+			set(v, binary.LittleEndian.Uint32(buf[i:]))
+			v++
 		}
 	}
 	return nil

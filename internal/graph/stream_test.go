@@ -67,20 +67,32 @@ func legacyBuildImage(a *Adjacency, attrSize int, attr AttrFunc) *Image {
 	return img
 }
 
-// legacyEncodeContainer assembles the container exactly as the seed's
-// Image.Encode did: header fields followed by the raw data slices.
+// legacyEncodeContainer assembles the v2 container independently of the
+// production writer: fixed header, per-direction degree arrays, then
+// the raw data slices produced by the seed's legacy record encoder. The
+// record layout predates the container bump, so the oracle property —
+// streaming and in-memory paths produce identical bytes — survives it.
 func legacyEncodeContainer(img *Image) []byte {
 	var buf bytes.Buffer
-	buf.WriteString(imageMagic)
+	buf.WriteString(imageMagicV2)
 	var flags uint8
 	if img.Directed {
 		flags = 1
 	}
 	for _, f := range []interface{}{
-		flags, uint32(img.AttrSize), uint64(img.NumV), uint64(img.NumEdges),
+		flags, uint8(EncodingRaw), uint32(img.AttrSize), uint64(img.NumV), uint64(img.NumEdges),
 		uint64(len(img.OutData)), uint64(len(img.InData)),
 	} {
 		binary.Write(&buf, binary.LittleEndian, f)
+	}
+	writeDegrees := func(ix *Index) {
+		for v := 0; v < img.NumV; v++ {
+			binary.Write(&buf, binary.LittleEndian, ix.Degree(VertexID(v)))
+		}
+	}
+	writeDegrees(img.OutIndex)
+	if img.Directed {
+		writeDegrees(img.InIndex)
 	}
 	buf.Write(img.OutData)
 	buf.Write(img.InData)

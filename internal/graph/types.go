@@ -4,9 +4,22 @@
 // a header, edges, and optional edge attributes) and the compact
 // in-memory graph index (degrees in 1–2 bytes per vertex, exact offsets
 // for every 32nd vertex, large degrees spilled to a hash table).
+//
+// Two on-SSD edge-list layouts exist, selected per image and recorded
+// in the container header:
+//
+//   - EncodingRaw: [count u32][edges count×u32][attrs count×attrSize] —
+//     fixed-size records, byte extents computable from the degree alone.
+//   - EncodingDelta: [uvarint count][uvarint first][uvarint gaps...]
+//     [attrs count×attrSize] — neighbors (already ID-sorted on SSD) are
+//     stored as varint deltas, so record sizes are data-dependent and
+//     the compact index carries true byte extents.
 package graph
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // VertexID identifies a vertex. 32 bits cover the paper's largest graph
 // (3.4 billion vertices).
@@ -21,15 +34,59 @@ type Edge struct {
 	Src, Dst VertexID
 }
 
-// headerSize is the per-record header: a uint32 edge count. Edge-list
-// records on SSD are [count u32][edges count×u32][attrs count×attrSize].
+// headerSize is the per-record header of the raw layout: a uint32 edge
+// count. Raw records on SSD are [count u32][edges count×u32][attrs
+// count×attrSize].
 const headerSize = 4
 
-// edgeSize is the on-SSD size of one edge endpoint.
+// edgeSize is the on-SSD size of one raw edge endpoint.
 const edgeSize = 4
 
-// RecordSize returns the on-SSD size of a vertex record with the given
-// degree and per-edge attribute size.
+// Encoding selects an on-SSD edge-list layout. It is a per-image
+// property recorded in the container header; every decoder (PageVertex,
+// the compact index sizer, the baselines) dispatches on it.
+type Encoding uint8
+
+const (
+	// EncodingRaw stores each neighbor as a raw 4-byte ID behind a
+	// 4-byte count — fixed-size records, O(1) random edge access.
+	EncodingRaw Encoding = iota
+	// EncodingDelta stores the (sorted) neighbor IDs as varints: the
+	// count, the first ID, then the gaps between consecutive IDs. Edge
+	// attributes trail the ID stream unchanged. Records shrink with ID
+	// locality; random Edge(i) access costs O(i).
+	EncodingDelta
+
+	// numEncodings bounds the valid Encoding values (header validation).
+	numEncodings
+)
+
+// String returns the CLI/JSON name of the encoding.
+func (e Encoding) String() string {
+	switch e {
+	case EncodingRaw:
+		return "raw"
+	case EncodingDelta:
+		return "delta"
+	}
+	return fmt.Sprintf("encoding(%d)", uint8(e))
+}
+
+// ParseEncoding converts a CLI/JSON name ("raw", "delta") to an
+// Encoding.
+func ParseEncoding(s string) (Encoding, error) {
+	switch s {
+	case "raw", "":
+		return EncodingRaw, nil
+	case "delta":
+		return EncodingDelta, nil
+	}
+	return 0, fmt.Errorf("graph: unknown encoding %q (want raw or delta)", s)
+}
+
+// RecordSize returns the on-SSD size of a RAW-layout vertex record with
+// the given degree and per-edge attribute size. Delta-layout record
+// sizes are data-dependent; use Index.RecordBytes for those.
 func RecordSize(degree uint32, attrSize int) int64 {
 	return headerSize + int64(degree)*int64(edgeSize+attrSize)
 }

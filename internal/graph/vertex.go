@@ -31,7 +31,16 @@ func (b ByteSpan) Slice(rel, n int64, _ []byte) []byte {
 
 // PageVertex is the decoded form of one vertex's edge-list record — the
 // object handed to RunOnVertex ("page_vertex" in the paper's API). The
-// record layout is [count u32][edges count×u32][attrs count×attrSize].
+// span must cover the record's exact byte extent (Index.Locate). Raw
+// records are [count u32][edges count×u32][attrs count×attrSize]; delta
+// records are [uvarint count][uvarint first][uvarint gaps...][attrs].
+//
+// For delta records, neighbor IDs are a sequential varint stream:
+// Edges is the streaming decoder (one pass, the form the algorithm
+// layer uses), and Edge(i) costs O(i) for random access — an internal
+// cursor makes ascending i (i, i+1, i+2, ...) amortized O(1), but
+// arbitrary jumps re-decode from the stream head. Raw records keep O(1)
+// random access. AttrBytes/AttrUint32 are O(1) under both layouts.
 type PageVertex struct {
 	// ID is the vertex whose edge list this is.
 	ID VertexID
@@ -40,6 +49,17 @@ type PageVertex struct {
 
 	span     Span
 	attrSize int
+	encoding Encoding
+
+	// Delta decode state, lazily initialized: numEdges and idsOff cache
+	// the record header; (curIdx, curOff, curPrev) is the sequential
+	// Edge cursor — the ID decoded last, its ordinal, and the stream
+	// offset right after it.
+	numEdges int
+	idsOff   int64
+	curIdx   int
+	curOff   int64
+	curPrev  VertexID
 }
 
 // EdgeDir selects an edge-list direction.
@@ -53,28 +73,110 @@ const (
 	InEdges
 )
 
-// NewPageVertex wraps a record span.
-func NewPageVertex(id VertexID, dir EdgeDir, span Span, attrSize int) PageVertex {
-	return PageVertex{ID: id, Dir: dir, span: span, attrSize: attrSize}
+// NewPageVertex wraps a record span in the given on-SSD layout.
+func NewPageVertex(id VertexID, dir EdgeDir, span Span, attrSize int, enc Encoding) PageVertex {
+	return PageVertex{ID: id, Dir: dir, span: span, attrSize: attrSize, encoding: enc, numEdges: -1}
+}
+
+// uvarintAt decodes one unsigned varint at byte offset off of the span,
+// returning the value and the offset just past it. A corrupt stream
+// panics, matching the engine's fatal-read idiom for device errors:
+// the worker's per-run recover converts it into a failed query while
+// the shared substrate (and every other graph in a catalog) survives.
+func (pv *PageVertex) uvarintAt(off int64) (uint64, int64) {
+	max := pv.span.Len() - off
+	if max > binary.MaxVarintLen64 {
+		max = binary.MaxVarintLen64
+	}
+	var buf [binary.MaxVarintLen64]byte
+	b := pv.span.Slice(off, max, buf[:])
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		panic("graph: corrupt varint in delta edge-list record")
+	}
+	return v, off + int64(n)
+}
+
+// header ensures the delta record header (edge count, ID-stream start)
+// is decoded and the cursor initialized.
+func (pv *PageVertex) header() {
+	if pv.numEdges >= 0 {
+		return
+	}
+	cnt, off := pv.uvarintAt(0)
+	pv.numEdges = int(cnt)
+	pv.idsOff = off
+	pv.curIdx = -1
+	pv.curOff = off
+	pv.curPrev = 0
 }
 
 // NumEdges returns the record's edge count.
 func (pv *PageVertex) NumEdges() int {
+	if pv.encoding == EncodingDelta {
+		pv.header()
+		return pv.numEdges
+	}
 	return int(pv.span.Uint32(0))
 }
 
-// Edge returns the i-th neighbor.
+// RecordBytes returns the record's exact on-SSD byte length (the span
+// covers exactly the record). A scratch buffer of this capacity makes
+// Edges allocation-free under both layouts.
+func (pv *PageVertex) RecordBytes() int64 { return pv.span.Len() }
+
+// Edge returns the i-th neighbor. O(1) for raw records; O(i) worst case
+// for delta records (ascending access is amortized O(1) via the
+// internal cursor) — prefer the streaming Edges form when visiting the
+// whole list.
 func (pv *PageVertex) Edge(i int) VertexID {
-	return pv.span.Uint32(headerSize + int64(i)*edgeSize)
+	if pv.encoding != EncodingDelta {
+		return pv.span.Uint32(headerSize + int64(i)*edgeSize)
+	}
+	pv.header()
+	if i < pv.curIdx {
+		// Restart the sequential decode from the stream head. The first
+		// varint is the absolute ID, which prev=0 folds into the same
+		// prev+gap accumulation.
+		pv.curIdx = -1
+		pv.curOff = pv.idsOff
+		pv.curPrev = 0
+	}
+	for pv.curIdx < i {
+		gap, off := pv.uvarintAt(pv.curOff)
+		pv.curPrev += VertexID(gap)
+		pv.curIdx++
+		pv.curOff = off
+	}
+	return pv.curPrev
 }
 
-// Edges decodes all neighbors, appending to dst (reusing its capacity)
-// and using scratch for page-crossing copies. The returned slice aliases
-// dst's backing array.
+// Edges decodes all neighbors in one sequential pass, appending to dst
+// (reusing its capacity) and using scratch for page-crossing copies.
+// The returned slice aliases dst's backing array. This is the streaming
+// decode form — O(degree) under both layouts.
 func (pv *PageVertex) Edges(dst []VertexID, scratch []byte) []VertexID {
 	n := pv.NumEdges()
 	dst = dst[:0]
 	if n == 0 {
+		return dst
+	}
+	if pv.encoding == EncodingDelta {
+		// One slice of the whole ID stream, then a tight varint loop.
+		// The first varint is the absolute ID; prev=0 folds it into the
+		// same prev+gap accumulation.
+		raw := pv.span.Slice(pv.idsOff, pv.attrOff()-pv.idsOff, scratch)
+		pos := 0
+		prev := uint64(0)
+		for i := 0; i < n; i++ {
+			gap, k := binary.Uvarint(raw[pos:])
+			if k <= 0 {
+				panic("graph: corrupt varint in delta edge-list record")
+			}
+			pos += k
+			prev += gap
+			dst = append(dst, VertexID(prev))
+		}
 		return dst
 	}
 	raw := pv.span.Slice(headerSize, int64(n)*edgeSize, scratch)
@@ -84,11 +186,22 @@ func (pv *PageVertex) Edges(dst []VertexID, scratch []byte) []VertexID {
 	return dst
 }
 
+// attrOff returns the byte offset of the attribute block. Attributes
+// trail the ID stream at fixed size, so under the delta layout the
+// offset comes from the record's exact extent rather than the (data-
+// dependent) ID-stream length.
+func (pv *PageVertex) attrOff() int64 {
+	n := int64(pv.NumEdges())
+	if pv.encoding == EncodingDelta {
+		return pv.span.Len() - n*int64(pv.attrSize)
+	}
+	return headerSize + n*edgeSize
+}
+
 // AttrBytes returns the raw attribute bytes of the i-th edge. It uses
 // scratch when the attribute crosses a page boundary.
 func (pv *PageVertex) AttrBytes(i int, scratch []byte) []byte {
-	n := int64(pv.NumEdges())
-	off := headerSize + n*edgeSize + int64(i)*int64(pv.attrSize)
+	off := pv.attrOff() + int64(i)*int64(pv.attrSize)
 	return pv.span.Slice(off, int64(pv.attrSize), scratch)
 }
 

@@ -108,6 +108,9 @@ type GraphMeta struct {
 	Directed bool `json:"directed"`
 	// Weighted reports 4-byte per-edge attributes.
 	Weighted bool `json:"weighted"`
+	// Encoding names the image's on-SSD edge-list layout ("raw" or
+	// "delta").
+	Encoding string `json:"encoding"`
 }
 
 // metaOf projects an image into the metadata constructors see.
@@ -118,6 +121,7 @@ func metaOf(name string, img *graph.Image) GraphMeta {
 		Edges:    img.NumEdges,
 		Directed: img.Directed,
 		Weighted: img.Weighted(),
+		Encoding: img.Encoding.String(),
 	}
 }
 

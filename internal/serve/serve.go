@@ -239,6 +239,9 @@ type GraphInfo struct {
 	Edges    int64  `json:"edges"`
 	Directed bool   `json:"directed"`
 	Weighted bool   `json:"weighted"`
+	// Encoding names the image's on-SSD edge-list layout ("raw" or
+	// "delta").
+	Encoding string `json:"encoding"`
 	SSDBytes int64  `json:"ssd_bytes"`
 }
 
@@ -349,6 +352,7 @@ func (s *Server) Graphs() []GraphInfo {
 			Edges:    img.NumEdges,
 			Directed: img.Directed,
 			Weighted: img.Weighted(),
+			Encoding: img.Encoding.String(),
 			SSDBytes: img.DataSize(),
 		})
 	}
