@@ -33,7 +33,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fg-bench: ")
 	var (
-		exp        = flag.String("exp", "all", "all | table1 | fig8 | fig9 | fig10 | fig11 | table2 | fig12 | fig13 | fig14 | ablations | concurrent | ingest | encoding")
+		exp        = flag.String("exp", "all", "all | table1 | fig8 | fig9 | fig10 | fig11 | table2 | fig12 | fig13 | fig14 | ablations | concurrent | ingest | encoding | spmv")
 		scaleAdd   = flag.Int("scale-add", 0, "log2 dataset scale adjustment")
 		threads    = flag.Int("threads", 8, "engine worker threads")
 		noThrottle = flag.Bool("no-throttle", false, "disable device timing")
@@ -56,6 +56,13 @@ func main() {
 		encEPV     = flag.Int("encoding-epv", 0, "encoding: edges per vertex (0 = default 16)")
 		encCacheMB = flag.Int64("encoding-cache", 0, "encoding: serving page cache MiB (0 = default 64)")
 		encJSON    = flag.String("encoding-json", "BENCH_encoding.json", "encoding: machine-readable output path")
+
+		// -exp spmv knobs (execution-engine crossover).
+		spmvScale   = flag.Int("spmv-scale", 0, "spmv: RMAT log2 vertex count (0 = default 20)")
+		spmvEPV     = flag.Int("spmv-epv", 0, "spmv: edges per vertex (0 = default 16)")
+		spmvCacheMB = flag.Int64("spmv-cache", 0, "spmv: vertex-engine page cache MiB (0 = default 64)")
+		spmvIters   = flag.Int("spmv-iters", 0, "spmv: PageRank sweep count (0 = default 30)")
+		spmvJSON    = flag.String("spmv-json", "BENCH_spmv.json", "spmv: machine-readable output path")
 	)
 	flag.Parse()
 
@@ -102,6 +109,14 @@ func main() {
 			EPV:      *encEPV,
 			CacheMB:  *encCacheMB,
 			JSONPath: *encJSON,
+		}, w)
+	case "spmv":
+		bench.SpMVExp(cfg, bench.SpMVConfig{
+			Scale:    *spmvScale,
+			EPV:      *spmvEPV,
+			CacheMB:  *spmvCacheMB,
+			Iters:    *spmvIters,
+			JSONPath: *spmvJSON,
 		}, w)
 	case "concurrent":
 		bench.Concurrent(cfg, bench.ConcurrentConfig{

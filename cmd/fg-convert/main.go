@@ -10,11 +10,19 @@
 // reports the Table 2 "init time" numbers — elapsed time, edges/sec,
 // and the builder's peak memory.
 //
+// With -reencode, -in is an existing image instead of an edge list and
+// the tool rewrites it in the -encoding layout. The stored bytes are
+// decoded straight into the target encoder (the image is opened
+// file-backed), so converting between raw, delta, and block layouts
+// never round-trips through an edge list and never materializes the
+// graph in memory.
+//
 // Usage:
 //
 //	fg-convert -in twitter.el -out twitter.fg
 //	fg-convert -in roads.el -out roads.fg -weights    # 4-byte edge weights
 //	fg-convert -in huge.el -out huge.fg -mem 512      # 512MiB build budget
+//	fg-convert -reencode -in twitter.fg -out twitter-block.fg -encoding block
 package main
 
 import (
@@ -37,7 +45,8 @@ func main() {
 		in         = flag.String("in", "", "input edge list (text)")
 		out        = flag.String("out", "", "output image path")
 		undirected = flag.Bool("undirected", false, "treat edges as undirected")
-		encoding   = flag.String("encoding", "raw", "edge-list layout, raw | delta (delta stores sorted neighbor IDs as varint gaps — smaller images, fewer SSD bytes per query)")
+		encoding   = flag.String("encoding", "raw", "edge-list layout, raw | delta | block (delta stores sorted neighbor IDs as varint gaps; block is the 2D edge-block layout for the SpMV engine)")
+		reencode   = flag.Bool("reencode", false, "treat -in as an existing image and rewrite it in the -encoding layout (no edge-list round trip)")
 		weights    = flag.Bool("weights", false, "attach deterministic 4-byte edge weights (SSSP demos)")
 		keepDupes  = flag.Bool("keep-duplicates", false, "keep duplicate edges and self loops")
 		memMB      = flag.Int64("mem", 256, "builder memory budget (MiB) for the external sort")
@@ -50,6 +59,33 @@ func main() {
 	enc, err := flashgraph.ParseEncoding(*encoding)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *reencode {
+		start := time.Now()
+		g, err := flashgraph.OpenGraphFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer g.Close()
+		from := g.Encoding()
+		if err := g.SaveFileAs(*out, enc); err != nil {
+			log.Fatal(err)
+		}
+		outG, err := flashgraph.OpenGraphFile(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer outG.Close()
+		fmt.Fprintf(os.Stderr,
+			"fg-convert: re-encoded %s vertices, %s edges: %s (%s) -> %s (%s) in %v\n",
+			util.HumanCount(int64(g.NumVertices())),
+			util.HumanCount(g.NumEdges()),
+			from, util.HumanBytes(g.SizeBytes()),
+			enc, util.HumanBytes(outG.SizeBytes()),
+			time.Since(start).Round(time.Millisecond),
+		)
+		return
 	}
 
 	attrSize := 0

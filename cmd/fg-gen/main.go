@@ -47,7 +47,7 @@ func main() {
 		out        = flag.String("out", "", "text edge-list output path (default stdout)")
 		image      = flag.String("image", "", "build a FlashGraph image directly at this path instead of text")
 		undirected = flag.Bool("undirected", false, "image: treat edges as undirected")
-		encoding   = flag.String("encoding", "raw", "image: edge-list layout, raw | delta (delta stores sorted neighbor IDs as varint gaps — smaller images, fewer SSD bytes per query)")
+		encoding   = flag.String("encoding", "raw", "image: edge-list layout, raw | delta | block (delta stores sorted neighbor IDs as varint gaps; block is the 2D edge-block layout for the SpMV engine)")
 		memMB      = flag.Int64("mem", 256, "image: builder memory budget (MiB)")
 		tmpDir     = flag.String("tmp", "", "image: directory for spilled sort runs")
 	)

@@ -54,7 +54,7 @@ type degreeCount struct {
 	Degrees   []uint32
 }
 
-func (d *degreeCount) Init(eng *flashgraph.RunContext) {
+func (d *degreeCount) Init(eng flashgraph.RunContext) {
 	d.Degrees = make([]uint32, eng.NumVertices())
 	eng.ActivateAllSeeds()
 }
@@ -87,7 +87,7 @@ func Example_customAlgorithm() {
 		Params: struct {
 			MinDegree int `json:"min_degree"`
 		}{},
-		New: func(raw json.RawMessage, g flashgraph.GraphMeta) (flashgraph.Algorithm, error) {
+		New: func(raw json.RawMessage, g flashgraph.GraphMeta) (flashgraph.Program, error) {
 			var p struct {
 				MinDegree int `json:"min_degree"`
 			}

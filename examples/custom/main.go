@@ -1,10 +1,11 @@
 // Custom: a user-defined vertex program — label-propagation community
-// detection — written purely against the public flashgraph package,
-// registered through the capability-typed AlgorithmSpec registry, and
-// served over HTTP next to the built-ins. This is the paper's headline
-// claim exercised end to end: FlashGraph is a *programming interface*,
-// so the serving stack must run arbitrary vertex programs, not a fixed
-// algorithm menu.
+// detection, registered as "communities" (the stock registry ships its
+// own "labelprop") — written purely against the public flashgraph
+// package, registered through the capability-typed AlgorithmSpec
+// registry, and served over HTTP next to the built-ins. This is the
+// paper's headline claim exercised end to end: FlashGraph is a
+// *programming interface*, so the serving stack must run arbitrary
+// vertex programs, not a fixed algorithm menu.
 //
 //	go run ./examples/custom
 package main
@@ -43,7 +44,7 @@ func (lp *LabelProp) MaxIterations() int { return lp.Iters }
 
 // Init implements flashgraph.Algorithm: everyone is their own
 // community and everyone announces it.
-func (lp *LabelProp) Init(eng *flashgraph.RunContext) {
+func (lp *LabelProp) Init(eng flashgraph.RunContext) {
 	n := eng.NumVertices()
 	lp.Labels = make([]uint32, n)
 	lp.counts = make([]map[uint32]int32, n)
@@ -105,7 +106,7 @@ func (lp *LabelProp) RunOnMessage(ctx *flashgraph.Ctx, v flashgraph.VertexID, ms
 // Result implements the typed result contract: the community vector
 // plus a community count, checksummed like every built-in result.
 func (lp *LabelProp) Result() *flashgraph.ResultSet {
-	rs := flashgraph.NewResultSet("labelprop")
+	rs := flashgraph.NewResultSet("communities")
 	distinct := map[uint32]bool{}
 	for _, l := range lp.Labels {
 		distinct[l] = true
@@ -125,10 +126,10 @@ type labelPropParams struct {
 // spec is everything the serving stack needs to run LabelProp:
 // registration is the whole integration.
 var spec = flashgraph.AlgorithmSpec{
-	Name:   "labelprop",
+	Name:   "communities",
 	Doc:    "label-propagation community detection; community vector + communities scalar",
 	Params: labelPropParams{},
-	New: func(raw json.RawMessage, g flashgraph.GraphMeta) (flashgraph.Algorithm, error) {
+	New: func(raw json.RawMessage, g flashgraph.GraphMeta) (flashgraph.Program, error) {
 		var p labelPropParams
 		if err := flashgraph.DecodeParams(raw, &p); err != nil {
 			return nil, err
@@ -193,7 +194,7 @@ func main() {
 	names := make([]string, len(algos))
 	for i, a := range algos {
 		names[i] = a.Name
-		if a.Name == "labelprop" {
+		if a.Name == "communities" {
 			fmt.Printf("GET /algos -> %s: %q params %v\n", a.Name, a.Doc, a.Params)
 		}
 	}
@@ -201,7 +202,7 @@ func main() {
 
 	// Run it over HTTP with its own typed params.
 	resp, err := http.Post(ts.URL+"/queries", "application/json",
-		strings.NewReader(`{"version":1,"graph":"web","algo":"labelprop","params":{"iters":20}}`))
+		strings.NewReader(`{"version":1,"graph":"web","algo":"communities","params":{"iters":20}}`))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func main() {
 	var done map[string]any
 	mustGetJSON(fmt.Sprintf("%s/queries/%d?wait=1", ts.URL, q.ID), &done)
 	result := done["result"].(map[string]any)
-	fmt.Printf("labelprop on %d vertices / %d edges: %v communities across %d planted domains (checksum %v)\n",
+	fmt.Printf("communities on %d vertices / %d edges: %v communities across %d planted domains (checksum %v)\n",
 		g.NumVertices(), g.NumEdges(), result["communities"], domains, result["checksum"])
 
 	// The typed result endpoints work on it like on any built-in. The
@@ -227,7 +228,7 @@ func main() {
 
 	// Strict typed params: a wrong field fails with the accepted list.
 	resp, err = http.Post(ts.URL+"/queries", "application/json",
-		strings.NewReader(`{"algo":"labelprop","params":{"rounds":5}}`))
+		strings.NewReader(`{"algo":"communities","params":{"rounds":5}}`))
 	if err != nil {
 		log.Fatal(err)
 	}

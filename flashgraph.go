@@ -109,10 +109,16 @@ const (
 	// data-dependent record sizes that cut bytes per edge on graphs
 	// with ID locality, at the cost of sequential-only cheap decoding.
 	EncodingDelta = graph.EncodingDelta
+	// EncodingBlock partitions the edge list into a 2D grid of edge
+	// blocks (CSR within each block, varint-delta columns) laid out so
+	// one row stripe is one contiguous extent — the layout built for
+	// the streaming SpMV engine. Block images have no per-vertex
+	// records, so they serve only EngineSpMV.
+	EncodingBlock = graph.EncodingBlock
 )
 
-// ParseEncoding converts an encoding name ("raw", "delta") as used by
-// the fg-gen/fg-convert -encoding flags into an Encoding.
+// ParseEncoding converts an encoding name ("raw", "delta", "block") as
+// used by the fg-gen/fg-convert -encoding flags into an Encoding.
 func ParseEncoding(s string) (Encoding, error) { return graph.ParseEncoding(s) }
 
 // Graph is an immutable FlashGraph image: compact edge-list files plus
@@ -167,14 +173,31 @@ func (g *Graph) Image() *graph.Image { return g.img }
 // Save writes the graph image to w in FlashGraph's image format.
 func (g *Graph) Save(w io.Writer) error { return g.img.Encode(w) }
 
+// SaveAs writes the graph image to w re-encoded in the given edge-list
+// layout — the conversion path behind fg-convert -reencode. The stored
+// bytes are decoded straight into the target encoder, so converting
+// between raw, delta, and block layouts never round-trips through an
+// edge list or materializes an in-memory adjacency.
+func (g *Graph) SaveAs(w io.Writer, enc Encoding) error { return g.img.EncodeAs(w, enc) }
+
 // SaveFile writes the image to a file.
 func (g *Graph) SaveFile(path string) error {
+	return g.saveFileVia(path, g.Save)
+}
+
+// SaveFileAs writes the image to a file re-encoded in the given
+// edge-list layout (see SaveAs).
+func (g *Graph) SaveFileAs(path string, enc Encoding) error {
+	return g.saveFileVia(path, func(w io.Writer) error { return g.SaveAs(w, enc) })
+}
+
+func (g *Graph) saveFileVia(path string, save func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return g.Save(f)
+	return save(f)
 }
 
 // Close releases the backing file of a file-backed graph
@@ -440,6 +463,23 @@ func (e *Engine) Run(alg Algorithm) (RunStats, error) {
 	return e.shared.NewRun().Run(alg)
 }
 
+// RunOn executes a program on an execution engine of the given kind —
+// EngineVertex (the default message-passing runtime, what Run uses) or
+// EngineSpMV (streaming dense sweeps, for programs with an SpMV form
+// such as PageRank, WCC, and LabelProp). Each call gets a private run
+// context, so concurrent calls are safe.
+func (e *Engine) RunOn(kind EngineKind, p Program) (RunStats, error) {
+	if e.closed.Load() {
+		return RunStats{}, fmt.Errorf("flashgraph: engine is closed")
+	}
+	eng, err := e.shared.NewEngine(kind)
+	if err != nil {
+		return RunStats{}, fmt.Errorf("flashgraph: %w", err)
+	}
+	defer eng.Close()
+	return eng.Run(p)
+}
+
 // Shared exposes the substrate all runs execute over (graph image, SAFS
 // instance, page cache). The serve layer builds on it.
 func (e *Engine) Shared() *core.Shared { return e.shared }
@@ -625,6 +665,14 @@ type WCC = algo.WCC
 
 // NewWCC returns a WCC program.
 func NewWCC() *WCC { return algo.NewWCC() }
+
+// LabelProp is label-propagation community detection; see
+// algo.LabelProp.
+type LabelProp = algo.LabelProp
+
+// NewLabelProp returns a label-propagation program with the default
+// iteration cap.
+func NewLabelProp() *LabelProp { return algo.NewLabelProp() }
 
 // BC is single-source betweenness centrality; see algo.BC.
 type BC = algo.BC

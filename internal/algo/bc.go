@@ -47,7 +47,7 @@ const (
 func NewBC(src graph.VertexID) *BC { return &BC{Src: src} }
 
 // Init implements core.Algorithm.
-func (b *BC) Init(eng *core.Engine) {
+func (b *BC) Init(eng core.ExecutionEngine) {
 	n := eng.NumVertices()
 	b.Centrality = make([]float64, n)
 	b.level = make([]int32, n)

@@ -43,7 +43,7 @@ type BFS struct {
 func NewBFS(src graph.VertexID) *BFS { return &BFS{Src: src} }
 
 // Init implements core.Algorithm.
-func (b *BFS) Init(eng *core.Engine) {
+func (b *BFS) Init(eng core.ExecutionEngine) {
 	n := eng.NumVertices()
 	b.visited = make([]int32, n)
 	b.Level = make([]int32, n)

@@ -1,0 +1,184 @@
+package algo
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"flashgraph/internal/core"
+	"flashgraph/internal/gen"
+	"flashgraph/internal/graph"
+	"flashgraph/internal/result"
+	"flashgraph/internal/safs"
+	"flashgraph/internal/ssd"
+)
+
+// writerFor returns the canonical encoder for adj in the given on-SSD
+// layout.
+func writerFor(a *graph.Adjacency, enc graph.Encoding) *graph.ImageWriter {
+	iw := &graph.ImageWriter{
+		NumV: a.N, Directed: a.Directed, Encoding: enc, Out: graph.SliceSource(a.Out),
+	}
+	if a.Directed {
+		iw.In = graph.SliceSource(a.In)
+	}
+	return iw
+}
+
+// equivCase is one (engine, encoding, image/serving mode) combination
+// of the equivalence matrix.
+type equivCase struct {
+	engine core.EngineKind
+	enc    graph.Encoding
+	mode   string // "mem" (RAM image, in-memory), "sem" (RAM image via SAFS), "semfile" (file-backed image via SAFS)
+}
+
+func (c equivCase) String() string {
+	return fmt.Sprintf("%s/%s/%s", c.engine, c.enc, c.mode)
+}
+
+// runEquivCase executes one freshly built program on the case's engine
+// and returns its ResultSet checksum.
+func runEquivCase(t *testing.T, c equivCase, a *graph.Adjacency, name string, build func() core.Program) string {
+	t.Helper()
+	var img *graph.Image
+	var err error
+	if c.mode == "semfile" {
+		path := filepath.Join(t.TempDir(), "g.img")
+		if _, err = graph.WriteImageFile(path, writerFor(a, c.enc)); err != nil {
+			t.Fatal(err)
+		}
+		if img, err = graph.OpenImageFile(path); err != nil {
+			t.Fatal(err)
+		}
+	} else if img, err = writerFor(a, c.enc).BuildImage(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Threads: 3, RangeShift: 4}
+	if c.mode == "mem" {
+		cfg.InMemory = true
+	} else {
+		arr := ssd.NewArray(ssd.ArrayParams{Devices: 2, StripeSize: 16 * 4096})
+		t.Cleanup(arr.Close)
+		cfg.FS = safs.New(arr, safs.Config{CacheBytes: 1 << 20})
+	}
+	shared, err := core.NewShared(img, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := shared.NewEngine(c.engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	prog := build()
+	st, err := eng.Run(prog)
+	if err != nil {
+		t.Fatalf("%s: %v", c, err)
+	}
+	if st.Engine != string(c.engine) {
+		t.Fatalf("%s: RunStats.Engine = %q", c, st.Engine)
+	}
+	return result.From(prog, name).Checksum()
+}
+
+// TestEnginesChecksumIdentical is the engine-equivalence suite: every
+// algorithm with both executable forms (pagerank, wcc, labelprop) must
+// produce a checksum-identical ResultSet on the message-passing engine
+// and the SpMV engine, across all on-SSD encodings each engine serves
+// and across in-memory, SEM, and file-backed image serving. This is the
+// contract that lets the serve layer route by Caps.SupportsSpMV without
+// changing any answer.
+func TestEnginesChecksumIdentical(t *testing.T) {
+	a := graph.FromEdges(1<<10, gen.RMAT(10, 8, 7), true)
+	a.Dedup()
+
+	algos := map[string]func() core.Program{
+		"pagerank":  func() core.Program { return NewPageRank() },
+		"wcc":       func() core.Program { return NewWCC() },
+		"labelprop": func() core.Program { return NewLabelProp() },
+	}
+
+	// The vertex engine serves the two per-vertex record layouts; the
+	// SpMV engine serves all three, block being the one built for it.
+	cases := []equivCase{
+		{core.EngineVertex, graph.EncodingRaw, "mem"},
+		{core.EngineVertex, graph.EncodingRaw, "sem"},
+		{core.EngineVertex, graph.EncodingDelta, "sem"},
+		{core.EngineVertex, graph.EncodingDelta, "semfile"},
+		{core.EngineSpMV, graph.EncodingRaw, "mem"},
+		{core.EngineSpMV, graph.EncodingRaw, "sem"},
+		{core.EngineSpMV, graph.EncodingDelta, "mem"},
+		{core.EngineSpMV, graph.EncodingDelta, "sem"},
+		{core.EngineSpMV, graph.EncodingBlock, "mem"},
+		{core.EngineSpMV, graph.EncodingBlock, "sem"},
+		{core.EngineSpMV, graph.EncodingBlock, "semfile"},
+	}
+
+	for name, build := range algos {
+		t.Run(name, func(t *testing.T) {
+			want := runEquivCase(t, cases[0], a, name, build)
+			for _, c := range cases[1:] {
+				if got := runEquivCase(t, c, a, name, build); got != want {
+					t.Errorf("%s: checksum %s != %s (%s)", c, got, want, cases[0])
+				}
+			}
+		})
+	}
+}
+
+// TestEngineFormMismatches pins the cross-form error surface: each
+// engine rejects the other form's programs, and the vertex engine
+// rejects images without per-vertex records.
+func TestEngineFormMismatches(t *testing.T) {
+	a := graph.FromEdges(1<<6, gen.RMAT(6, 4, 7), true)
+	a.Dedup()
+
+	blockImg, err := writerFor(a, graph.EncodingBlock).BuildImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockShared, err := core.NewShared(blockImg, core.Config{Threads: 2, InMemory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blockShared.NewEngine(core.EngineVertex); err == nil {
+		t.Fatal("vertex engine accepted a block-encoded image")
+	}
+
+	rawImg, err := writerFor(a, graph.EncodingRaw).BuildImage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawShared, err := core.NewShared(rawImg, core.Config{Threads: 2, InMemory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rawShared.NewEngine("turbo"); err == nil {
+		t.Fatal("NewEngine accepted an unknown kind")
+	}
+	spmv, err := rawShared.NewEngine(core.EngineSpMV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spmv.Run(NewBFS(0)); err == nil {
+		t.Fatal("SpMV engine ran a vertex-only program")
+	}
+	vertex, err := rawShared.NewEngine(core.EngineVertex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vertex.Run(onlySpMV{}); err == nil {
+		t.Fatal("vertex engine ran an SpMV-only program")
+	}
+}
+
+// onlySpMV implements core.SpMVProgram but not core.Algorithm.
+type onlySpMV struct{}
+
+func (onlySpMV) Init(core.ExecutionEngine) {}
+func (onlySpMV) BeginIteration(core.ExecutionEngine, int) []graph.EdgeDir {
+	return nil
+}
+func (onlySpMV) ApplyRow(graph.EdgeDir, graph.VertexID, []graph.VertexID) {}
+func (onlySpMV) EndIteration(core.ExecutionEngine, int) bool              { return true }

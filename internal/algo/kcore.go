@@ -28,7 +28,7 @@ type KCore struct {
 func NewKCore(k int) *KCore { return &KCore{K: k} }
 
 // Init implements core.Algorithm.
-func (kc *KCore) Init(eng *core.Engine) {
+func (kc *KCore) Init(eng core.ExecutionEngine) {
 	if eng.Directed() {
 		panic("algo: KCore requires an undirected graph")
 	}

@@ -6,26 +6,49 @@ import (
 	"flashgraph/internal/result"
 )
 
+// prScale is the fixed-point scale for rank deltas: Q16.48. Both
+// executable forms accumulate deltas as int64 multiples of 2^-48, so
+// addition is exact and commutative — the engines deliver deltas in
+// different orders (per-message on the vertex engine, per-edge-block on
+// the SpMV engine), and integer accumulation makes the results
+// bit-identical anyway. 48 fraction bits keep the per-share truncation
+// (< 2^-48 ≈ 3.6e-15) far below any useful Threshold, and total rank
+// mass (= numVertices) stays well inside the 16 integer bits for any
+// graph a 32-bit VertexID addresses.
+const prScale = float64(1 << 48)
+
 // PageRank is the paper's delta-based PageRank [30]: an active vertex
 // pushes the change (delta) of its rank to its out-neighbors, who
 // accumulate deltas and activate themselves when the accumulation
 // crosses a threshold. As the computation converges, fewer vertices
 // activate per iteration — the property that separates FlashGraph's
 // selective I/O from GraphChi/X-Stream's full scans.
+//
+// PageRank has two executable forms behind one algorithm name: the
+// vertex program above (core.Algorithm, message passing) and a dense
+// sweep (core.SpMVProgram) that streams the out-edge lists and applies
+// the same absorb/push/crossing logic over dense arrays. Both forms run
+// the identical fixed-point arithmetic in the identical per-vertex
+// order, so Scores — and the ResultSet checksum — are bit-identical
+// across engines and on-SSD encodings.
 type PageRank struct {
 	// Damping is the damping factor (default 0.85).
 	Damping float64
 	// Threshold is the activation threshold on accumulated delta
-	// (default 1e-7).
+	// (default 1e-7; 0 runs full sweeps to the iteration cap).
 	Threshold float64
 	// Iters caps iterations (default 30, matching Pregel and §4).
 	Iters int
 	// Scores[v] is v's PageRank after Run.
 	Scores []float64
 
-	delta   []float64
-	accum   []float64
-	scratch []decodeScratch
+	accumFix []int64 // pending delta, fixed point
+	shareFix []int64 // damped degree-normalized delta being pushed
+	thrFix   int64
+	scratch  []decodeScratch
+
+	// Dense-sweep frontier (SpMV form only).
+	active, nextActive []bool
 }
 
 // NewPageRank returns a PageRank program with the paper's defaults.
@@ -36,50 +59,78 @@ func NewPageRank() *PageRank {
 // MaxIterations implements core.IterationLimiter.
 func (p *PageRank) MaxIterations() int { return p.Iters }
 
-// Init implements core.Algorithm.
-func (p *PageRank) Init(eng *core.Engine) {
+// Init implements core.Program for both forms.
+func (p *PageRank) Init(eng core.ExecutionEngine) {
 	n := eng.NumVertices()
 	p.Scores = make([]float64, n)
-	p.delta = make([]float64, n)
-	p.accum = make([]float64, n)
-	p.scratch = newScratchPool(eng)
-	base := 1 - p.Damping
-	for v := range p.accum {
-		p.accum[v] = base
+	p.accumFix = make([]int64, n)
+	p.shareFix = make([]int64, n)
+	p.thrFix = int64(p.Threshold * prScale)
+	baseFix := int64((1 - p.Damping) * prScale)
+	for v := range p.accumFix {
+		p.accumFix[v] = baseFix
+	}
+	if eng.Kind() == core.EngineSpMV {
+		p.active = make([]bool, n)
+		p.nextActive = make([]bool, n)
+		for v := range p.active {
+			p.active[v] = true
+		}
+	} else {
+		p.scratch = newScratchPool(eng)
 	}
 	eng.ActivateAllSeeds()
 }
 
-// Run implements core.Algorithm: absorb the accumulated delta and, if
-// the vertex has out-edges to push along, request its edge list.
-func (p *PageRank) Run(ctx *core.Ctx, v graph.VertexID) {
-	d := p.accum[v]
+// absorb folds v's pending delta into its score and returns the share
+// to push along each out-edge (0 = nothing to push). It is the one
+// place rank moves from the fixed-point pipeline into Scores, shared
+// verbatim by both forms so float rounding is identical.
+func (p *PageRank) absorb(v graph.VertexID, outdeg uint32) int64 {
+	d := p.accumFix[v]
 	if d == 0 {
+		return 0
+	}
+	p.accumFix[v] = 0
+	p.Scores[v] += float64(d) / prScale
+	if outdeg == 0 {
+		return 0
+	}
+	return int64(p.Damping * float64(d) / float64(outdeg))
+}
+
+// deliver accumulates one incoming share and reports whether it crossed
+// the activation threshold (deltas are strictly positive, so a vertex
+// crosses at most once between absorbs, in any delivery order).
+func (p *PageRank) deliver(v graph.VertexID, share int64) (crossed bool) {
+	was := p.accumFix[v] <= p.thrFix
+	p.accumFix[v] += share
+	return was && p.accumFix[v] > p.thrFix
+}
+
+// Run implements core.Algorithm: absorb the accumulated delta and, if
+// there is a share to push, request the out-edge list.
+func (p *PageRank) Run(ctx *core.Ctx, v graph.VertexID) {
+	share := p.absorb(v, ctx.OutDegree(v))
+	if share == 0 {
 		return
 	}
-	p.accum[v] = 0
-	p.Scores[v] += d
-	if ctx.OutDegree(v) == 0 {
-		return
-	}
-	p.delta[v] = d
+	p.shareFix[v] = share
 	ctx.RequestSelf(graph.OutEdges)
 }
 
-// RunOnVertex implements core.Algorithm: multicast the damped,
-// degree-normalized delta to all out-neighbors (the same value goes to
-// every neighbor — the paper's motivating multicast case).
+// RunOnVertex implements core.Algorithm: multicast the share to all
+// out-neighbors (the same value goes to every neighbor — the paper's
+// motivating multicast case).
 func (p *PageRank) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex) {
-	n := pv.NumEdges()
-	if n == 0 {
+	if pv.NumEdges() == 0 {
 		return
 	}
-	share := p.Damping * p.delta[v] / float64(n)
-	p.delta[v] = 0
 	// Streaming decode into per-worker scratch: one sequential pass,
 	// no per-vertex allocation, works for both edge-list encodings.
 	targets := p.scratch[ctx.WorkerID()].edges(pv)
-	ctx.Multicast(targets, core.Message{F64: share})
+	ctx.Multicast(targets, core.Message{I64: p.shareFix[v]})
+	p.shareFix[v] = 0
 }
 
 // RunOnMessage implements core.Algorithm: accumulate the delta and
@@ -87,15 +138,63 @@ func (p *PageRank) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVe
 // delivered on its partition's owner thread, so no synchronization is
 // needed.
 func (p *PageRank) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.Message) {
-	wasBelow := p.accum[v] <= p.Threshold && p.accum[v] >= -p.Threshold
-	p.accum[v] += msg.F64
-	if wasBelow && (p.accum[v] > p.Threshold || p.accum[v] < -p.Threshold) {
+	if p.deliver(v, msg.I64) {
 		ctx.Activate(v)
 	}
 }
 
+// BeginIteration implements core.SpMVProgram: absorb every active
+// vertex's delta — the dense mirror of the run phase — and sweep the
+// out-edge lists if anything is left to push.
+func (p *PageRank) BeginIteration(eng core.ExecutionEngine, iter int) []graph.EdgeDir {
+	pushing := false
+	for v := range p.active {
+		var share int64
+		if p.active[v] {
+			p.active[v] = false
+			share = p.absorb(graph.VertexID(v), eng.OutDegree(graph.VertexID(v)))
+		}
+		p.shareFix[v] = share
+		pushing = pushing || share != 0
+	}
+	if !pushing {
+		return nil
+	}
+	return []graph.EdgeDir{graph.OutEdges}
+}
+
+// ApplyRow implements core.SpMVProgram: deliver row's share to each
+// out-neighbor — the dense mirror of the message phase. A row split
+// across edge blocks delivers per block; the share stays readable until
+// the next BeginIteration, and integer accumulation keeps the split
+// equivalent to one multicast.
+func (p *PageRank) ApplyRow(dir graph.EdgeDir, row graph.VertexID, cols []graph.VertexID) {
+	share := p.shareFix[row]
+	if share == 0 {
+		return
+	}
+	for _, c := range cols {
+		if p.deliver(c, share) {
+			p.nextActive[c] = true
+		}
+	}
+}
+
+// EndIteration implements core.SpMVProgram: promote the next frontier.
+func (p *PageRank) EndIteration(eng core.ExecutionEngine, iter int) bool {
+	p.active, p.nextActive = p.nextActive, p.active
+	any := false
+	for v := range p.nextActive {
+		p.nextActive[v] = false
+		any = any || p.active[v]
+	}
+	return !any
+}
+
 // StateBytes implements core.StateSized.
-func (p *PageRank) StateBytes() int64 { return int64(len(p.Scores)) * 24 }
+func (p *PageRank) StateBytes() int64 {
+	return int64(len(p.Scores))*24 + int64(len(p.active))*2
+}
 
 // Result implements core.ResultProducer: the per-vertex "score" vector.
 func (p *PageRank) Result() *result.ResultSet {

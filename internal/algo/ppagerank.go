@@ -47,7 +47,7 @@ func NewPPR(src graph.VertexID) *PPR {
 func (p *PPR) MaxIterations() int { return p.Iters }
 
 // Init implements core.Algorithm: all restart mass starts at Src.
-func (p *PPR) Init(eng *core.Engine) {
+func (p *PPR) Init(eng core.ExecutionEngine) {
 	p.weighted = eng.Weighted()
 	n := eng.NumVertices()
 	p.Scores = make([]float64, n)

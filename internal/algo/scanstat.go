@@ -54,7 +54,7 @@ type ssState struct {
 func NewScanStat() *ScanStat { return &ScanStat{} }
 
 // Init implements core.Algorithm.
-func (s *ScanStat) Init(eng *core.Engine) {
+func (s *ScanStat) Init(eng core.ExecutionEngine) {
 	s.Max = -1
 	s.ArgMax = graph.InvalidVertex
 	s.Computed = 0

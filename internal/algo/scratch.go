@@ -17,7 +17,7 @@ type decodeScratch struct {
 }
 
 // newScratchPool sizes the pool for the engine's worker count.
-func newScratchPool(eng *core.Engine) []decodeScratch {
+func newScratchPool(eng core.ExecutionEngine) []decodeScratch {
 	return make([]decodeScratch, eng.Threads())
 }
 

@@ -30,7 +30,7 @@ const Unreachable = ^uint64(0)
 func NewSSSP(src graph.VertexID) *SSSP { return &SSSP{Src: src} }
 
 // Init implements core.Algorithm.
-func (s *SSSP) Init(eng *core.Engine) {
+func (s *SSSP) Init(eng core.ExecutionEngine) {
 	if !eng.Weighted() {
 		panic("algo: SSSP needs a graph image with 4-byte edge weights")
 	}

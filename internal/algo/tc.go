@@ -61,7 +61,7 @@ func NewTC() *TC { return &TC{PartSize: 2048} }
 func candKey(v, u graph.VertexID) uint64 { return uint64(v)<<32 | uint64(u) }
 
 // Init implements core.Algorithm.
-func (t *TC) Init(eng *core.Engine) {
+func (t *TC) Init(eng core.ExecutionEngine) {
 	n := eng.NumVertices()
 	t.Total = 0
 	t.PerVertex = make([]int64, n)

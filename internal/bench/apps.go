@@ -200,7 +200,7 @@ type prSplitter struct {
 }
 
 // Init implements core.Algorithm, capturing the baseline counters.
-func (s *prSplitter) Init(eng *core.Engine) {
+func (s *prSplitter) Init(eng core.ExecutionEngine) {
 	s.PageRank.Init(eng)
 	s.start = time.Now()
 	cs := s.fs.Cache().Stats()

@@ -99,17 +99,18 @@ func Concurrent(cfg Config, ccfg ConcurrentConfig, w io.Writer) []Result {
 	defer srv.Close()
 
 	src := bfsSource(d.Img)
+	meta := serve.GraphMeta{Name: d.Name, Vertices: d.Img.NumV, Edges: d.Img.NumEdges,
+		Directed: d.Img.Directed, Weighted: d.Img.Weighted(), Encoding: d.Img.Encoding.String()}
 	// Build each mix entry's typed request once, outside the submission
-	// loop: single-source algorithms get the dataset's canonical source
-	// as params, and the load generator never re-marshals JSON.
+	// loop, through the spec's own benchmark param template — the
+	// registry, not this driver, knows which algorithms need the
+	// dataset's canonical source — and the load generator never
+	// re-marshals JSON.
 	reqs := make(map[string]serve.Request, len(ccfg.Mix))
 	for _, name := range ccfg.Mix {
 		req := serve.Request{Version: serve.RequestVersion, Algo: name}
-		switch name {
-		case "bfs", "bc", "sssp":
-			req.Params = serve.MarshalParams(serve.SrcParams{Src: src})
-		case "ppagerank":
-			req.Params = serve.MarshalParams(serve.PPRParams{Src: src})
+		if spec, ok := serve.DefaultSpec(name); ok && spec.BenchParams != nil {
+			req.Params = spec.BenchParams(meta, src)
 		}
 		reqs[name] = req
 	}

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"flashgraph/internal/algo"
+	"flashgraph/internal/core"
+	"flashgraph/internal/gen"
+	"flashgraph/internal/graph"
+	"flashgraph/internal/result"
+	"flashgraph/internal/util"
+)
+
+// SpMVConfig parameterizes the execution-engine crossover experiment.
+type SpMVConfig struct {
+	// Scale is the RMAT log2 vertex count (default 20 — the acceptance
+	// dataset — shifted by Config.ScaleAdd like every dataset).
+	Scale int
+	// EPV is edges per vertex (default 16).
+	EPV int
+	// CacheMB sizes the vertex engine's page cache (default 64MiB, well
+	// under the scale-20 image; the SpMV engine reads whole stripes and
+	// uses no cache).
+	CacheMB int64
+	// Iters is the fixed PageRank sweep count (default 30).
+	Iters int
+	// JSONPath receives the machine-readable results (fg-bench defaults
+	// its flag to "BENCH_spmv.json").
+	JSONPath string
+}
+
+func (c *SpMVConfig) setDefaults(cfg *Config) {
+	if c.Scale == 0 {
+		c.Scale = 20 + cfg.ScaleAdd
+	}
+	if c.EPV == 0 {
+		c.EPV = 16
+	}
+	if c.CacheMB == 0 {
+		c.CacheMB = 64
+	}
+	if c.Iters == 0 {
+		c.Iters = 30
+	}
+}
+
+// SpMVRun is one (engine, encoding) measurement serialized into
+// BENCH_spmv.json: a full-sweep PageRank (threshold 0, every vertex
+// active every iteration — the workload where selectivity buys nothing)
+// on one execution engine over one on-SSD layout. The checksums prove
+// the engines answer bit-identically.
+type SpMVRun struct {
+	Engine       string  `json:"engine"`
+	Encoding     string  `json:"encoding"`
+	Scale        int     `json:"scale"`
+	EPV          int     `json:"epv"`
+	Iters        int     `json:"iters"`
+	DataBytes    int64   `json:"data_bytes"` // edge-list bytes on SSD
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	BytesRead    int64   `json:"bytes_read"`
+	EdgeRequests int64   `json:"edge_requests"` // SpMV: stripe reads
+	DeviceReads  int64   `json:"device_reads"`
+	MemoryBytes  int64   `json:"memory_bytes"`
+	Checksum     string  `json:"checksum"`
+}
+
+// SpMVExp measures the engine crossover the 2D edge-block layout
+// exists for: a full-sweep PageRank (threshold 0) runs on the
+// message-passing vertex engine over the raw layout, then on the SpMV
+// engine over raw and over the block layout, all semi-external-memory
+// over identical simulated SSD arrays. With every vertex active every
+// iteration, the vertex engine pays for request sorting, merging, page
+// cache, and message buffers it gets nothing from, while the SpMV
+// engine streams each stripe exactly once sequentially. The run panics
+// if any checksum diverges or if the SpMV engine fails to beat the
+// vertex engine on wall time — this experiment is the acceptance gauge
+// for the engine refactor, not just a table.
+func SpMVExp(cfg Config, scfg SpMVConfig, w io.Writer) []Result {
+	cfg.setDefaults()
+	scfg.setDefaults(&cfg)
+	header(w, fmt.Sprintf("Execution engines: full-sweep PageRank, message passing vs SpMV (RMAT scale %d, %d edges/vertex, %d iterations)",
+		scfg.Scale, scfg.EPV, scfg.Iters))
+	fmt.Fprintf(w, "%-18s %10s %12s %12s %12s %12s\n",
+		"engine/layout", "on-SSD", "elapsed(s)", "read", "requests", "memory")
+
+	tmp, err := os.MkdirTemp("", "fg-spmv-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	// One RMAT stream, built once into the raw image, re-encoded (no
+	// edge-list round trip) into the block image.
+	rawPath := filepath.Join(tmp, "spmv-raw.fg")
+	b := graph.NewStreamBuilder(graph.BuildConfig{
+		NumV:     1 << scfg.Scale,
+		Directed: true,
+		Encoding: graph.EncodingRaw,
+		MemBytes: 256 << 20,
+		TmpDir:   tmp,
+	})
+	if err := gen.RMATStream(scfg.Scale, scfg.EPV, cfg.Seed+1, b.Add); err != nil {
+		panic(err)
+	}
+	if _, err := b.WriteFile(rawPath); err != nil {
+		panic(err)
+	}
+	rawImg, err := graph.OpenImageFile(rawPath)
+	if err != nil {
+		panic(err)
+	}
+	defer rawImg.Close()
+
+	blockPath := filepath.Join(tmp, "spmv-block.fg")
+	bf, err := os.Create(blockPath)
+	if err != nil {
+		panic(err)
+	}
+	if err := rawImg.EncodeAs(bf, graph.EncodingBlock); err != nil {
+		panic(err)
+	}
+	if err := bf.Close(); err != nil {
+		panic(err)
+	}
+	blockImg, err := graph.OpenImageFile(blockPath)
+	if err != nil {
+		panic(err)
+	}
+	defer blockImg.Close()
+
+	// Each variant gets a fresh SEM substrate (SSD array, page cache) so
+	// its traffic is its own, over the identical simulated device.
+	measure := func(kind core.EngineKind, img *graph.Image) SpMVRun {
+		fs, arr := newFS(cfg, scfg.CacheMB<<20, 0)
+		defer arr.Close()
+		shared, err := core.NewShared(img, core.Config{Threads: cfg.Threads, RangeShift: 6, FS: fs})
+		if err != nil {
+			panic(err)
+		}
+		eng, err := shared.NewEngine(kind)
+		if err != nil {
+			panic(err)
+		}
+		defer eng.Close()
+		pr := algo.NewPageRank()
+		pr.Threshold = 0 // full sweeps: every vertex active every iteration
+		pr.Iters = scfg.Iters
+		st, err := eng.Run(pr)
+		if err != nil {
+			panic(err)
+		}
+		return SpMVRun{
+			Engine:       st.Engine,
+			Encoding:     img.Encoding.String(),
+			Scale:        scfg.Scale,
+			EPV:          scfg.EPV,
+			Iters:        st.Iterations,
+			DataBytes:    img.DataSize(),
+			ElapsedSec:   st.Elapsed.Seconds(),
+			BytesRead:    st.BytesRead,
+			EdgeRequests: st.EdgeRequests,
+			DeviceReads:  st.DeviceReads,
+			MemoryBytes:  st.MemoryBytes,
+			Checksum:     result.From(pr, "pagerank").Checksum(),
+		}
+	}
+
+	variants := []struct {
+		kind core.EngineKind
+		img  *graph.Image
+	}{
+		{core.EngineVertex, rawImg},
+		{core.EngineSpMV, rawImg},
+		{core.EngineSpMV, blockImg},
+	}
+	var out []Result
+	var runs []SpMVRun
+	for _, v := range variants {
+		run := measure(v.kind, v.img)
+		runs = append(runs, run)
+		fmt.Fprintf(w, "%-18s %10s %12.3f %12s %12d %12s\n",
+			run.Engine+"/"+run.Encoding, util.HumanBytes(run.DataBytes), run.ElapsedSec,
+			util.HumanBytes(run.BytesRead), run.EdgeRequests, util.HumanBytes(run.MemoryBytes))
+		out = append(out, Result{
+			Exp: "spmv", Dataset: fmt.Sprintf("rmat-%d", scfg.Scale),
+			App: "pagerank", Variant: run.Engine + "/" + run.Encoding, Value: run.ElapsedSec,
+			Extra: map[string]float64{
+				"bytes_read":    float64(run.BytesRead),
+				"edge_requests": float64(run.EdgeRequests),
+				"data_bytes":    float64(run.DataBytes),
+				"memory_bytes":  float64(run.MemoryBytes),
+			},
+		})
+	}
+
+	for _, run := range runs[1:] {
+		if run.Checksum != runs[0].Checksum {
+			panic(fmt.Sprintf("bench: engines disagree: %s/%s checksum %s != %s/%s checksum %s",
+				run.Engine, run.Encoding, run.Checksum, runs[0].Engine, runs[0].Encoding, runs[0].Checksum))
+		}
+	}
+	vertex, spmvBlock := runs[0], runs[2]
+	if spmvBlock.ElapsedSec >= vertex.ElapsedSec {
+		panic(fmt.Sprintf("bench: spmv/block (%.3fs) not faster than vertex/raw (%.3fs) on full-sweep pagerank",
+			spmvBlock.ElapsedSec, vertex.ElapsedSec))
+	}
+	fmt.Fprintf(w, "spmv/block vs vertex/raw: %.1fx faster (%.3fs vs %.3fs), %d stripe reads vs %s edge requests, answers bit-identical\n",
+		vertex.ElapsedSec/spmvBlock.ElapsedSec, spmvBlock.ElapsedSec, vertex.ElapsedSec,
+		spmvBlock.EdgeRequests, util.HumanCount(vertex.EdgeRequests))
+
+	if scfg.JSONPath != "" {
+		blob, err := json.MarshalIndent(runs, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(scfg.JSONPath, append(blob, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(w, "wrote %s (%d runs)\n", scfg.JSONPath, len(runs))
+	}
+	return out
+}

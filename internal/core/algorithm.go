@@ -54,8 +54,11 @@ type Message struct {
 // messages (the paper's rule: touch other vertices only via messages).
 type Algorithm interface {
 	// Init allocates state and activates seed vertices via
-	// Engine.ActivateSeed / ActivateAllSeeds. It runs once per Run call.
-	Init(eng *Engine)
+	// ActivateSeed / ActivateAllSeeds. It runs once per Run call (the
+	// Program interface: algorithms that also implement SpMVProgram
+	// share one Init across both executable forms, branching on
+	// eng.Kind() where the forms need different setup).
+	Init(eng ExecutionEngine)
 	// Run is the per-iteration entry point of an active vertex. It may
 	// only touch v's own state; edge lists must be requested explicitly
 	// (ctx.RequestEdges) — vertices are commonly activated but do no

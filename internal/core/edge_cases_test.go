@@ -29,7 +29,7 @@ func TestNoSeedsTerminatesImmediately(t *testing.T) {
 
 type noSeeds struct{}
 
-func (n *noSeeds) Init(eng *Engine)                                             {}
+func (n *noSeeds) Init(eng ExecutionEngine)                                     {}
 func (n *noSeeds) Run(ctx *Ctx, v graph.VertexID)                               {}
 func (n *noSeeds) RunOnVertex(ctx *Ctx, v graph.VertexID, pv *graph.PageVertex) {}
 func (n *noSeeds) RunOnMessage(ctx *Ctx, v graph.VertexID, msg Message)         {}
@@ -109,7 +109,7 @@ func TestMessageToSelf(t *testing.T) {
 
 type selfMessenger struct{ received int64 }
 
-func (s *selfMessenger) Init(eng *Engine) { eng.ActivateAllSeeds() }
+func (s *selfMessenger) Init(eng ExecutionEngine) { eng.ActivateAllSeeds() }
 func (s *selfMessenger) Run(ctx *Ctx, v graph.VertexID) {
 	if ctx.Iteration() == 0 {
 		ctx.Send(v, Message{I64: 1})
@@ -147,7 +147,7 @@ type orderRecorder struct {
 	iters [][]graph.VertexID
 }
 
-func (o *orderRecorder) Init(eng *Engine) { eng.ActivateAllSeeds() }
+func (o *orderRecorder) Init(eng ExecutionEngine) { eng.ActivateAllSeeds() }
 func (o *orderRecorder) Run(ctx *Ctx, v graph.VertexID) {
 	it := ctx.Iteration()
 	for len(o.iters) <= it {

@@ -73,7 +73,7 @@ type attrSummerAlg struct {
 	weights []uint64
 }
 
-func (a *attrSummerAlg) Init(eng *Engine) {
+func (a *attrSummerAlg) Init(eng ExecutionEngine) {
 	a.ids = make([]uint64, eng.NumVertices())
 	a.weights = make([]uint64, eng.NumVertices())
 	eng.ActivateAllSeeds()

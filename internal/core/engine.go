@@ -228,6 +228,7 @@ func (rc *runCounters) addEdgeRequests(n int64) { atomic.AddInt64(&rc.edgeReques
 // the paper's evaluation.
 type RunStats struct {
 	Algorithm  string
+	Engine     string // which EngineKind executed the run
 	Iterations int
 	Elapsed    time.Duration
 
@@ -296,6 +297,14 @@ func NewEngine(img *graph.Image, cfg Config) (*Engine, error) {
 // Shared returns the substrate this run executes over; use it to spawn
 // sibling runs that share the graph image, SAFS instance, and cache.
 func (e *Engine) Shared() *Shared { return e.shared }
+
+// Kind reports the execution model: message passing over selectively
+// accessed edge lists.
+func (e *Engine) Kind() EngineKind { return EngineVertex }
+
+// Close releases run-private resources. Workers start and stop per Run,
+// so there is nothing to tear down; the shared substrate is untouched.
+func (e *Engine) Close() error { return nil }
 
 // Image returns the loaded graph image.
 func (e *Engine) Image() *graph.Image { return e.img }
@@ -406,10 +415,18 @@ func (e *Engine) phase(fn func(w *worker)) {
 	wg.Wait()
 }
 
-// Run executes alg to completion and returns its statistics. One
-// Engine runs one algorithm at a time; to execute queries concurrently
-// over the same graph, give each its own engine via Shared.NewRun.
-func (e *Engine) Run(alg Algorithm) (RunStats, error) {
+// Run executes a vertex program (core.Algorithm) to completion and
+// returns its statistics. One Engine runs one algorithm at a time; to
+// execute queries concurrently over the same graph, give each its own
+// engine via Shared.NewRun.
+func (e *Engine) Run(p Program) (RunStats, error) {
+	alg, ok := p.(Algorithm)
+	if !ok {
+		return RunStats{}, fmt.Errorf("core: the message-passing engine runs vertex programs (core.Algorithm); %T is not one", p)
+	}
+	if e.img.Encoding == graph.EncodingBlock {
+		return RunStats{}, fmt.Errorf("core: the message-passing engine needs per-vertex edge records; block images serve only the SpMV engine")
+	}
 	if err := e.abortErr(); err != nil {
 		return RunStats{}, fmt.Errorf("core: engine unusable after earlier panic: %w", err)
 	}
@@ -532,6 +549,7 @@ func (e *Engine) Run(alg Algorithm) (RunStats, error) {
 	elapsed := time.Since(start)
 
 	st := RunStats{
+		Engine:         string(EngineVertex),
 		Iterations:     e.iteration,
 		Elapsed:        elapsed,
 		EdgeRequests:   atomic.LoadInt64(&e.stats.edgeRequests),

@@ -21,7 +21,7 @@ type testBFS struct {
 	level   []int32
 }
 
-func (b *testBFS) Init(eng *Engine) {
+func (b *testBFS) Init(eng ExecutionEngine) {
 	n := eng.NumVertices()
 	b.visited = make([]int32, n)
 	b.level = make([]int32, n)
@@ -212,7 +212,7 @@ type sweepAll struct {
 	edges   int64
 }
 
-func (s *sweepAll) Init(eng *Engine) { eng.ActivateAllSeeds() }
+func (s *sweepAll) Init(eng ExecutionEngine) { eng.ActivateAllSeeds() }
 func (s *sweepAll) Run(ctx *Ctx, v graph.VertexID) {
 	if ctx.Iteration() == 0 {
 		ctx.RequestSelf(graph.OutEdges)
@@ -255,7 +255,7 @@ type echoMsg struct {
 	ackOnce int64
 }
 
-func (m *echoMsg) Init(eng *Engine) { eng.ActivateAllSeeds() }
+func (m *echoMsg) Init(eng ExecutionEngine) { eng.ActivateAllSeeds() }
 func (m *echoMsg) Run(ctx *Ctx, v graph.VertexID) {
 	if ctx.Iteration() > 0 {
 		return
@@ -314,7 +314,7 @@ func TestEngineMaxIterations(t *testing.T) {
 // pingPong reactivates vertex 0 forever (MaxIterations must stop it).
 type pingPong struct{}
 
-func (p *pingPong) Init(eng *Engine) { eng.ActivateSeed(0) }
+func (p *pingPong) Init(eng ExecutionEngine) { eng.ActivateSeed(0) }
 func (p *pingPong) Run(ctx *Ctx, v graph.VertexID) {
 	ctx.Activate(v)
 }
@@ -474,7 +474,7 @@ func TestInEdgeRequests(t *testing.T) {
 // inSweep reads every in-edge list.
 type inSweep struct{ edges int64 }
 
-func (s *inSweep) Init(eng *Engine) { eng.ActivateAllSeeds() }
+func (s *inSweep) Init(eng ExecutionEngine) { eng.ActivateAllSeeds() }
 func (s *inSweep) Run(ctx *Ctx, v graph.VertexID) {
 	ctx.RequestSelf(graph.InEdges)
 }
@@ -502,7 +502,7 @@ type neighborReader struct {
 	neighborLists int64
 }
 
-func (nr *neighborReader) Init(eng *Engine) { eng.ActivateSeed(0) }
+func (nr *neighborReader) Init(eng ExecutionEngine) { eng.ActivateSeed(0) }
 func (nr *neighborReader) Run(ctx *Ctx, v graph.VertexID) {
 	ctx.RequestSelf(graph.OutEdges)
 }
@@ -546,7 +546,7 @@ type partedSweep struct {
 	outOfOrder int64
 }
 
-func (ps *partedSweep) Init(eng *Engine) { eng.ActivateAllSeeds() }
+func (ps *partedSweep) Init(eng ExecutionEngine) { eng.ActivateAllSeeds() }
 func (ps *partedSweep) NumParts(eng *Engine, v graph.VertexID) int {
 	return ps.parts
 }
@@ -585,7 +585,7 @@ type orderProbe struct {
 	order []graph.VertexID
 }
 
-func (op *orderProbe) Init(eng *Engine) { eng.ActivateAllSeeds() }
+func (op *orderProbe) Init(eng ExecutionEngine) { eng.ActivateAllSeeds() }
 func (op *orderProbe) Order(eng *Engine, vs []graph.VertexID) {
 	sort.Slice(vs, func(i, j int) bool {
 		return eng.OutDegree(vs[i]) > eng.OutDegree(vs[j])
@@ -611,7 +611,7 @@ func TestIterationEndNotification(t *testing.T) {
 
 type iterEndProbe struct{ notified int64 }
 
-func (ip *iterEndProbe) Init(eng *Engine) { eng.ActivateSeed(3) }
+func (ip *iterEndProbe) Init(eng ExecutionEngine) { eng.ActivateSeed(3) }
 func (ip *iterEndProbe) Run(ctx *Ctx, v graph.VertexID) {
 	ctx.NotifyIterationEnd()
 }
@@ -645,7 +645,7 @@ func TestWorkStealingHappensOnSkew(t *testing.T) {
 // vertexPanic panics inside Run, which executes on a worker goroutine.
 type vertexPanic struct{}
 
-func (p *vertexPanic) Init(eng *Engine)                                             { eng.ActivateSeed(0) }
+func (p *vertexPanic) Init(eng ExecutionEngine)                                     { eng.ActivateSeed(0) }
 func (p *vertexPanic) Run(ctx *Ctx, v graph.VertexID)                               { panic("vertex boom") }
 func (p *vertexPanic) RunOnVertex(ctx *Ctx, v graph.VertexID, pv *graph.PageVertex) {}
 func (p *vertexPanic) RunOnMessage(ctx *Ctx, v graph.VertexID, msg Message)         {}
@@ -669,7 +669,7 @@ func TestWorkerPanicAbortsRunAndPoisonsEngine(t *testing.T) {
 // views pinned across its worker's in-flight batch.
 type midIOPanic struct{ calls int64 }
 
-func (p *midIOPanic) Init(eng *Engine) { eng.ActivateAllSeeds() }
+func (p *midIOPanic) Init(eng ExecutionEngine) { eng.ActivateAllSeeds() }
 func (p *midIOPanic) Run(ctx *Ctx, v graph.VertexID) {
 	if ctx.Iteration() == 0 {
 		ctx.RequestSelf(graph.OutEdges)

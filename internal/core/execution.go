@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"flashgraph/internal/graph"
+)
+
+// EngineKind names an execution model. The serve layer routes queries by
+// kind (Caps.SupportsSpMV plus the ?engine= override) and RunStats
+// records which kind produced it.
+type EngineKind string
+
+const (
+	// EngineVertex is the message-passing vertex-program engine (Engine):
+	// selective edge-list access, per-vertex scheduling, messages — the
+	// paper's FlashGraph runtime.
+	EngineVertex EngineKind = "vertex"
+	// EngineSpMV is the 2D edge-block streaming engine (SpMVEngine):
+	// full sequential sweeps over dense per-vertex state, no message
+	// buffers and no per-vertex scheduler.
+	EngineSpMV EngineKind = "spmv"
+)
+
+// ParseEngineKind converts a CLI/JSON name to an EngineKind.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch s {
+	case string(EngineVertex):
+		return EngineVertex, nil
+	case string(EngineSpMV):
+		return EngineSpMV, nil
+	}
+	return "", fmt.Errorf("core: unknown engine kind %q (want %q or %q)", s, EngineVertex, EngineSpMV)
+}
+
+// Program is what an execution engine runs: anything with an Init hook.
+// The two concrete program forms are Algorithm (vertex programs, run by
+// the message-passing engine) and SpMVProgram (dense sweeps, run by the
+// SpMV engine); one algorithm value commonly implements both, giving a
+// single algorithm name two executable forms.
+type Program interface {
+	// Init allocates state and seeds activation (ActivateSeed /
+	// ActivateAllSeeds — no-ops on the SpMV engine, whose programs keep
+	// dense state and their own frontier). It runs once per Run call.
+	Init(eng ExecutionEngine)
+}
+
+// ExecutionEngine is the run stack's engine abstraction: one loaded
+// graph, one run at a time, stamped out per query from a Shared
+// substrate (Shared.NewEngine). It carries the load/activation surface
+// algorithms actually use from Init plus the run entry point; the
+// message-passing Engine and the streaming SpMVEngine both implement it.
+type ExecutionEngine interface {
+	// Kind reports the execution model.
+	Kind() EngineKind
+	// Run executes a program to completion. Each engine runs its own
+	// program form: the vertex engine requires a core.Algorithm, the
+	// SpMV engine a core.SpMVProgram.
+	Run(p Program) (RunStats, error)
+	// Image returns the loaded graph image.
+	Image() *graph.Image
+	// Close releases run-private resources. It does not touch the
+	// shared substrate.
+	Close() error
+
+	// Graph surface.
+	NumVertices() int
+	Directed() bool
+	Weighted() bool
+	OutDegree(v graph.VertexID) uint32
+	InDegree(v graph.VertexID) uint32
+
+	// Run surface.
+	LoadTime() time.Duration
+	Iteration() int
+	Threads() int
+	ActivateSeed(v graph.VertexID)
+	ActivateAllSeeds()
+	PendingActivations() int64
+}
+
+// SpMVProgram is the dense-sweep form of an algorithm, executed by the
+// SpMV engine as sequential sweeps over edge stripes: each iteration the
+// engine streams the requested directions' edges row by row and hands
+// every (row, columns) run to ApplyRow. There is no message passing and
+// no per-vertex scheduler — programs keep dense per-vertex state and
+// track their own frontier.
+//
+// Concurrency contract: the engine decodes and applies on a single
+// compute goroutine (I/O is prefetched concurrently), so ApplyRow may
+// mutate dense state freely. A row may be delivered multiple times per
+// sweep — once per 2D edge block it spans — so per-edge operations must
+// be commutative across a row's deliveries. Edge attributes are not
+// delivered; weighted SpMV forms are future work.
+type SpMVProgram interface {
+	Program
+	// BeginIteration prepares iteration iter and returns the edge-list
+	// directions to sweep, in order. Returning an empty slice ends the
+	// run (convergence).
+	BeginIteration(eng ExecutionEngine, iter int) []graph.EdgeDir
+	// ApplyRow delivers one row's neighbors within one edge block:
+	// cols are row's neighbors in the dir-direction edge list, ascending.
+	// The slice is engine-owned scratch, invalid after return.
+	ApplyRow(dir graph.EdgeDir, row graph.VertexID, cols []graph.VertexID)
+	// EndIteration finishes iteration iter; returning true ends the run.
+	EndIteration(eng ExecutionEngine, iter int) (done bool)
+}
+
+// NewEngine stamps out a per-run engine of the given kind over the
+// shared substrate. The message-passing engine needs per-vertex records
+// and rejects block-encoded images; the SpMV engine runs all three
+// layouts (block being the one built for it).
+func (s *Shared) NewEngine(kind EngineKind) (ExecutionEngine, error) {
+	switch kind {
+	case EngineVertex:
+		if s.img.Encoding == graph.EncodingBlock {
+			return nil, fmt.Errorf("core: the message-passing engine needs per-vertex edge records; %s images serve only the SpMV engine", s.img.Encoding)
+		}
+		return s.NewRun(), nil
+	case EngineSpMV:
+		return s.newSpMVRun(), nil
+	}
+	return nil, fmt.Errorf("core: unknown engine kind %q", kind)
+}

@@ -181,25 +181,68 @@ func (img *Image) edgeReader(dir EdgeDir) (io.Reader, int64, error) {
 	return bytes.NewReader(img.OutData), size, nil
 }
 
-// writer returns the canonical ImageWriter re-encoding this image: the
-// single path through which Encode (and any other serialization of an
-// existing image) produces on-SSD bytes.
-func (img *Image) writer() *ImageWriter {
+// edgeReaderAt returns random access over one direction's encoded
+// edge-list bytes, wherever they live (the block decoder reads stripe
+// extents rather than a sequential scan).
+func (img *Image) edgeReaderAt(dir EdgeDir) (io.ReaderAt, error) {
+	in := dir == InEdges && img.Directed
+	if img.backing != nil {
+		off, size := img.outOff, img.OutIndex.FileSize()
+		if in {
+			off, size = img.inOff, img.InIndex.FileSize()
+		}
+		return io.NewSectionReader(img.backing, off, size), nil
+	}
+	if in {
+		if img.InData == nil {
+			return nil, fmt.Errorf("graph: image has no in-edge data")
+		}
+		return bytes.NewReader(img.InData), nil
+	}
+	if img.OutData == nil {
+		return nil, fmt.Errorf("graph: image has no out-edge data")
+	}
+	return bytes.NewReader(img.OutData), nil
+}
+
+// sourceFor returns a replayable neighbor stream over one direction of
+// this image, decoding whatever layout the image is stored in.
+func (img *Image) sourceFor(dir EdgeDir) StreamSource {
+	if img.Encoding == EncodingBlock {
+		return func() (NeighborStream, error) {
+			ra, err := img.edgeReaderAt(dir)
+			if err != nil {
+				return nil, err
+			}
+			ix := img.OutIndex
+			if dir == InEdges && img.Directed {
+				ix = img.InIndex
+			}
+			return blockSource(ra, ix.Blocks(), img.NumV, img.AttrSize)()
+		}
+	}
+	return recordSource(func() (io.Reader, error) {
+		r, _, err := img.edgeReader(dir)
+		return r, err
+	}, img.NumV, img.AttrSize, img.Encoding)
+}
+
+// writerAs returns the canonical ImageWriter serializing this image in
+// the given target layout: the single path through which Encode,
+// EncodeAs, and any other serialization of an existing image produces
+// on-SSD bytes. The sources decode the image's current layout, so any
+// of the three layouts re-encodes to any other without round-tripping
+// through an edge list.
+func (img *Image) writerAs(enc Encoding) *ImageWriter {
 	iw := &ImageWriter{
 		NumV:     img.NumV,
 		Directed: img.Directed,
-		Encoding: img.Encoding,
+		Encoding: enc,
 		AttrSize: img.AttrSize,
-		Out: recordSource(func() (io.Reader, error) {
-			r, _, err := img.edgeReader(OutEdges)
-			return r, err
-		}, img.NumV, img.AttrSize, img.Encoding),
+		Out:      img.sourceFor(OutEdges),
 	}
 	if img.Directed {
-		iw.In = recordSource(func() (io.Reader, error) {
-			r, _, err := img.edgeReader(InEdges)
-			return r, err
-		}, img.NumV, img.AttrSize, img.Encoding)
+		iw.In = img.sourceFor(InEdges)
 	}
 	return iw
 }
@@ -325,8 +368,17 @@ const (
 // file-backed images serialize byte-identically without ever holding
 // edge data beyond one vertex record.
 func (img *Image) Encode(w io.Writer) error {
+	return img.EncodeAs(w, img.Encoding)
+}
+
+// EncodeAs serializes the image to w re-encoded in the given edge-list
+// layout — the conversion path behind fg-convert -reencode. The stored
+// bytes are decoded back into the canonical neighbor stream and fed
+// through the one encoder, so no edge-list round trip and no in-memory
+// adjacency are ever materialized.
+func (img *Image) EncodeAs(w io.Writer, enc Encoding) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := img.writer().WriteImage(bw); err != nil {
+	if _, err := img.writerAs(enc).WriteImage(bw); err != nil {
 		return err
 	}
 	return bw.Flush()
@@ -416,15 +468,20 @@ func (h *imageHeader) dataOffset() int64 {
 	if h.version < 2 {
 		return imageHeaderSizeV1
 	}
-	arrays := int64(1)
-	if h.encoding == EncodingDelta {
-		arrays = 2
+	perDir := 4 * int64(h.numV) // degrees
+	switch h.encoding {
+	case EncodingDelta:
+		perDir *= 2 // + record sizes
+	case EncodingBlock:
+		// The grid geometry is a pure function of the vertex count, so
+		// the directory size is too.
+		perDir += blockIndexBytes(blockStripesFor(int(h.numV)))
 	}
 	dirs := int64(1)
 	if h.directed {
 		dirs = 2
 	}
-	return imageHeaderSizeV2 + dirs*arrays*4*int64(h.numV)
+	return imageHeaderSizeV2 + dirs*perDir
 }
 
 // readImageHeader consumes and validates the magic + fixed header,
@@ -469,10 +526,12 @@ func readImageHeader(r io.Reader) (*imageHeader, error) {
 }
 
 // indexArrays is one direction's persisted index section: per-vertex
-// degrees and (delta layouts) true record byte sizes.
+// degrees, plus true record byte sizes (delta layouts) or the block
+// directory (block layouts).
 type indexArrays struct {
 	degrees []uint32
-	sizes   []int64 // nil for raw layouts
+	sizes   []int64   // delta layouts only
+	bdir    *BlockDir // block layouts only
 }
 
 // readIndexArrays reads one direction's index section.
@@ -481,9 +540,15 @@ func readIndexArrays(r io.Reader, n int, enc Encoding) (*indexArrays, error) {
 	if err := readU32Array(r, n, func(v int, x uint32) { ia.degrees[v] = x }); err != nil {
 		return nil, err
 	}
-	if enc == EncodingDelta {
+	switch enc {
+	case EncodingDelta:
 		ia.sizes = make([]int64, n)
 		if err := readU32Array(r, n, func(v int, x uint32) { ia.sizes[v] = int64(x) }); err != nil {
+			return nil, err
+		}
+	case EncodingBlock:
+		var err error
+		if ia.bdir, err = readBlockDir(r, n); err != nil {
 			return nil, err
 		}
 	}
@@ -494,7 +559,7 @@ func readIndexArrays(r io.Reader, n int, enc Encoding) (*indexArrays, error) {
 // cross-checking the recorded file size (cheap corruption detection in
 // place of the v1 full scan).
 func (ia *indexArrays) build(attrSize int, enc Encoding, wantSize int64) (*Index, error) {
-	ix := BuildIndexSized(ia.degrees, ia.sizes, attrSize, enc)
+	ix := buildDirIndex(ia.degrees, ia.sizes, ia.bdir, attrSize, enc)
 	if ix.FileSize() != wantSize {
 		return nil, fmt.Errorf("index promises %d data bytes, header says %d", ix.FileSize(), wantSize)
 	}

@@ -28,6 +28,10 @@ type Index struct {
 	// vertex, 255 spills to the hash table).
 	recBytes []uint8
 	largeRec map[VertexID]int64
+	// Block layout only: the 2D edge-block directory. Degrees are still
+	// indexed per vertex, but there are no per-vertex records — Locate
+	// and RecordBytes do not apply.
+	blocks   *BlockDir
 	fileSize int64
 	numEdges int64
 }
@@ -55,6 +59,9 @@ func BuildIndex(degrees []uint32, attrSize int) *Index {
 func BuildIndexSized(degrees []uint32, sizes []int64, attrSize int, enc Encoding) *Index {
 	if enc == EncodingDelta && len(sizes) != len(degrees) {
 		panic("graph: BuildIndexSized: delta encoding needs one size per record")
+	}
+	if enc == EncodingBlock {
+		panic("graph: BuildIndexSized: block layout needs BuildIndexBlocks")
 	}
 	ix := &Index{
 		n:        len(degrees),
@@ -103,6 +110,40 @@ func BuildIndexSized(degrees []uint32, sizes []int64, attrSize int, enc Encoding
 	return ix
 }
 
+// BuildIndexBlocks constructs the index for a block-layout edge-list
+// file: degrees serve in-memory degree queries, the block directory
+// carries every extent.
+func BuildIndexBlocks(degrees []uint32, bdir *BlockDir, attrSize int) *Index {
+	ix := &Index{
+		n:        len(degrees),
+		attrSize: attrSize,
+		encoding: EncodingBlock,
+		degree:   make([]uint8, len(degrees)),
+		large:    make(map[VertexID]uint32),
+		blocks:   bdir,
+		fileSize: bdir.DataSize(),
+	}
+	for v, d := range degrees {
+		if d >= largeDegree {
+			ix.degree[v] = largeDegree
+			ix.large[VertexID(v)] = d
+		} else {
+			ix.degree[v] = uint8(d)
+		}
+		ix.numEdges += int64(d)
+	}
+	return ix
+}
+
+// buildDirIndex dispatches one direction's index construction on the
+// layout: sizes feed the delta index, bdir the block index.
+func buildDirIndex(degrees []uint32, sizes []int64, bdir *BlockDir, attrSize int, enc Encoding) *Index {
+	if enc == EncodingBlock {
+		return BuildIndexBlocks(degrees, bdir, attrSize)
+	}
+	return BuildIndexSized(degrees, sizes, attrSize, enc)
+}
+
 // NumVertices returns the number of vertices indexed.
 func (ix *Index) NumVertices() int { return ix.n }
 
@@ -127,12 +168,20 @@ func (ix *Index) Degree(v VertexID) uint32 {
 	return uint32(d)
 }
 
+// Blocks returns the block directory (nil unless the layout is
+// EncodingBlock).
+func (ix *Index) Blocks() *BlockDir { return ix.blocks }
+
 // RecordBytes is the encoding-aware sizer: the true on-SSD byte length
 // of v's record. For the raw layout it is computed from the degree; for
-// the delta layout it is the stored data-dependent extent.
+// the delta layout it is the stored data-dependent extent. The block
+// layout has no per-vertex records.
 func (ix *Index) RecordBytes(v VertexID) int64 {
-	if ix.encoding == EncodingRaw {
+	switch ix.encoding {
+	case EncodingRaw:
 		return RecordSize(ix.Degree(v), ix.attrSize)
+	case EncodingBlock:
+		panic("graph: block layout has no per-vertex records")
 	}
 	b := ix.recBytes[v]
 	if b == largeRecord {
@@ -142,8 +191,12 @@ func (ix *Index) RecordBytes(v VertexID) int64 {
 }
 
 // Locate computes the byte extent [off, off+size) of v's record by
-// walking from the nearest stored group offset.
+// walking from the nearest stored group offset. It does not apply to
+// the block layout (use Blocks().StripeExtent).
 func (ix *Index) Locate(v VertexID) (off, size int64) {
+	if ix.encoding == EncodingBlock {
+		panic("graph: block layout has no per-vertex records")
+	}
 	g := int(v) / GroupSize
 	off = ix.groupOff[g]
 	for u := VertexID(g * GroupSize); u < v; u++ {
@@ -174,5 +227,8 @@ func (ix *Index) LargeVertices() int {
 func (ix *Index) MemoryFootprint() int64 {
 	m := int64(len(ix.degree)) + int64(len(ix.groupOff))*8 + int64(len(ix.large))*16
 	m += int64(len(ix.recBytes)) + int64(len(ix.largeRec))*16
+	if ix.blocks != nil {
+		m += 8 + int64(len(ix.blocks.Offsets))*8
+	}
 	return m
 }

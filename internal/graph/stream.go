@@ -196,10 +196,18 @@ func countStream(st NeighborStream, n int) ([]uint32, error) {
 // length for EncodingDelta (nil for raw, where sizes follow from
 // degrees) — the data the encoding-aware index sizer needs.
 //
+// EncodingBlock dispatches to the 2D edge-block layout (block.go): no
+// per-vertex records at all — the returned BlockDir carries the block
+// extents instead of per-record sizes.
+//
 // src tells the AttrFunc which endpoint owns the record (out-edge
 // records name their source first; in-edge records the destination).
 // Stream-supplied attr bytes win over the AttrFunc.
-func encodeStream(w io.Writer, st NeighborStream, n int, attrSize int, enc Encoding, src bool, attr AttrFunc) (degrees []uint32, sizes []int64, total int64, err error) {
+func encodeStream(w io.Writer, st NeighborStream, n int, attrSize int, enc Encoding, src bool, attr AttrFunc) (degrees []uint32, sizes []int64, bdir *BlockDir, total int64, err error) {
+	if enc == EncodingBlock {
+		degrees, bdir, total, err = encodeBlockStream(w, st, n, attrSize, src, attr)
+		return degrees, nil, bdir, total, err
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	degrees = make([]uint32, n)
 	if enc == EncodingDelta {
@@ -214,7 +222,7 @@ func encodeStream(w io.Writer, st NeighborStream, n int, attrSize int, enc Encod
 
 	pv, pu, pattr, pok, perr := st.Next()
 	if perr != nil {
-		return nil, nil, 0, perr
+		return nil, nil, nil, 0, perr
 	}
 	var scratch [binary.MaxVarintLen64]byte
 	for v := 0; v < n; v++ {
@@ -228,7 +236,7 @@ func encodeStream(w io.Writer, st NeighborStream, n int, attrSize int, enc Encod
 					nbrs = binary.AppendUvarint(nbrs, uint64(pu))
 				} else {
 					if pu < prev {
-						return nil, nil, 0, fmt.Errorf("graph: delta encoding needs ascending neighbors: vertex %d lists %d after %d", v, pu, prev)
+						return nil, nil, nil, 0, fmt.Errorf("graph: delta encoding needs ascending neighbors: vertex %d lists %d after %d", v, pu, prev)
 					}
 					nbrs = binary.AppendUvarint(nbrs, uint64(pu-prev))
 				}
@@ -241,7 +249,7 @@ func encodeStream(w io.Writer, st NeighborStream, n int, attrSize int, enc Encod
 			if attrSize > 0 {
 				if pattr != nil {
 					if len(pattr) != attrSize {
-						return nil, nil, 0, fmt.Errorf("graph: edge (%d,%d): attr is %d bytes, want %d", pv, pu, len(pattr), attrSize)
+						return nil, nil, nil, 0, fmt.Errorf("graph: edge (%d,%d): attr is %d bytes, want %d", pv, pu, len(pattr), attrSize)
 					}
 					attrs = append(attrs, pattr...)
 				} else {
@@ -262,11 +270,11 @@ func encodeStream(w io.Writer, st NeighborStream, n int, attrSize int, enc Encod
 			}
 			pv, pu, pattr, pok, perr = st.Next()
 			if perr != nil {
-				return nil, nil, 0, perr
+				return nil, nil, nil, 0, perr
 			}
 		}
 		if pok && int(pv) < v {
-			return nil, nil, 0, fmt.Errorf("graph: edge stream not sorted: vertex %d after %d", pv, v)
+			return nil, nil, nil, 0, fmt.Errorf("graph: edge stream not sorted: vertex %d after %d", pv, v)
 		}
 		degrees[v] = cnt
 		var hdr []byte
@@ -277,13 +285,13 @@ func encodeStream(w io.Writer, st NeighborStream, n int, attrSize int, enc Encod
 			hdr = scratch[:headerSize]
 		}
 		if _, err := bw.Write(hdr); err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		if _, err := bw.Write(nbrs); err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		if _, err := bw.Write(attrs); err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		rec := int64(len(hdr) + len(nbrs) + len(attrs))
 		if enc == EncodingDelta {
@@ -292,12 +300,12 @@ func encodeStream(w io.Writer, st NeighborStream, n int, attrSize int, enc Encod
 		total += rec
 	}
 	if pok {
-		return nil, nil, 0, fmt.Errorf("graph: vertex %d out of range (n=%d)", pv, n)
+		return nil, nil, nil, 0, fmt.Errorf("graph: vertex %d out of range (n=%d)", pv, n)
 	}
 	if err := bw.Flush(); err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
-	return degrees, sizes, total, nil
+	return degrees, sizes, nil, total, nil
 }
 
 // ImageWriter builds a complete graph image from sorted neighbor
@@ -355,21 +363,22 @@ func (info *ImageInfo) IndexBytes() int64 {
 
 // countDirection runs the sizing pass for one direction. For the raw
 // layout degrees alone determine every extent, so a cheap counting scan
-// suffices; for the delta layout record sizes are data-dependent, so
-// the pass runs the canonical encoder against io.Discard to learn the
-// exact per-record byte lengths (the attr generator is skipped — attr
-// bytes have fixed size and cannot change extents).
-func (iw *ImageWriter) countDirection(src StreamSource, isSrc bool) ([]uint32, []int64, error) {
+// suffices; for the delta and block layouts extents are data-dependent,
+// so the pass runs the canonical encoder against io.Discard to learn
+// the exact per-record byte lengths (delta) or block extents (block) —
+// the attr generator is skipped, since attr bytes have fixed size and
+// cannot change extents.
+func (iw *ImageWriter) countDirection(src StreamSource, isSrc bool) ([]uint32, []int64, *BlockDir, error) {
 	st, err := src()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if iw.Encoding == EncodingRaw {
 		deg, err := countStream(st, iw.NumV)
-		return deg, nil, err
+		return deg, nil, nil, err
 	}
-	deg, sizes, _, err := encodeStream(io.Discard, st, iw.NumV, iw.AttrSize, iw.Encoding, isSrc, nil)
-	return deg, sizes, err
+	deg, sizes, bdir, _, err := encodeStream(io.Discard, st, iw.NumV, iw.AttrSize, iw.Encoding, isSrc, nil)
+	return deg, sizes, bdir, err
 }
 
 // encodeDirection runs the record pass for one direction, verifying it
@@ -379,7 +388,7 @@ func (iw *ImageWriter) encodeDirection(w io.Writer, src StreamSource, isSrc bool
 	if err != nil {
 		return err
 	}
-	degrees, _, total, err := encodeStream(w, st, iw.NumV, iw.AttrSize, iw.Encoding, isSrc, iw.Attr)
+	degrees, _, _, total, err := encodeStream(w, st, iw.NumV, iw.AttrSize, iw.Encoding, isSrc, iw.Attr)
 	if err != nil {
 		return err
 	}
@@ -407,7 +416,7 @@ func (iw *ImageWriter) WriteImage(w io.Writer) (*ImageInfo, error) {
 	if iw.Encoding >= numEncodings {
 		return nil, fmt.Errorf("graph: unknown edge-list encoding %d", iw.Encoding)
 	}
-	outDeg, outSizes, err := iw.countDirection(iw.Out, true)
+	outDeg, outSizes, outBlocks, err := iw.countDirection(iw.Out, true)
 	if err != nil {
 		return nil, fmt.Errorf("graph: out-edge sizing pass: %w", err)
 	}
@@ -416,16 +425,17 @@ func (iw *ImageWriter) WriteImage(w io.Writer) (*ImageInfo, error) {
 		AttrSize: iw.AttrSize,
 		Directed: iw.Directed,
 		Encoding: iw.Encoding,
-		OutIndex: BuildIndexSized(outDeg, outSizes, iw.AttrSize, iw.Encoding),
+		OutIndex: buildDirIndex(outDeg, outSizes, outBlocks, iw.AttrSize, iw.Encoding),
 	}
 	var inDeg []uint32
 	var inSizes []int64
+	var inBlocks *BlockDir
 	if iw.Directed {
-		inDeg, inSizes, err = iw.countDirection(iw.In, false)
+		inDeg, inSizes, inBlocks, err = iw.countDirection(iw.In, false)
 		if err != nil {
 			return nil, fmt.Errorf("graph: in-edge sizing pass: %w", err)
 		}
-		info.InIndex = BuildIndexSized(inDeg, inSizes, iw.AttrSize, iw.Encoding)
+		info.InIndex = buildDirIndex(inDeg, inSizes, inBlocks, iw.AttrSize, iw.Encoding)
 		info.NumEdges = info.OutIndex.NumEdges()
 		info.InBytes = info.InIndex.FileSize()
 	} else {
@@ -436,11 +446,11 @@ func (iw *ImageWriter) WriteImage(w io.Writer) (*ImageInfo, error) {
 	if err := writeImageHeader(w, info); err != nil {
 		return nil, err
 	}
-	if err := writeIndexArrays(w, outDeg, outSizes, iw.Encoding); err != nil {
+	if err := writeIndexArrays(w, outDeg, outSizes, outBlocks, iw.Encoding); err != nil {
 		return nil, fmt.Errorf("graph: writing out-edge index: %w", err)
 	}
 	if iw.Directed {
-		if err := writeIndexArrays(w, inDeg, inSizes, iw.Encoding); err != nil {
+		if err := writeIndexArrays(w, inDeg, inSizes, inBlocks, iw.Encoding); err != nil {
 			return nil, fmt.Errorf("graph: writing in-edge index: %w", err)
 		}
 	}
@@ -471,24 +481,24 @@ func (iw *ImageWriter) BuildImage() (*Image, error) {
 	if err != nil {
 		return nil, err
 	}
-	outDeg, outSizes, _, err := encodeStream(&outBuf, st, iw.NumV, iw.AttrSize, iw.Encoding, true, iw.Attr)
+	outDeg, outSizes, outBlocks, _, err := encodeStream(&outBuf, st, iw.NumV, iw.AttrSize, iw.Encoding, true, iw.Attr)
 	if err != nil {
 		return nil, err
 	}
 	img.OutData = outBuf.Bytes()
-	img.OutIndex = BuildIndexSized(outDeg, outSizes, iw.AttrSize, iw.Encoding)
+	img.OutIndex = buildDirIndex(outDeg, outSizes, outBlocks, iw.AttrSize, iw.Encoding)
 	if iw.Directed {
 		var inBuf bytes.Buffer
 		st, err := iw.In()
 		if err != nil {
 			return nil, err
 		}
-		inDeg, inSizes, _, err := encodeStream(&inBuf, st, iw.NumV, iw.AttrSize, iw.Encoding, false, iw.Attr)
+		inDeg, inSizes, inBlocks, _, err := encodeStream(&inBuf, st, iw.NumV, iw.AttrSize, iw.Encoding, false, iw.Attr)
 		if err != nil {
 			return nil, err
 		}
 		img.InData = inBuf.Bytes()
-		img.InIndex = BuildIndexSized(inDeg, inSizes, iw.AttrSize, iw.Encoding)
+		img.InIndex = buildDirIndex(inDeg, inSizes, inBlocks, iw.AttrSize, iw.Encoding)
 		img.NumEdges = img.OutIndex.NumEdges()
 	} else {
 		img.NumEdges = img.OutIndex.NumEdges() / 2
@@ -526,21 +536,88 @@ func writeImageHeader(w io.Writer, info *ImageInfo) error {
 const indexChunk = 64 << 10
 
 // writeIndexArrays writes one direction's persisted index: per-vertex
-// degrees as little-endian uint32, followed (delta layouts only) by
-// per-vertex record byte sizes, also uint32.
-func writeIndexArrays(w io.Writer, degrees []uint32, sizes []int64, enc Encoding) error {
+// degrees as little-endian uint32, followed by the layout's extent
+// data — per-vertex record byte sizes (uint32) for delta, the block
+// directory (shift u32, stripes u32, block offsets (stripes²+1)×u64)
+// for block.
+func writeIndexArrays(w io.Writer, degrees []uint32, sizes []int64, bdir *BlockDir, enc Encoding) error {
 	if err := writeU32Array(w, len(degrees), func(v int) uint32 { return degrees[v] }); err != nil {
 		return err
 	}
-	if enc != EncodingDelta {
-		return nil
-	}
-	for v, s := range sizes {
-		if s > int64(^uint32(0)) {
-			return fmt.Errorf("record of vertex %d is %d bytes, exceeding the u32 index limit", v, s)
+	switch enc {
+	case EncodingDelta:
+		for v, s := range sizes {
+			if s > int64(^uint32(0)) {
+				return fmt.Errorf("record of vertex %d is %d bytes, exceeding the u32 index limit", v, s)
+			}
+		}
+		return writeU32Array(w, len(sizes), func(v int) uint32 { return uint32(sizes[v]) })
+	case EncodingBlock:
+		if err := binary.Write(w, binary.LittleEndian, bdir.Shift); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint32(bdir.Stripes)); err != nil {
+			return err
+		}
+		buf := make([]byte, 0, 8*indexChunk)
+		for _, off := range bdir.Offsets {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(off))
+			if len(buf) == cap(buf) {
+				if _, err := w.Write(buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+		}
+		if len(buf) > 0 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
 		}
 	}
-	return writeU32Array(w, len(sizes), func(v int) uint32 { return uint32(sizes[v]) })
+	return nil
+}
+
+// readBlockDir reads one direction's persisted block directory,
+// validating the geometry against the vertex count (the shift is a
+// pure function of n — see blockShiftFor).
+func readBlockDir(r io.Reader, n int) (*BlockDir, error) {
+	var shift, stripes uint32
+	if err := binary.Read(r, binary.LittleEndian, &shift); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &stripes); err != nil {
+		return nil, err
+	}
+	if shift != blockShiftFor(n) || int(stripes) != blockStripesFor(n) {
+		return nil, fmt.Errorf("block grid %d stripes of 2^%d rows does not match %d vertices", stripes, shift, n)
+	}
+	bd := &BlockDir{Shift: shift, Stripes: int(stripes), Offsets: make([]int64, int(stripes)*int(stripes)+1)}
+	buf := make([]byte, 8*indexChunk)
+	for i := 0; i < len(bd.Offsets); {
+		want := (len(bd.Offsets) - i) * 8
+		if want > len(buf) {
+			want = len(buf)
+		}
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			return nil, err
+		}
+		for k := 0; k < want; k += 8 {
+			bd.Offsets[i] = int64(binary.LittleEndian.Uint64(buf[k:]))
+			i++
+		}
+	}
+	prev := int64(0)
+	for i, off := range bd.Offsets {
+		if off < prev {
+			return nil, fmt.Errorf("block directory not monotone at block %d", i)
+		}
+		prev = off
+	}
+	if bd.Offsets[0] != 0 {
+		return nil, fmt.Errorf("block directory starts at %d, want 0", bd.Offsets[0])
+	}
+	return bd, nil
 }
 
 // writeU32Array writes n little-endian uint32 values in bounded chunks.

@@ -56,6 +56,14 @@ const (
 	// attributes trail the ID stream unchanged. Records shrink with ID
 	// locality; random Edge(i) access costs O(i).
 	EncodingDelta
+	// EncodingBlock partitions the adjacency matrix into 2D edge blocks
+	// (stripes of rows × stripes of columns, CSR within each block, all
+	// IDs varint-delta relative to the block origin). Blocks of one row
+	// stripe are contiguous on SSD, so the SpMV engine streams a stripe
+	// with one sequential read. There is no per-vertex record, so the
+	// selective-access index (Locate) does not apply; the message-passing
+	// engine rejects block images.
+	EncodingBlock
 
 	// numEncodings bounds the valid Encoding values (header validation).
 	numEncodings
@@ -68,11 +76,13 @@ func (e Encoding) String() string {
 		return "raw"
 	case EncodingDelta:
 		return "delta"
+	case EncodingBlock:
+		return "block"
 	}
 	return fmt.Sprintf("encoding(%d)", uint8(e))
 }
 
-// ParseEncoding converts a CLI/JSON name ("raw", "delta") to an
+// ParseEncoding converts a CLI/JSON name ("raw", "delta", "block") to an
 // Encoding.
 func ParseEncoding(s string) (Encoding, error) {
 	switch s {
@@ -80,8 +90,10 @@ func ParseEncoding(s string) (Encoding, error) {
 		return EncodingRaw, nil
 	case "delta":
 		return EncodingDelta, nil
+	case "block":
+		return EncodingBlock, nil
 	}
-	return 0, fmt.Errorf("graph: unknown encoding %q (want raw or delta)", s)
+	return 0, fmt.Errorf("graph: unknown encoding %q (want raw, delta, or block)", s)
 }
 
 // RecordSize returns the on-SSD size of a RAW-layout vertex record with

@@ -63,6 +63,7 @@ func TestEveryAlgorithmBitIdenticalAcrossEncodings(t *testing.T) {
 		"bfs":       {"", `{"src":3}`},
 		"pagerank":  {"", `{"iters":10}`},
 		"wcc":       {"", ``},
+		"labelprop": {"", `{"iters":5}`},
 		"bc":        {"", `{"src":3}`},
 		"tc":        {"", ``},
 		"scanstat":  {"", ``},

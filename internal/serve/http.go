@@ -36,6 +36,9 @@ func Handler(s *Server) http.Handler {
 			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
 			return
 		}
+		if eng := r.URL.Query().Get("engine"); eng != "" {
+			req.Engine = eng // ?engine= overrides the body and the Caps default
+		}
 		id, err := s.Submit(req)
 		if err != nil {
 			httpError(w, statusFor(err), err.Error())

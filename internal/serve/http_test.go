@@ -315,7 +315,7 @@ func TestHTTPAlgosAndStrictParams(t *testing.T) {
 		Params: struct {
 			Rounds int `json:"rounds"`
 		}{},
-		New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+		New: func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
 			var p struct {
 				Rounds int `json:"rounds"`
 			}
@@ -348,7 +348,8 @@ func TestHTTPAlgosAndStrictParams(t *testing.T) {
 	if !byName["kcore"].Caps.RequiresUndirected || !byName["sssp"].Caps.RequiresWeighted || !byName["bfs"].Caps.NeedsSrc {
 		t.Fatalf("/algos caps wrong: %s", raw)
 	}
-	if p := byName["ppagerank"].Params; len(p) != 3 || p[0].Name != "src" || p[2] != (ParamInfo{Name: "damping", Type: "number"}) {
+	if p := byName["ppagerank"].Params; len(p) != 3 || p[0].Name != "src" ||
+		p[2].Name != "damping" || p[2].Type != "number" || p[2].Doc == "" || p[2].Default != 0.85 {
 		t.Fatalf("ppagerank schema = %+v", p)
 	}
 	if p := byName["touch"].Params; len(p) != 1 || p[0] != (ParamInfo{Name: "rounds", Type: "integer"}) {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"reflect"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -65,6 +66,12 @@ type Caps struct {
 	// validator range-checks it against the image's vertex count
 	// (missing src defaults to vertex 0).
 	NeedsSrc bool `json:"needs_src,omitempty"`
+	// SupportsSpMV declares that the spec's constructor returns a
+	// program that also implements core.SpMVProgram: the server then
+	// runs it on the streaming SpMV engine by default (the ?engine=
+	// override picks explicitly), and block-encoded graphs become
+	// servable for it.
+	SupportsSpMV bool `json:"supports_spmv,omitempty"`
 }
 
 // check is the central capability validator: one place where every
@@ -141,11 +148,20 @@ type AlgorithmSpec struct {
 	// the param schema in GET /algos and the accepted-params error
 	// text; it is never mutated.
 	Params any
-	// New builds a fresh algorithm instance for one query, decoding its
+	// New builds a fresh program instance for one query, decoding its
 	// typed parameters from the request's raw params JSON (use
-	// DecodeParams for strict field checking). Instances are
-	// query-private: algorithm state belongs to a single run.
-	New func(params json.RawMessage, g GraphMeta) (core.Algorithm, error)
+	// DecodeParams for strict field checking). The returned Program
+	// must implement core.Algorithm (and additionally core.SpMVProgram
+	// when Caps.SupportsSpMV is set — one value, two executable forms).
+	// Instances are query-private: algorithm state belongs to a single
+	// run.
+	New func(params json.RawMessage, g GraphMeta) (core.Program, error)
+	// BenchParams renders the params the benchmark driver submits when
+	// this algorithm appears in a concurrent mix, given the target
+	// graph and a deterministic per-query source vertex. nil means the
+	// algorithm benches with default (empty) params. This keeps the
+	// driver registry-driven: no per-name special cases.
+	BenchParams func(g GraphMeta, src graph.VertexID) json.RawMessage
 }
 
 // validate checks the spec's shape at registration time.
@@ -173,10 +189,17 @@ func (s AlgorithmSpec) validate() error {
 var reservedNames = map[string]bool{"all": true, "none": true, "default": true}
 
 // ParamInfo describes one accepted parameter of an algorithm — the
-// GET /algos param schema entry.
+// GET /algos param schema entry. Doc and Default come from the params
+// prototype's `doc:` and `default:` struct tags.
 type ParamInfo struct {
 	Name string `json:"name"`
 	Type string `json:"type"`
+	// Doc is the parameter's one-line description (`doc:` tag).
+	Doc string `json:"doc,omitempty"`
+	// Default is the value the algorithm uses when the parameter is
+	// absent (`default:` tag, parsed to the field's JSON type; nil =
+	// no declared default).
+	Default any `json:"default,omitempty"`
 }
 
 // AlgoInfo is one registry entry as served by GET /algos.
@@ -268,9 +291,8 @@ func (r *Registry) Infos() []AlgoInfo {
 }
 
 // build resolves and validates req against meta, then constructs the
-// algorithm instance: the one path every query takes, builtin or
-// custom.
-func (r *Registry) build(req Request, meta GraphMeta) (core.Algorithm, error) {
+// program instance: the one path every query takes, builtin or custom.
+func (r *Registry) build(req Request, meta GraphMeta) (core.Program, error) {
 	spec, ok := r.Spec(req.Algo)
 	if !ok {
 		return nil, fmt.Errorf("%w %q (registered: %s)", ErrUnknownAlgorithm, req.Algo, strings.Join(r.Names(), ", "))
@@ -390,9 +412,40 @@ func appendParamFields(t reflect.Type, out []ParamInfo) []ParamInfo {
 		if tag != "" {
 			name = tag
 		}
-		out = append(out, ParamInfo{Name: name, Type: jsonTypeName(ft)})
+		out = append(out, ParamInfo{
+			Name:    name,
+			Type:    jsonTypeName(ft),
+			Doc:     f.Tag.Get("doc"),
+			Default: parseDefaultTag(f.Tag.Get("default"), ft),
+		})
 	}
 	return out
+}
+
+// parseDefaultTag converts a `default:` tag into the field's JSON-typed
+// value. An absent tag or one that does not parse yields nil (no
+// declared default) rather than an error — the tag is documentation.
+func parseDefaultTag(tag string, ft reflect.Type) any {
+	if tag == "" {
+		return nil
+	}
+	switch jsonTypeName(ft) {
+	case "integer":
+		if v, err := strconv.ParseInt(tag, 10, 64); err == nil {
+			return v
+		}
+	case "number":
+		if v, err := strconv.ParseFloat(tag, 64); err == nil {
+			return v
+		}
+	case "boolean":
+		if v, err := strconv.ParseBool(tag); err == nil {
+			return v
+		}
+	case "string":
+		return tag
+	}
+	return nil
 }
 
 // jsonTypeName maps a Go type onto the JSON type word used in schemas
@@ -455,6 +508,12 @@ func DefaultAlgorithms() []AlgoInfo {
 	return defaultRegistry.Infos()
 }
 
+// DefaultSpec returns a spec from the default registry — the benchmark
+// driver resolves BenchParams through it.
+func DefaultSpec(name string) (AlgorithmSpec, bool) {
+	return defaultRegistry.Spec(name)
+}
+
 func mustRegister(spec AlgorithmSpec) {
 	if err := Register(spec); err != nil {
 		panic(err)
@@ -468,40 +527,52 @@ type (
 	// SrcParams parameterizes single-source traversals (bfs, bc).
 	SrcParams struct {
 		// Src is the source vertex (default 0).
-		Src graph.VertexID `json:"src"`
+		Src graph.VertexID `json:"src" doc:"source vertex" default:"0"`
 	}
 	// PageRankParams parameterizes pagerank.
 	PageRankParams struct {
 		// Iters caps iterations (0 = algorithm default 30).
-		Iters int `json:"iters"`
+		Iters int `json:"iters" doc:"iteration cap (0 = algorithm default)" default:"30"`
 	}
 	// KCoreParams parameterizes kcore.
 	KCoreParams struct {
 		// K is the core threshold (0 = default 3).
-		K int `json:"k"`
+		K int `json:"k" doc:"core threshold (0 = algorithm default)" default:"3"`
 	}
 	// PPRParams parameterizes ppagerank (personalized PageRank).
 	PPRParams struct {
 		// Src is the restart vertex (default 0).
-		Src graph.VertexID `json:"src"`
+		Src graph.VertexID `json:"src" doc:"restart vertex of the random walk" default:"0"`
 		// Iters caps iterations (0 = algorithm default 30).
-		Iters int `json:"iters"`
+		Iters int `json:"iters" doc:"iteration cap (0 = algorithm default)" default:"30"`
 		// Damping is the walk-continuation probability in (0, 1)
 		// (0 = default 0.85).
-		Damping float64 `json:"damping"`
+		Damping float64 `json:"damping" doc:"walk-continuation probability in [0, 1) (0 = algorithm default)" default:"0.85"`
+	}
+	// LabelPropParams parameterizes labelprop.
+	LabelPropParams struct {
+		// Iters caps iterations (0 = algorithm default 10).
+		Iters int `json:"iters" doc:"iteration cap (0 = algorithm default)" default:"10"`
 	}
 )
 
-// The eight stock FlashGraph algorithms plus ppagerank, registered
-// through the exact public path custom algorithms use — the registry
-// has no privileged backdoor.
+// srcBenchParams is the benchmark param template shared by the
+// single-source builtins: a deterministic source vertex per query.
+func srcBenchParams(g GraphMeta, src graph.VertexID) json.RawMessage {
+	return MarshalParams(SrcParams{Src: src})
+}
+
+// The eight stock FlashGraph algorithms plus ppagerank and labelprop,
+// registered through the exact public path custom algorithms use — the
+// registry has no privileged backdoor.
 func init() {
 	mustRegister(AlgorithmSpec{
-		Name:   "bfs",
-		Doc:    "breadth-first search from src over out-edges; level vector (-1 = unreached) + reached scalar",
-		Caps:   Caps{NeedsSrc: true},
-		Params: SrcParams{},
-		New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+		Name:        "bfs",
+		Doc:         "breadth-first search from src over out-edges; level vector (-1 = unreached) + reached scalar",
+		Caps:        Caps{NeedsSrc: true},
+		Params:      SrcParams{},
+		BenchParams: srcBenchParams,
+		New: func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
 			var p SrcParams
 			if err := DecodeParams(raw, &p); err != nil {
 				return nil, err
@@ -512,8 +583,9 @@ func init() {
 	mustRegister(AlgorithmSpec{
 		Name:   "pagerank",
 		Doc:    "delta-based PageRank (damping 0.85); score vector",
+		Caps:   Caps{SupportsSpMV: true},
 		Params: PageRankParams{},
-		New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+		New: func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
 			var p PageRankParams
 			if err := DecodeParams(raw, &p); err != nil {
 				return nil, err
@@ -531,7 +603,8 @@ func init() {
 	mustRegister(AlgorithmSpec{
 		Name: "wcc",
 		Doc:  "weakly connected components by label propagation; component vector + components scalar",
-		New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+		Caps: Caps{SupportsSpMV: true},
+		New: func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
 			if err := DecodeParams(raw, &struct{}{}); err != nil {
 				return nil, err
 			}
@@ -539,11 +612,32 @@ func init() {
 		},
 	})
 	mustRegister(AlgorithmSpec{
-		Name:   "bc",
-		Doc:    "single-source Brandes betweenness centrality from src; centrality vector",
-		Caps:   Caps{NeedsSrc: true},
-		Params: SrcParams{},
-		New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+		Name:   "labelprop",
+		Doc:    "synchronous label-propagation community detection; label vector + communities scalar",
+		Caps:   Caps{SupportsSpMV: true},
+		Params: LabelPropParams{},
+		New: func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
+			var p LabelPropParams
+			if err := DecodeParams(raw, &p); err != nil {
+				return nil, err
+			}
+			if p.Iters < 0 {
+				return nil, fmt.Errorf("%w: iters must be >= 0, got %d (accepted params: %s)", ErrBadParam, p.Iters, acceptedParams(LabelPropParams{}))
+			}
+			a := algo.NewLabelProp()
+			if p.Iters > 0 {
+				a.Iters = p.Iters
+			}
+			return a, nil
+		},
+	})
+	mustRegister(AlgorithmSpec{
+		Name:        "bc",
+		Doc:         "single-source Brandes betweenness centrality from src; centrality vector",
+		Caps:        Caps{NeedsSrc: true},
+		Params:      SrcParams{},
+		BenchParams: srcBenchParams,
+		New: func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
 			var p SrcParams
 			if err := DecodeParams(raw, &p); err != nil {
 				return nil, err
@@ -554,7 +648,7 @@ func init() {
 	mustRegister(AlgorithmSpec{
 		Name: "tc",
 		Doc:  "triangle counting by neighborhood intersection; per-vertex triangle vector + total scalar",
-		New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+		New: func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
 			if err := DecodeParams(raw, &struct{}{}); err != nil {
 				return nil, err
 			}
@@ -566,7 +660,7 @@ func init() {
 		Doc:    "k-core decomposition by degree peeling; in-core 0/1 vector + core size scalar",
 		Caps:   Caps{RequiresUndirected: true},
 		Params: KCoreParams{},
-		New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+		New: func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
 			var p KCoreParams
 			if err := DecodeParams(raw, &p); err != nil {
 				return nil, err
@@ -581,11 +675,12 @@ func init() {
 		},
 	})
 	mustRegister(AlgorithmSpec{
-		Name:   "sssp",
-		Doc:    "single-source shortest paths over uint32 edge weights from src; distance vector + reached scalar",
-		Caps:   Caps{NeedsSrc: true, RequiresWeighted: true},
-		Params: SrcParams{},
-		New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+		Name:        "sssp",
+		Doc:         "single-source shortest paths over uint32 edge weights from src; distance vector + reached scalar",
+		Caps:        Caps{NeedsSrc: true, RequiresWeighted: true},
+		Params:      SrcParams{},
+		BenchParams: srcBenchParams,
+		New: func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
 			var p SrcParams
 			if err := DecodeParams(raw, &p); err != nil {
 				return nil, err
@@ -596,7 +691,7 @@ func init() {
 	mustRegister(AlgorithmSpec{
 		Name: "scanstat",
 		Doc:  "maximum locality statistic (scan statistics); locality vector + max/argmax scalars",
-		New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+		New: func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
 			if err := DecodeParams(raw, &struct{}{}); err != nil {
 				return nil, err
 			}
@@ -608,7 +703,10 @@ func init() {
 		Doc:    "personalized PageRank: random walk with restart at src, transition probabilities proportional to edge weights; score vector",
 		Caps:   Caps{NeedsSrc: true, RequiresWeighted: true},
 		Params: PPRParams{},
-		New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+		BenchParams: func(g GraphMeta, src graph.VertexID) json.RawMessage {
+			return MarshalParams(PPRParams{Src: src})
+		},
+		New: func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
 			var p PPRParams
 			if err := DecodeParams(raw, &p); err != nil {
 				return nil, err

@@ -115,7 +115,7 @@ func TestRegistryValidationTable(t *testing.T) {
 // and malformed-spec registration errors, for the process default
 // path and a server-local registry alike.
 func TestRegisterRejectsBadSpecs(t *testing.T) {
-	newAlg := func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+	newAlg := func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
 		return &gatedAlg{}, nil
 	}
 	srv := registryFixture(t)
@@ -171,7 +171,7 @@ func TestCustomAlgorithmServedEndToEnd(t *testing.T) {
 		Name:   "touch",
 		Doc:    "test: touches every vertex for rounds iterations",
 		Params: touchParams{},
-		New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+		New: func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
 			var p touchParams
 			if err := DecodeParams(raw, &p); err != nil {
 				return nil, err
@@ -228,7 +228,7 @@ type touchAlg struct {
 }
 
 func (a *touchAlg) MaxIterations() int { return a.rounds }
-func (a *touchAlg) Init(eng *core.Engine) {
+func (a *touchAlg) Init(eng core.ExecutionEngine) {
 	a.touched = make([]bool, eng.NumVertices())
 	eng.ActivateAllSeeds()
 }

@@ -6,8 +6,9 @@
 //
 // The Server is a query scheduler with admission control: submitted
 // queries enter a bounded FIFO queue, at most MaxConcurrent of them
-// execute at once (each on its own per-run engine from Shared.NewRun),
-// and each carries per-query RunStats, timing, and a uniform typed
+// execute at once (each on its own per-run execution engine from
+// Shared.NewEngine — message passing or SpMV, picked per query), and
+// each carries per-query RunStats, timing, and a uniform typed
 // result. Submissions beyond the queue bound are rejected with
 // ErrQueueFull rather than buffered without limit — under overload the
 // server sheds load instead of collapsing.
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"flashgraph/internal/core"
+	"flashgraph/internal/graph"
 	"flashgraph/internal/result"
 )
 
@@ -133,6 +135,16 @@ type Request struct {
 	// the algorithm's constructor decodes them strictly (unknown or
 	// mistyped fields are rejected with the accepted-params list).
 	Params json.RawMessage `json:"params,omitempty"`
+	// Engine overrides the execution engine: "vertex" (message passing)
+	// or "spmv" (streaming dense sweeps). Empty routes by capability:
+	// algorithms declaring Caps.SupportsSpMV run on the SpMV engine,
+	// everything else on the vertex engine. Requesting "spmv" for an
+	// algorithm without an SpMV form fails with ErrBadParam; the vertex
+	// engine on a block-encoded graph (explicitly requested or routed by
+	// default) fails with ErrIncompatibleGraph — the message-passing
+	// engine needs per-vertex edge records. The HTTP layer also accepts
+	// this as a ?engine= query parameter on POST /queries.
+	Engine string `json:"engine,omitempty"`
 }
 
 // Validate checks the request's shape — version and algorithm
@@ -179,7 +191,8 @@ func (q Query) QueueWait() time.Duration {
 type query struct {
 	id     int64
 	req    Request
-	alg    core.Algorithm
+	prog   core.Program
+	engine core.EngineKind
 	shared *core.Shared
 
 	mu        sync.Mutex
@@ -239,8 +252,8 @@ type GraphInfo struct {
 	Edges    int64  `json:"edges"`
 	Directed bool   `json:"directed"`
 	Weighted bool   `json:"weighted"`
-	// Encoding names the image's on-SSD edge-list layout ("raw" or
-	// "delta").
+	// Encoding names the image's on-SSD edge-list layout ("raw",
+	// "delta", or "block").
 	Encoding string `json:"encoding"`
 	SSDBytes int64  `json:"ssd_bytes"`
 }
@@ -397,11 +410,12 @@ func (s *Server) AlgorithmNames() []string {
 }
 
 // prepare validates req end to end — schema, graph, algorithm,
-// capabilities and parameters against the target image — and builds
-// the algorithm instance through the registry.
-func (s *Server) prepare(req Request) (core.Algorithm, *core.Shared, error) {
+// capabilities and parameters against the target image — builds the
+// program instance through the registry, and resolves which execution
+// engine will run it.
+func (s *Server) prepare(req Request) (core.Program, core.EngineKind, *core.Shared, error) {
 	if err := req.Validate(); err != nil {
-		return nil, nil, err
+		return nil, "", nil, err
 	}
 	name := req.Graph
 	if name == "" {
@@ -409,13 +423,45 @@ func (s *Server) prepare(req Request) (core.Algorithm, *core.Shared, error) {
 	}
 	shared, err := s.Shared(name)
 	if err != nil {
-		return nil, nil, err
+		return nil, "", nil, err
 	}
-	alg, err := s.reg.build(req, metaOf(name, shared.Image()))
+	prog, err := s.reg.build(req, metaOf(name, shared.Image()))
 	if err != nil {
-		return nil, nil, err
+		return nil, "", nil, err
 	}
-	return alg, shared, nil
+	spec, _ := s.reg.Spec(req.Algo) // build above proved it exists
+	kind, err := resolveEngine(req, spec, shared)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	return prog, kind, shared, nil
+}
+
+// resolveEngine picks the execution engine for one query: the explicit
+// Request.Engine when set, otherwise SpMV for algorithms declaring
+// Caps.SupportsSpMV and the vertex engine for the rest. Impossible
+// pairings fail here, at submit time: spmv for an algorithm without an
+// SpMV form is ErrBadParam, and the vertex engine over a block-encoded
+// image (which has no per-vertex edge records) is ErrIncompatibleGraph.
+func resolveEngine(req Request, spec AlgorithmSpec, shared *core.Shared) (core.EngineKind, error) {
+	kind := core.EngineVertex
+	if spec.Caps.SupportsSpMV {
+		kind = core.EngineSpMV
+	}
+	if req.Engine != "" {
+		k, err := core.ParseEngineKind(req.Engine)
+		if err != nil {
+			return "", fmt.Errorf("%w: %v", ErrBadParam, err)
+		}
+		if k == core.EngineSpMV && !spec.Caps.SupportsSpMV {
+			return "", fmt.Errorf("%w: algorithm %q has no SpMV form (Caps.SupportsSpMV is unset)", ErrBadParam, req.Algo)
+		}
+		kind = k
+	}
+	if kind == core.EngineVertex && shared.Image().Encoding == graph.EncodingBlock {
+		return "", fmt.Errorf("%w: the vertex engine needs per-vertex edge records; block-encoded graphs serve only engine=spmv", ErrIncompatibleGraph)
+	}
+	return kind, nil
 }
 
 // Validate reports whether req could be submitted — the schema is
@@ -423,7 +469,7 @@ func (s *Server) prepare(req Request) (core.Algorithm, *core.Shared, error) {
 // compatible with that graph — without admitting anything. Drivers use
 // it to reject a bad workload before generating load.
 func (s *Server) Validate(req Request) error {
-	_, _, err := s.prepare(req)
+	_, _, _, err := s.prepare(req)
 	return err
 }
 
@@ -431,14 +477,15 @@ func (s *Server) Validate(req Request) error {
 // fails fast on invalid requests, unknown graphs or algorithms, and
 // with ErrQueueFull when the queue is at capacity.
 func (s *Server) Submit(req Request) (int64, error) {
-	alg, shared, err := s.prepare(req)
+	prog, kind, shared, err := s.prepare(req)
 	if err != nil {
 		return 0, err
 	}
 
 	q := &query{
 		req:       req,
-		alg:       alg,
+		prog:      prog,
+		engine:    kind,
 		shared:    shared,
 		state:     StateQueued,
 		submitted: time.Now(),
@@ -493,12 +540,12 @@ func (s *Server) runLoop() {
 		var rs *result.ResultSet
 		var summary map[string]any
 		if err == nil {
-			rs = result.From(q.alg, q.req.Algo)
+			rs = result.From(q.prog, q.req.Algo)
 			summary = rs.Summary()
 		}
 		q.mu.Lock()
 		q.finished = time.Now()
-		q.alg = nil // state beyond the ResultSet is never needed again
+		q.prog = nil // state beyond the ResultSet is never needed again
 		if err != nil {
 			q.state = StateFailed
 			q.errMsg = err.Error()
@@ -612,17 +659,22 @@ func (s *Server) evictHistoryLocked() {
 	}
 }
 
-// execute runs one query, converting engine panics (e.g. a fatal device
-// read error, or an algorithm rejecting the graph) into a failed query
-// instead of killing the scheduler slot.
+// execute runs one query on the engine prepare resolved for it,
+// converting engine panics (e.g. a fatal device read error, or an
+// algorithm rejecting the graph) into a failed query instead of killing
+// the scheduler slot.
 func (s *Server) execute(q *query) (st core.RunStats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("query panicked: %v", r)
 		}
 	}()
-	eng := q.shared.NewRun()
-	st, err = eng.Run(q.alg)
+	eng, err := q.shared.NewEngine(q.engine)
+	if err != nil {
+		return core.RunStats{}, err
+	}
+	defer eng.Close()
+	st, err = eng.Run(q.prog)
 	st.Algorithm = q.req.Algo
 	return st, err
 }

@@ -274,7 +274,7 @@ type gatedAlg struct {
 	release <-chan struct{}
 }
 
-func (g *gatedAlg) Init(eng *core.Engine) {
+func (g *gatedAlg) Init(eng core.ExecutionEngine) {
 	g.entered <- g
 	<-g.release
 }
@@ -301,7 +301,7 @@ func gatedServer(t *testing.T, cfg Config) (*Server, chan *gatedAlg, chan struct
 	if err := srv.Register(AlgorithmSpec{
 		Name: "gate",
 		Doc:  "test fixture: blocks inside Init until released",
-		New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+		New: func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
 			return &gatedAlg{entered: entered, release: release}, nil
 		},
 	}); err != nil {
@@ -410,7 +410,7 @@ func TestSubmitValidation(t *testing.T) {
 func TestFailedQueryDoesNotKillSlot(t *testing.T) {
 	srv, _, release := gatedServer(t, Config{MaxConcurrent: 1, MaxQueued: 4})
 	defer srv.Close()
-	if err := srv.Register(AlgorithmSpec{Name: "panic", New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+	if err := srv.Register(AlgorithmSpec{Name: "panic", New: func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
 		return &panicAlg{}, nil
 	}}); err != nil {
 		t.Fatal(err)
@@ -447,7 +447,7 @@ func TestFailedQueryDoesNotKillSlot(t *testing.T) {
 
 type panicAlg struct{}
 
-func (p *panicAlg) Init(eng *core.Engine)                                             { panic("boom") }
+func (p *panicAlg) Init(eng core.ExecutionEngine)                                     { panic("boom") }
 func (p *panicAlg) Run(ctx *core.Ctx, v graph.VertexID)                               {}
 func (p *panicAlg) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex) {}
 func (p *panicAlg) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.Message)    {}
@@ -457,7 +457,7 @@ func (p *panicAlg) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.Messag
 // goroutine cannot catch. The engine must contain it and fail the run.
 type workerPanicAlg struct{}
 
-func (p *workerPanicAlg) Init(eng *core.Engine)                                             { eng.ActivateSeed(0) }
+func (p *workerPanicAlg) Init(eng core.ExecutionEngine)                                     { eng.ActivateSeed(0) }
 func (p *workerPanicAlg) Run(ctx *core.Ctx, v graph.VertexID)                               { panic("vertex boom") }
 func (p *workerPanicAlg) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex) {}
 func (p *workerPanicAlg) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.Message)    {}
@@ -465,7 +465,7 @@ func (p *workerPanicAlg) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.
 func TestWorkerGoroutinePanicFailsQueryNotDaemon(t *testing.T) {
 	srv, _, release := gatedServer(t, Config{MaxConcurrent: 1, MaxQueued: 4})
 	defer srv.Close()
-	if err := srv.Register(AlgorithmSpec{Name: "wpanic", New: func(raw json.RawMessage, g GraphMeta) (core.Algorithm, error) {
+	if err := srv.Register(AlgorithmSpec{Name: "wpanic", New: func(raw json.RawMessage, g GraphMeta) (core.Program, error) {
 		return &workerPanicAlg{}, nil
 	}}); err != nil {
 		t.Fatal(err)

@@ -67,10 +67,33 @@ type (
 	GraphInfo = serve.GraphInfo
 	// ResultHistogram is a fixed-width binning of a result vector.
 	ResultHistogram = result.Histogram
-	// RunContext is the per-run engine context handed to
-	// Algorithm.Init (vertex counts, seed activation, weightedness) —
-	// what custom vertex programs name the Init parameter.
-	RunContext = core.Engine
+	// RunContext is the per-run engine surface handed to
+	// Algorithm.Init (vertex counts, seed activation, weightedness,
+	// engine kind) — what custom programs name the Init parameter. It
+	// is the core.ExecutionEngine interface: the same Init serves the
+	// message-passing engine and the SpMV engine.
+	RunContext = core.ExecutionEngine
+	// ExecutionEngine is a pluggable run engine over one loaded graph:
+	// the message-passing vertex engine or the streaming SpMV engine,
+	// stamped out per query. RunContext is the same type, named for the
+	// Init-parameter role.
+	ExecutionEngine = core.ExecutionEngine
+	// EngineKind names an execution model ("vertex" or "spmv").
+	EngineKind = core.EngineKind
+	// SpMVProgram is the dense-sweep form of an algorithm, runnable by
+	// the SpMV engine (Caps.SupportsSpMV declares a spec returns one).
+	SpMVProgram = core.SpMVProgram
+	// Program is what an execution engine runs — the Init-only surface
+	// both Algorithm and SpMVProgram embed.
+	Program = core.Program
+)
+
+// Execution-engine kinds (Request.Engine / ?engine= values).
+const (
+	// EngineVertex is the message-passing vertex-program engine.
+	EngineVertex = core.EngineVertex
+	// EngineSpMV is the streaming dense-sweep engine.
+	EngineSpMV = core.EngineSpMV
 )
 
 // Query lifecycle states.
