@@ -33,7 +33,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fg-bench: ")
 	var (
-		exp        = flag.String("exp", "all", "all | table1 | fig8 | fig9 | fig10 | fig11 | table2 | fig12 | fig13 | fig14 | ablations | concurrent | ingest | encoding | spmv")
+		exp        = flag.String("exp", "all", "all | table1 | fig8 | fig9 | fig10 | fig11 | table2 | fig12 | fig13 | fig14 | ablations | concurrent | serving | ingest | encoding | spmv")
 		scaleAdd   = flag.Int("scale-add", 0, "log2 dataset scale adjustment")
 		threads    = flag.Int("threads", 8, "engine worker threads")
 		noThrottle = flag.Bool("no-throttle", false, "disable device timing")
@@ -45,6 +45,14 @@ func main() {
 		qps           = flag.Float64("qps", 0, "concurrent: target aggregate qps (0 = closed loop)")
 		maxConcurrent = flag.Int("max-concurrent", 4, "concurrent: scheduler slots")
 		mix           = flag.String("mix", "bfs,pagerank,wcc", "concurrent: comma-separated algorithm rotation")
+
+		// -exp serving knobs (serving-QoS acceptance gauge, grown out of
+		// -exp concurrent: priority classes, result cache, quotas).
+		servInteractive = flag.Int("serving-interactive", 0, "serving: interactive probes per phase (0 = default 8)")
+		servBatch       = flag.Int("serving-batch", 0, "serving: background batch queries per phase (0 = default 10)")
+		servBatchIters  = flag.Int("serving-batch-iters", 0, "serving: pagerank sweeps per batch query (0 = default 24)")
+		servSlots       = flag.Int("serving-slots", 0, "serving: scheduler slots (0 = default 4)")
+		servJSON        = flag.String("serving-json", "BENCH_serving.json", "serving: machine-readable output path")
 
 		// -exp ingest knobs (streaming image construction).
 		ingestScale = flag.Int("ingest-scale", 0, "ingest: RMAT log2 vertex count (0 = bench default)")
@@ -117,6 +125,14 @@ func main() {
 			CacheMB:  *spmvCacheMB,
 			Iters:    *spmvIters,
 			JSONPath: *spmvJSON,
+		}, w)
+	case "serving":
+		bench.Serving(cfg, bench.ServingConfig{
+			Interactive: *servInteractive,
+			Batch:       *servBatch,
+			BatchIters:  *servBatchIters,
+			Slots:       *servSlots,
+			JSONPath:    *servJSON,
 		}, w)
 	case "concurrent":
 		bench.Concurrent(cfg, bench.ConcurrentConfig{

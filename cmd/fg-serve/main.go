@@ -37,12 +37,18 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"flashgraph"
@@ -71,6 +77,11 @@ func main() {
 		maxQueued     = flag.Int("max-queued", 64, "admitted queries waiting for a slot")
 		maxHistory    = flag.Int("max-history", 1024, "finished queries retained for polling")
 		resultMB      = flag.Int64("result-mb", 64, "byte budget for retained full result vectors (MiB); 0 disables retention")
+		qosOn         = flag.Bool("qos", false, "enable the serving-QoS tier: priority classes, result cache, coalescing")
+		cacheResMB    = flag.Int64("result-cache-mb", 32, "result cache byte budget (MiB) when -qos is on; 0 disables the cache")
+		quotaRate     = flag.Float64("quota-rate", 0, "per-tenant admission rate (queries/sec, token bucket); 0 disables quotas")
+		quotaBurst    = flag.Float64("quota-burst", 0, "per-tenant burst capacity; 0 means 4x -quota-rate")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "max time to finish in-flight queries on SIGINT/SIGTERM")
 	)
 	flag.Func("graph", "FlashGraph image to serve, as name=path or path (repeatable)", func(v string) error {
 		name, path, ok := strings.Cut(v, "=")
@@ -137,6 +148,13 @@ func main() {
 	if *resultMB <= 0 {
 		resultBytes = -1
 	}
+	// -result-cache-mb 0 with -qos means "no cache" (the config uses 0
+	// as its own default sentinel, so translate to the negative
+	// convention, like -result-mb above).
+	cacheBytes := *cacheResMB << 20
+	if *cacheResMB <= 0 {
+		cacheBytes = -1
+	}
 	// The daemon is the public server, verbatim: the same constructor,
 	// registry, and HTTP handler a library embedder gets.
 	srv, err := flashgraph.NewServer(cat, flashgraph.ServerConfig{
@@ -144,6 +162,12 @@ func main() {
 		MaxQueued:     *maxQueued,
 		MaxHistory:    *maxHistory,
 		ResultBytes:   resultBytes,
+		QoS: flashgraph.QoSConfig{
+			Enabled:    *qosOn,
+			CacheBytes: cacheBytes,
+			QuotaRate:  *quotaRate,
+			QuotaBurst: *quotaBurst,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -157,10 +181,63 @@ func main() {
 	log.Printf("catalog: %d graphs on one shared substrate (default %q)", len(names), names[0])
 	log.Printf("scheduler: %d concurrent slots, queue depth %d, %s result budget; algorithms: %v",
 		*maxConcurrent, *maxQueued, util.HumanBytes(*resultMB<<20), algos)
+	if *qosOn {
+		quota := "quotas off"
+		if *quotaRate > 0 {
+			quota = fmt.Sprintf("quota %.3g q/s per tenant", *quotaRate)
+		}
+		log.Printf("qos: priority classes on, %s result cache, %s", util.HumanBytes(cacheBytes), quota)
+	}
 	log.Printf("listening on %s", *addr)
 
 	server := &http.Server{Addr: *addr, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	log.Fatal(server.ListenAndServe())
+
+	// Graceful drain: on SIGINT/SIGTERM stop admitting (Submit answers
+	// 503 so load balancers fail over), let in-flight and queued
+	// queries finish within -drain-timeout, flush final stats to the
+	// log, and exit. A second signal aborts immediately.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("received %v: draining (in-flight queries finish, new submissions get 503)", sig)
+	}
+	srv.Drain()
+	done := make(chan struct{})
+	go func() {
+		srv.Close() // blocks until queued + running queries finish
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(*drainTimeout):
+		log.Printf("drain timed out after %v; exiting with queries in flight", *drainTimeout)
+	case sig := <-sigCh:
+		log.Printf("received second %v: aborting drain", sig)
+	}
+	// Stop the HTTP listener after the computation drains: read
+	// endpoints (stats, results) answer to the very end.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := server.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	flushStats(srv)
+}
+
+// flushStats writes the server's final traffic counters to the log as
+// one JSON line — the drain-time flight recorder.
+func flushStats(srv *flashgraph.Server) {
+	b, err := json.Marshal(srv.Stats())
+	if err != nil {
+		return
+	}
+	log.Printf("final stats: %s", b)
 }
 
 func logGraph(name, mode string, eng *flashgraph.Engine) {

@@ -2,6 +2,7 @@ package flashgraph_test
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"flashgraph"
@@ -137,6 +138,78 @@ func Example_customAlgorithm() {
 	// Output:
 	// degree[0] = 3
 	// degreecount: serve: bad algorithm params: unknown param "mindeg" (accepted params: min_degree (integer))
+}
+
+// The serving QoS tier layers three protections over the scheduler —
+// priority classes with reserved interactive slots, an exact-result
+// cache with single-flight coalescing, and per-tenant admission
+// quotas — all off by default, enabled by one ServerConfig.QoS block.
+// Classes are inferred from each algorithm's capabilities and
+// effective parameters (source-anchored point queries are interactive,
+// long iterative sweeps are batch) and overridable per request; cache
+// hits return the bit-identical ResultSet without re-running.
+func Example_servingQoS() {
+	cat := flashgraph.NewCatalog(flashgraph.Options{CacheBytes: 1 << 20})
+	defer cat.Close()
+	if _, err := cat.Add("social", flashgraph.NewGraph(4, []flashgraph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0},
+	}, flashgraph.Directed)); err != nil {
+		panic(err)
+	}
+	srv, err := flashgraph.NewServer(cat, flashgraph.ServerConfig{
+		QoS: flashgraph.QoSConfig{
+			Enabled:    true,
+			QuotaRate:  0.001, // refill ~never: the denial below is deterministic
+			QuotaBurst: 2,
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+
+	submit := func(tenant, class string) (flashgraph.Query, error) {
+		id, err := srv.Submit(flashgraph.Request{
+			Algo:   "bfs",
+			Params: json.RawMessage(`{"src":0}`),
+			Tenant: tenant,
+			Class:  class, // "" infers from the algorithm
+		})
+		if err != nil {
+			return flashgraph.Query{}, err
+		}
+		return srv.Wait(id)
+	}
+
+	q1, err := submit("alice", "")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("alice: class %s, cache %q\n", q1.Class, q1.Cache)
+
+	// The identical request from another tenant answers from the result
+	// cache — same checksum, no second execution — and the override
+	// files it as batch.
+	q2, err := submit("bob", "batch")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("bob: class %s, cache %q, identical %v\n",
+		q2.Class, q2.Cache, q1.Result["checksum"] == q2.Result["checksum"])
+
+	// A tenant overdrawing its token bucket is refused without touching
+	// anyone else; over HTTP this surfaces as 429 with Retry-After.
+	var denied error
+	for i := 0; i < 3; i++ {
+		if _, err := submit("mallory", ""); err != nil {
+			denied = err
+		}
+	}
+	fmt.Println("mallory throttled:", errors.Is(denied, flashgraph.ErrQuotaExceeded))
+	// Output:
+	// alice: class interactive, cache ""
+	// bob: class batch, cache "hit", identical true
+	// mallory throttled: true
 }
 
 // A Catalog serves many named graphs from ONE shared substrate — a

@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// fingerprintSample bounds how many edge-data bytes per direction end
+// (head and tail) feed the fingerprint. Sampling keeps Fingerprint
+// cheap on file-backed multi-GB images while still covering the
+// region where two same-shaped images are likeliest to differ.
+const fingerprintSample = 256 << 10
+
+// Fingerprint returns a stable content identity for the image: an
+// FNV-64a hash over the header fields, the full per-direction index
+// (degree sequence, group offsets, delta record sizes), and bounded
+// head/tail samples of each direction's encoded edge data. Two loads
+// of the same image bytes fingerprint identically — including a
+// RAM-decoded and a file-backed open of the same file — while images
+// of different graphs, encodings, or attribute payloads diverge.
+//
+// The serve layer's result cache keys on it so cached results can
+// never cross graphs that merely share a catalog name. The value is
+// computed once per Image and memoized (safe for concurrent callers).
+func (img *Image) Fingerprint() string {
+	img.fpOnce.Do(func() {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "v=%d;e=%d;dir=%t;attr=%d;enc=%s;", img.NumV, img.NumEdges, img.Directed, img.AttrSize, img.Encoding)
+		img.hashDirection(h, OutEdges, img.OutIndex)
+		if img.Directed {
+			img.hashDirection(h, InEdges, img.InIndex)
+		}
+		img.fp = fmt.Sprintf("%016x", h.Sum64())
+	})
+	return img.fp
+}
+
+// hashDirection folds one direction's index and data samples into h.
+// Index contents are hashed in deterministic slice order only (the
+// large-vertex hash tables are skipped: their residents are implied
+// by the 255 sentinel bytes plus the sampled data, and map iteration
+// order would break determinism).
+func (img *Image) hashDirection(h io.Writer, dir EdgeDir, ix *Index) {
+	if ix == nil {
+		return
+	}
+	var num [8]byte
+	binary.LittleEndian.PutUint64(num[:], uint64(ix.fileSize))
+	h.Write(num[:])
+	h.Write(ix.degree)
+	for _, off := range ix.groupOff {
+		binary.LittleEndian.PutUint64(num[:], uint64(off))
+		h.Write(num[:])
+	}
+	h.Write(ix.recBytes)
+	ra, err := img.edgeReaderAt(dir)
+	if err != nil {
+		return // no data to sample (index already hashed)
+	}
+	size := ix.fileSize
+	head := size
+	if head > fingerprintSample {
+		head = fingerprintSample
+	}
+	buf := make([]byte, head)
+	if _, err := ra.ReadAt(buf, 0); err == nil {
+		h.Write(buf)
+	}
+	if tailOff := size - fingerprintSample; tailOff > head {
+		buf = buf[:fingerprintSample]
+		if _, err := ra.ReadAt(buf, tailOff); err == nil {
+			h.Write(buf)
+		}
+	}
+}

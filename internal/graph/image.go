@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"flashgraph/internal/safs"
 )
@@ -126,6 +127,10 @@ type Image struct {
 	closer  io.Closer
 	outOff  int64
 	inOff   int64
+
+	// Memoized content identity (Fingerprint).
+	fpOnce sync.Once
+	fp     string
 }
 
 // Weighted reports whether the image carries the 4-byte per-edge

@@ -1,0 +1,159 @@
+package qos
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies one cached computation exactly: the graph image's
+// content fingerprint (not its catalog name — re-serving a different
+// image under the same name must miss), the algorithm, the request's
+// canonicalized parameters, and the execution engine kind. Two
+// requests with equal Keys are the same deterministic computation, so
+// serving one's retained result for the other is exact, not
+// approximate — the serve layer's checksummed ResultSets prove it.
+type Key struct {
+	// Graph is the image's content fingerprint.
+	Graph string
+	// Algo is the registered algorithm name.
+	Algo string
+	// Params is the request's canonical (sorted-key, compact) params
+	// JSON. Canonicalization is textual: two spellings of the same
+	// defaults may miss, but equal keys never lie.
+	Params string
+	// Engine is the resolved execution engine kind.
+	Engine string
+}
+
+// CacheStats snapshots a Cache's counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Inserts   int64 `json:"inserts"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Budget    int64 `json:"budget"`
+	// Coalesced counts submissions attached to an identical in-flight
+	// leader instead of running (single-flight); the serve layer
+	// reports it here because coalescing and caching are one pillar:
+	// both serve a computation that ran once to N callers.
+	Coalesced int64 `json:"coalesced"`
+}
+
+// HitRate returns hits / (hits + misses).
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is a byte-budgeted LRU over finished computation results. V
+// is the caller's value type (the serve layer stores the ResultSet,
+// its summary, and the run stats together); size reports one value's
+// retained footprint for the budget. A single value larger than the
+// whole budget is simply not admitted.
+//
+// Values must be immutable once Put: Get returns them to concurrent
+// readers without copying.
+type Cache[V any] struct {
+	mu     sync.Mutex
+	budget int64
+	size   func(V) int64
+	lru    *list.List // front = most recent
+	byKey  map[Key]*list.Element
+	stats  CacheStats
+}
+
+type cacheEntry[V any] struct {
+	key   Key
+	val   V
+	bytes int64
+}
+
+// NewCache builds a cache with the given byte budget (<= 0 means the
+// cache stores nothing but still counts misses, so disabling the
+// cache keeps the stats surface).
+func NewCache[V any](budget int64, size func(V) int64) *Cache[V] {
+	if budget < 0 {
+		budget = 0
+	}
+	return &Cache[V]{
+		budget: budget,
+		size:   size,
+		lru:    list.New(),
+		byKey:  map[Key]*list.Element{},
+		stats:  CacheStats{Budget: budget},
+	}
+}
+
+// Get returns the cached value and marks it most-recently used.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*cacheEntry[V]).val, true
+	}
+	c.stats.Misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts (or refreshes) a value and evicts least-recently-used
+// entries until the budget holds. It reports whether the value was
+// admitted (false: larger than the whole budget, or budget 0).
+func (c *Cache[V]) Put(k Key, v V) bool {
+	bytes := c.size(v)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		// Refresh in place (identical computation, so the value is
+		// equivalent; keep the newer one and its accounting honest).
+		e := el.Value.(*cacheEntry[V])
+		c.stats.Bytes += bytes - e.bytes
+		e.val, e.bytes = v, bytes
+		c.lru.MoveToFront(el)
+		c.evictLocked()
+		return true
+	}
+	if bytes > c.budget {
+		return false
+	}
+	el := c.lru.PushFront(&cacheEntry[V]{key: k, val: v, bytes: bytes})
+	c.byKey[k] = el
+	c.stats.Bytes += bytes
+	c.stats.Inserts++
+	c.stats.Entries = len(c.byKey)
+	c.evictLocked()
+	return true
+}
+
+func (c *Cache[V]) evictLocked() {
+	for c.stats.Bytes > c.budget && c.lru.Len() > 0 {
+		el := c.lru.Back()
+		e := el.Value.(*cacheEntry[V])
+		c.lru.Remove(el)
+		delete(c.byKey, e.key)
+		c.stats.Bytes -= e.bytes
+		c.stats.Evictions++
+	}
+	c.stats.Entries = len(c.byKey)
+}
+
+// Coalesced counts one single-flight attachment (serve calls it when
+// a submission joins an identical in-flight computation).
+func (c *Cache[V]) Coalesced() {
+	c.mu.Lock()
+	c.stats.Coalesced++
+	c.mu.Unlock()
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,353 @@
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInferClass(t *testing.T) {
+	cases := []struct {
+		needsSrc bool
+		iters    int
+		want     Class
+	}{
+		{true, 0, ClassInteractive}, // bfs, sssp, bc
+		{false, 0, ClassAnalytic},   // wcc, tc
+		{false, 10, ClassAnalytic},  // labelprop default
+		{false, 30, ClassBatch},     // pagerank default
+		{false, 20, ClassBatch},     // boundary: 20 is batch
+		{false, 19, ClassAnalytic},  // boundary: 19 is not
+		{true, 30, ClassBatch},      // ppagerank: a sweep, not a lookup
+	}
+	for _, c := range cases {
+		if got := InferClass(c.needsSrc, c.iters); got != c.want {
+			t.Errorf("InferClass(%t, %d) = %s, want %s", c.needsSrc, c.iters, got, c.want)
+		}
+	}
+}
+
+func TestParseClassAndRank(t *testing.T) {
+	for i, cl := range Classes {
+		got, err := ParseClass(string(cl))
+		if err != nil || got != cl {
+			t.Fatalf("ParseClass(%q) = %v, %v", cl, got, err)
+		}
+		if cl.Rank() != i {
+			t.Fatalf("%s.Rank() = %d, want %d", cl, cl.Rank(), i)
+		}
+	}
+	if _, err := ParseClass("urgent"); err == nil {
+		t.Fatal("ParseClass accepted an unknown class")
+	}
+	if _, err := ParseClass(""); err == nil {
+		t.Fatal("ParseClass accepted the empty class")
+	}
+}
+
+func TestConfigResolvers(t *testing.T) {
+	var zero Config
+	if zero.Enabled {
+		t.Fatal("zero Config must be disabled")
+	}
+	if got := zero.CacheBudget(); got != 32<<20 {
+		t.Fatalf("default cache budget = %d, want 32MiB", got)
+	}
+	if got := (Config{CacheBytes: -1}).CacheBudget(); got != 0 {
+		t.Fatalf("negative CacheBytes budget = %d, want 0", got)
+	}
+	if got := zero.reserved(4); got != 1 {
+		t.Fatalf("reserved(4) = %d, want 1", got)
+	}
+	if got := zero.reserved(1); got != 0 {
+		t.Fatalf("reserved(1) = %d, want 0 (cannot reserve the only slot)", got)
+	}
+	if got := (Config{ReservedSlots: 10}).reserved(4); got != 3 {
+		t.Fatalf("oversized reservation = %d, want slots-1", got)
+	}
+	if got := zero.batchCap(3); got != 1 {
+		t.Fatalf("batchCap(3) = %d, want 1", got)
+	}
+	if got := (Config{BatchSlots: -1}).batchCap(3); got != 3 {
+		t.Fatalf("uncapped batchCap = %d, want 3", got)
+	}
+	if got := zero.weight(ClassInteractive); got != 16 {
+		t.Fatalf("interactive weight = %d, want 16", got)
+	}
+	if got := (Config{Weights: map[Class]int{ClassBatch: 9}}).weight(ClassBatch); got != 9 {
+		t.Fatalf("overridden batch weight = %d, want 9", got)
+	}
+	if got := (Config{QuotaRate: 2}).QuotaBurstTokens(); got != 8 {
+		t.Fatalf("default burst = %v, want 4x rate", got)
+	}
+}
+
+func TestCacheLRUEvictionByBytes(t *testing.T) {
+	c := NewCache(100, func(v int64) int64 { return v })
+	keys := func(i int) Key { return Key{Algo: fmt.Sprintf("a%d", i)} }
+	for i := 0; i < 4; i++ {
+		if !c.Put(keys(i), 30) {
+			t.Fatalf("put %d rejected", i)
+		}
+	}
+	// 4 x 30 = 120 > 100: the least-recently-used entry (0) is evicted.
+	if _, ok := c.Get(keys(0)); ok {
+		t.Fatal("oldest entry survived the byte budget")
+	}
+	for i := 1; i < 4; i++ {
+		if _, ok := c.Get(keys(i)); !ok {
+			t.Fatalf("entry %d evicted out of LRU order", i)
+		}
+	}
+	// Touch 1 (now most recent), insert another: 2 must go, not 1.
+	c.Get(keys(1))
+	c.Put(keys(9), 30)
+	if _, ok := c.Get(keys(1)); !ok {
+		t.Fatal("recently-used entry evicted")
+	}
+	if _, ok := c.Get(keys(2)); ok {
+		t.Fatal("LRU entry survived")
+	}
+	st := c.Stats()
+	if st.Bytes > st.Budget {
+		t.Fatalf("bytes %d over budget %d", st.Bytes, st.Budget)
+	}
+	if st.Evictions != 2 || st.Entries != 3 {
+		t.Fatalf("stats = %+v, want 2 evictions / 3 entries", st)
+	}
+}
+
+func TestCacheRejectsOversizedAndZeroBudget(t *testing.T) {
+	c := NewCache(50, func(v int64) int64 { return v })
+	if c.Put(Key{Algo: "big"}, 51) {
+		t.Fatal("value larger than the whole budget admitted")
+	}
+	disabled := NewCache(0, func(v int64) int64 { return v })
+	if disabled.Put(Key{Algo: "x"}, 1) {
+		t.Fatal("zero-budget cache admitted a value")
+	}
+	if _, ok := disabled.Get(Key{Algo: "x"}); ok {
+		t.Fatal("zero-budget cache returned a value")
+	}
+	if st := disabled.Stats(); st.Misses != 1 {
+		t.Fatalf("disabled cache misses = %d, want 1 (stats surface stays live)", st.Misses)
+	}
+}
+
+func TestCacheKeyIncludesGraphAndEngine(t *testing.T) {
+	c := NewCache(1000, func(v string) int64 { return 1 })
+	c.Put(Key{Graph: "fp-a", Algo: "pagerank", Engine: "spmv"}, "a")
+	if _, ok := c.Get(Key{Graph: "fp-b", Algo: "pagerank", Engine: "spmv"}); ok {
+		t.Fatal("cache hit across different graph fingerprints")
+	}
+	if _, ok := c.Get(Key{Graph: "fp-a", Algo: "pagerank", Engine: "vertex"}); ok {
+		t.Fatal("cache hit across different engines")
+	}
+	if v, ok := c.Get(Key{Graph: "fp-a", Algo: "pagerank", Engine: "spmv"}); !ok || v != "a" {
+		t.Fatal("exact key missed")
+	}
+}
+
+func TestMultiQueueFIFOMode(t *testing.T) {
+	q := NewMultiQueue[int](Config{}, 2, 4)
+	for i := 0; i < 4; i++ {
+		// Class is ignored for ordering in FIFO mode.
+		if err := q.Push(Classes[i%NumClasses], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Push(ClassInteractive, 99); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity push: %v, want ErrQueueFull", err)
+	}
+	for i := 0; i < 4; i++ {
+		v, rank, ok := q.Pop()
+		if !ok || v != i || rank != 0 {
+			t.Fatalf("pop %d = (%d, %d, %t), want strict FIFO order", i, v, rank, ok)
+		}
+		q.Done(rank)
+	}
+}
+
+func TestMultiQueuePrioritizesInteractive(t *testing.T) {
+	// One slot, everything queued: interactive must dequeue ahead of
+	// batch pushed before it.
+	q := NewMultiQueue[string](Config{Enabled: true}, 1, 16)
+	q.Push(ClassBatch, "b1")
+	q.Push(ClassBatch, "b2")
+	q.Push(ClassInteractive, "i1")
+	q.Push(ClassAnalytic, "a1")
+	var order []string
+	for i := 0; i < 4; i++ {
+		v, rank, ok := q.Pop()
+		if !ok {
+			t.Fatal("pop failed")
+		}
+		order = append(order, v)
+		q.Done(rank)
+	}
+	if order[0] != "i1" {
+		t.Fatalf("dequeue order %v: interactive did not jump the batch queue", order)
+	}
+}
+
+func TestMultiQueueReservedSlotPolicy(t *testing.T) {
+	// 2 slots, 1 reserved for interactive: the second batch query may
+	// not be dequeued while the first still runs, even with a free slot.
+	q := NewMultiQueue[string](Config{Enabled: true, ReservedSlots: 1, BatchSlots: -1}, 2, 16)
+	q.Push(ClassBatch, "b1")
+	q.Push(ClassBatch, "b2")
+	v, rank, _ := q.Pop()
+	if v != "b1" {
+		t.Fatalf("first pop = %q", v)
+	}
+	popped := make(chan string, 2)
+	go func() {
+		v, r, ok := q.Pop()
+		if ok {
+			popped <- v
+			defer q.Done(r)
+		}
+		v2, r2, ok2 := q.Pop()
+		if ok2 {
+			popped <- v2
+			q.Done(r2)
+		}
+	}()
+	select {
+	case v := <-popped:
+		t.Fatalf("batch %q entered the reserved slot", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// An interactive query takes the reserved slot immediately.
+	q.Push(ClassInteractive, "i1")
+	select {
+	case v := <-popped:
+		if v != "i1" {
+			t.Fatalf("reserved slot went to %q, want i1", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("interactive query never dispatched into the reserved slot")
+	}
+	// Releasing the batch slot frees b2.
+	q.Done(rank)
+	select {
+	case v := <-popped:
+		if v != "b2" {
+			t.Fatalf("freed slot went to %q, want b2", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queued batch never dispatched after Done")
+	}
+}
+
+func TestMultiQueueBatchCap(t *testing.T) {
+	// 4 slots, nothing reserved, batch capped at 1: two batch pushes,
+	// only one dequeues until Done.
+	q := NewMultiQueue[string](Config{Enabled: true, ReservedSlots: -1, BatchSlots: 1}, 4, 16)
+	q.Push(ClassBatch, "b1")
+	q.Push(ClassBatch, "b2")
+	_, rank, _ := q.Pop()
+	done := make(chan string, 1)
+	go func() {
+		v, r, ok := q.Pop()
+		if ok {
+			done <- v
+			q.Done(r)
+		}
+	}()
+	select {
+	case v := <-done:
+		t.Fatalf("batch %q ran beyond the cap", v)
+	case <-time.After(50 * time.Millisecond):
+	}
+	q.Done(rank)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("second batch never ran after the first finished")
+	}
+}
+
+func TestMultiQueueDrain(t *testing.T) {
+	q := NewMultiQueue[int](Config{Enabled: true}, 2, 8)
+	q.Push(ClassAnalytic, 1)
+	q.Drain()
+	if err := q.Push(ClassAnalytic, 2); !errors.Is(err, ErrDraining) {
+		t.Fatalf("push after drain: %v, want ErrDraining", err)
+	}
+	// The admitted query still dequeues; then Pop reports done.
+	v, rank, ok := q.Pop()
+	if !ok || v != 1 {
+		t.Fatalf("pop after drain = (%d, %t), want the admitted query", v, ok)
+	}
+	q.Done(rank)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, _, ok := q.Pop(); ok {
+			t.Error("pop on a drained empty queue reported a value")
+		}
+	}()
+	wg.Wait()
+}
+
+func TestQuotasBurstAndRefill(t *testing.T) {
+	qs := NewQuotas(Config{QuotaRate: 1, QuotaBurst: 3})
+	now := time.Unix(1000, 0)
+	qs.SetClock(func() time.Time { return now })
+
+	for i := 0; i < 3; i++ {
+		if err := qs.Allow("t1"); err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+	}
+	err := qs.Allow("t1")
+	var qe *QuotaError
+	if !errors.As(err, &qe) || !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-burst allow = %v, want *QuotaError matching ErrQuotaExceeded", err)
+	}
+	if qe.Tenant != "t1" || qe.RetryAfterSeconds() < 1 {
+		t.Fatalf("quota error = %+v", qe)
+	}
+	// Another tenant's bucket is untouched.
+	if err := qs.Allow("t2"); err != nil {
+		t.Fatalf("other tenant denied: %v", err)
+	}
+	// One second refills one token at rate 1.
+	now = now.Add(time.Second)
+	if err := qs.Allow("t1"); err != nil {
+		t.Fatalf("post-refill allow: %v", err)
+	}
+	if err := qs.Allow("t1"); err == nil {
+		t.Fatal("second post-refill allow admitted without tokens")
+	}
+
+	st := qs.Stats()
+	if len(st) != 2 || st[0].Tenant != "t1" || st[1].Tenant != "t2" {
+		t.Fatalf("stats = %+v, want sorted t1, t2", st)
+	}
+	if st[0].Admitted != 4 || st[0].Denied != 2 {
+		t.Fatalf("t1 stats = %+v, want 4 admitted / 2 denied", st[0])
+	}
+}
+
+func TestQuotaRetryAfterCeil(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+		{3 * time.Second, 3},
+	}
+	for _, c := range cases {
+		if got := retryAfterCeil(c.d); got != c.want {
+			t.Errorf("retryAfterCeil(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}

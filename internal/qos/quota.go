@@ -1,0 +1,122 @@
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrQuotaExceeded matches any *QuotaError via errors.Is — the serve
+// HTTP layer maps it to 429 Too Many Requests.
+var ErrQuotaExceeded = errors.New("qos: tenant quota exhausted")
+
+// QuotaError reports one quota denial: which tenant, and how long
+// until one token refills (the HTTP Retry-After value).
+type QuotaError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("qos: tenant %q quota exhausted; retry after %v",
+		e.Tenant, e.RetryAfter.Round(time.Millisecond))
+}
+
+// Is makes errors.Is(err, ErrQuotaExceeded) true for every QuotaError.
+func (e *QuotaError) Is(target error) bool { return target == ErrQuotaExceeded }
+
+// RetryAfterSeconds renders the wait for the HTTP Retry-After header:
+// whole seconds, rounded up, floor 1.
+func (e *QuotaError) RetryAfterSeconds() int { return retryAfterCeil(e.RetryAfter) }
+
+// TenantStats snapshots one tenant's quota state.
+type TenantStats struct {
+	Tenant   string  `json:"tenant"`
+	Tokens   float64 `json:"tokens"` // refilled to the snapshot instant
+	Admitted int64   `json:"admitted"`
+	Denied   int64   `json:"denied"`
+}
+
+// Quotas meters per-tenant admission with one token bucket per
+// tenant: Rate tokens/second sustained, Burst capacity. Buckets are
+// created full on first sight of a tenant, so quotas throttle
+// sustained pressure, not first contact. The empty tenant name is a
+// tenant like any other (anonymous traffic shares one bucket).
+type Quotas struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	now     func() time.Time // test seam
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens   float64
+	last     time.Time
+	admitted int64
+	denied   int64
+}
+
+// NewQuotas builds the quota table from cfg (call only when
+// cfg.QuotaRate > 0).
+func NewQuotas(cfg Config) *Quotas {
+	return &Quotas{
+		rate:    cfg.QuotaRate,
+		burst:   cfg.QuotaBurstTokens(),
+		now:     time.Now,
+		buckets: map[string]*bucket{},
+	}
+}
+
+// SetClock overrides the time source (tests).
+func (q *Quotas) SetClock(now func() time.Time) { q.now = now }
+
+// Allow spends one token from tenant's bucket, or returns a
+// *QuotaError carrying the refill wait.
+func (q *Quotas) Allow(tenant string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	t := q.now()
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: t}
+		q.buckets[tenant] = b
+	} else {
+		b.tokens += t.Sub(b.last).Seconds() * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = t
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		b.admitted++
+		return nil
+	}
+	b.denied++
+	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	return &QuotaError{Tenant: tenant, RetryAfter: wait}
+}
+
+// Stats snapshots every tenant's bucket, sorted by tenant name, with
+// tokens refilled to now so the numbers are current, not
+// last-touch-stale.
+func (q *Quotas) Stats() []TenantStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t := q.now()
+	out := make([]TenantStats, 0, len(q.buckets))
+	for name, b := range q.buckets {
+		tokens := b.tokens + t.Sub(b.last).Seconds()*q.rate
+		if tokens > q.burst {
+			tokens = q.burst
+		}
+		out = append(out, TenantStats{
+			Tenant: name, Tokens: tokens, Admitted: b.admitted, Denied: b.denied,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}

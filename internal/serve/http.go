@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"flashgraph/internal/qos"
 	"flashgraph/internal/result"
 )
 
@@ -39,8 +40,18 @@ func Handler(s *Server) http.Handler {
 		if eng := r.URL.Query().Get("engine"); eng != "" {
 			req.Engine = eng // ?engine= overrides the body and the Caps default
 		}
+		if cl := r.URL.Query().Get("class"); cl != "" {
+			req.Class = cl // ?class= overrides the body and the inferred class
+		}
+		if req.Tenant == "" {
+			req.Tenant = r.Header.Get("X-Tenant")
+		}
 		id, err := s.Submit(req)
 		if err != nil {
+			var qe *qos.QuotaError
+			if errors.As(err, &qe) {
+				w.Header().Set("Retry-After", strconv.Itoa(qe.RetryAfterSeconds()))
+			}
 			httpError(w, statusFor(err), err.Error())
 			return
 		}
@@ -213,7 +224,9 @@ func queryID(w http.ResponseWriter, r *http.Request) (int64, bool) {
 // statusFor maps the package's error taxonomy onto HTTP statuses.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, qos.ErrQuotaExceeded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownQuery), errors.Is(err, ErrUnknownGraph):
 		return http.StatusNotFound

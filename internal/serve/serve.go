@@ -4,14 +4,21 @@
 // array (the paper's core asset, amortized across graphs as well as
 // queries).
 //
-// The Server is a query scheduler with admission control: submitted
-// queries enter a bounded FIFO queue, at most MaxConcurrent of them
-// execute at once (each on its own per-run execution engine from
-// Shared.NewEngine — message passing or SpMV, picked per query), and
-// each carries per-query RunStats, timing, and a uniform typed
-// result. Submissions beyond the queue bound are rejected with
-// ErrQueueFull rather than buffered without limit — under overload the
-// server sheds load instead of collapsing.
+// The Server is a query scheduler with admission control and an
+// optional serving-QoS tier (internal/qos, Config.QoS). Submitted
+// queries are classified into priority classes — interactive /
+// analytic / batch, inferred from the algorithm's capabilities and
+// parameters with a per-request override — and admitted into
+// per-class queues with weighted dequeue and reserved execution
+// slots, so point lookups never wait behind full-graph sweeps. A
+// byte-budgeted result cache keyed by (graph image fingerprint, algo,
+// canonical params, engine kind) serves repeated identical queries
+// without recomputation, and single-flight coalescing runs N
+// identical in-flight submissions once. Per-tenant token-bucket
+// quotas shed one tenant's overload without touching the others. With
+// the QoS tier disabled (the zero Config.QoS), the scheduler is the
+// seed-era single FIFO: at most MaxConcurrent queries execute at once
+// and submissions beyond MaxQueued fail with ErrQueueFull.
 //
 // Results follow the internal/result contract: every finished query
 // publishes a ResultSet summary (scalars, vector metadata, top-5,
@@ -23,14 +30,17 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"flashgraph/internal/core"
 	"flashgraph/internal/graph"
+	"flashgraph/internal/qos"
 	"flashgraph/internal/result"
 )
 
@@ -50,11 +60,15 @@ const (
 
 // Submission and result-access errors.
 var (
-	// ErrQueueFull rejects a submission when the FIFO queue is at
+	// ErrQueueFull rejects a submission when the admission queue is at
 	// MaxQueued (admission control: shed load, don't buffer unboundedly).
 	ErrQueueFull = errors.New("serve: query queue full")
 	// ErrClosed rejects submissions after Close.
 	ErrClosed = errors.New("serve: server closed")
+	// ErrDraining rejects submissions after Drain: in-flight and queued
+	// queries finish, nothing new is admitted (the HTTP layer answers
+	// 503 so load balancers fail over during shutdown).
+	ErrDraining = errors.New("serve: server draining")
 	// ErrUnknownQuery is returned by Wait and the result accessors for
 	// an unknown ID.
 	ErrUnknownQuery = errors.New("serve: unknown query id")
@@ -95,6 +109,12 @@ type Config struct {
 	// DefaultGraph names the graph passed to New, the one unqualified
 	// requests (empty Request.Graph) route to. Default "default".
 	DefaultGraph string
+	// QoS configures the serving-QoS tier: priority-class admission,
+	// the result cache with single-flight coalescing, and per-tenant
+	// quotas. The zero value is DISABLED (seed-era single FIFO) so
+	// existing embedders keep exact behavior; set QoS.Enabled to opt
+	// in.
+	QoS qos.Config
 }
 
 func (c *Config) setDefaults() {
@@ -145,18 +165,33 @@ type Request struct {
 	// engine needs per-vertex edge records. The HTTP layer also accepts
 	// this as a ?engine= query parameter on POST /queries.
 	Engine string `json:"engine,omitempty"`
+	// Tenant attributes the query to a tenant for quota accounting and
+	// stats. The HTTP layer fills it from the X-Tenant header when the
+	// body leaves it empty. Empty is the anonymous tenant (one shared
+	// bucket).
+	Tenant string `json:"tenant,omitempty"`
+	// Class overrides the inferred priority class: "interactive",
+	// "analytic", or "batch". Empty infers from the algorithm's
+	// capabilities and effective parameters (qos.InferClass). The HTTP
+	// layer also accepts ?class= on POST /queries.
+	Class string `json:"class,omitempty"`
 }
 
-// Validate checks the request's shape — version and algorithm
-// presence — independent of any graph. Capability checks run in the
-// registry's central validator and parameter decoding in the
-// algorithm's constructor, both at submit time.
+// Validate checks the request's shape — version, algorithm presence,
+// and the class override — independent of any graph. Capability
+// checks run in the registry's central validator and parameter
+// decoding in the algorithm's constructor, both at submit time.
 func (r Request) Validate() error {
 	if r.Version < 0 || r.Version > RequestVersion {
 		return fmt.Errorf("serve: unsupported request version %d (max %d)", r.Version, RequestVersion)
 	}
 	if r.Algo == "" {
 		return fmt.Errorf("serve: request missing algo")
+	}
+	if r.Class != "" {
+		if _, err := qos.ParseClass(r.Class); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
 	}
 	return nil
 }
@@ -167,12 +202,21 @@ type Query struct {
 	ID        int64          `json:"id"`
 	Req       Request        `json:"request"`
 	State     State          `json:"state"`
+	Class     qos.Class      `json:"class,omitempty"`
 	Submitted time.Time      `json:"submitted"`
 	Started   time.Time      `json:"started,omitzero"`
 	Finished  time.Time      `json:"finished,omitzero"`
 	Stats     core.RunStats  `json:"stats,omitzero"`
 	Result    map[string]any `json:"result,omitempty"`
 	Error     string         `json:"error,omitempty"`
+	// QueueWaitMS is how long the query waited for an execution slot
+	// (still growing while queued; frozen at dispatch).
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// Cache reports how the result was produced: "" means this query
+	// ran the computation, "hit" that the result cache served it,
+	// "coalesced" that it attached to an identical in-flight query
+	// (single-flight).
+	Cache string `json:"cache,omitempty"`
 	// ResultRetained reports whether the full result vectors are still
 	// queryable (lookup / top-K) or have been released by the byte
 	// budget.
@@ -187,13 +231,29 @@ func (q Query) QueueWait() time.Duration {
 	return q.Started.Sub(q.Submitted)
 }
 
+// Cache provenance values (Query.Cache).
+const (
+	// CacheHit marks a query answered from the result cache.
+	CacheHit = "hit"
+	// CacheCoalesced marks a query that attached to an identical
+	// in-flight computation.
+	CacheCoalesced = "coalesced"
+)
+
 // query is the mutable server-side record.
 type query struct {
 	id     int64
 	req    Request
+	class  qos.Class
 	prog   core.Program
 	engine core.EngineKind
 	shared *core.Shared
+
+	// QoS bookkeeping (guarded by Server.mu, not q.mu).
+	key        qos.Key  // cache/single-flight identity
+	hasKey     bool     // QoS tier on: key is valid
+	followers  []*query // coalesced submissions resolved at completion
+	inRetained bool     // charged to the serve result budget
 
 	mu        sync.Mutex
 	state     State
@@ -203,6 +263,7 @@ type query struct {
 	stats     core.RunStats
 	summary   map[string]any
 	errMsg    string
+	cache     string            // "", CacheHit, CacheCoalesced
 	rs        *result.ResultSet // full vectors; nil once budget-evicted
 	rsBytes   int64
 
@@ -212,16 +273,23 @@ type query struct {
 func (q *query) snapshot() Query {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	wait := time.Since(q.submitted)
+	if !q.started.IsZero() {
+		wait = q.started.Sub(q.submitted)
+	}
 	return Query{
 		ID:             q.id,
 		Req:            q.req,
 		State:          q.state,
+		Class:          q.class,
 		Submitted:      q.submitted,
 		Started:        q.started,
 		Finished:       q.finished,
 		Stats:          q.stats,
 		Result:         q.summary,
 		Error:          q.errMsg,
+		QueueWaitMS:    float64(wait) / float64(time.Millisecond),
+		Cache:          q.cache,
 		ResultRetained: q.rs != nil,
 	}
 }
@@ -258,6 +326,20 @@ type GraphInfo struct {
 	SSDBytes int64  `json:"ssd_bytes"`
 }
 
+// ClassStats summarizes one priority class's traffic (Stats.Classes).
+type ClassStats struct {
+	Class     qos.Class `json:"class"`
+	Queued    int       `json:"queued"`
+	Running   int       `json:"running"`
+	Completed int64     `json:"completed"`
+	Failed    int64     `json:"failed"`
+	// Queue-wait percentiles over a sliding window of recent
+	// dispatches (milliseconds).
+	WaitP50MS float64 `json:"wait_p50_ms"`
+	WaitP95MS float64 `json:"wait_p95_ms"`
+	WaitP99MS float64 `json:"wait_p99_ms"`
+}
+
 // Stats summarizes the server's traffic.
 type Stats struct {
 	Submitted int64 `json:"submitted"`
@@ -273,7 +355,44 @@ type Stats struct {
 	// under the Config.ResultBytes budget.
 	RetainedResults int   `json:"retained_results"`
 	RetainedBytes   int64 `json:"retained_bytes"`
+	// QoSEnabled reports whether the QoS tier is on; Draining whether
+	// admission has been stopped (Drain/Close).
+	QoSEnabled bool `json:"qos_enabled"`
+	Draining   bool `json:"draining"`
+	// Classes breaks traffic down per priority class: queue depth,
+	// occupied slots, completions, and queue-wait percentiles. With
+	// the QoS tier disabled the single FIFO's depth is reported under
+	// "interactive".
+	Classes []ClassStats `json:"classes,omitempty"`
+	// ResultCache reports the result cache (hits, misses, bytes,
+	// coalesced submissions); nil when the QoS tier is off.
+	ResultCache *qos.CacheStats `json:"result_cache,omitempty"`
+	// Tenants reports per-tenant quota state (current tokens,
+	// admitted, denied), sorted by tenant; nil when quotas are off.
+	Tenants []qos.TenantStats `json:"tenants,omitempty"`
 }
+
+// flightKey identifies one in-flight computation for single-flight
+// coalescing: the cache key plus the priority class, so an identical
+// request in a higher class schedules on its own class's terms instead
+// of inheriting the leader's queue position.
+type flightKey struct {
+	key   qos.Key
+	class qos.Class
+}
+
+// cachedResult is the unit the result cache retains: everything a
+// cache hit needs to answer a query as if it had run — the immutable
+// ResultSet, its summary, and the run's stats.
+type cachedResult struct {
+	rs      *result.ResultSet
+	summary map[string]any
+	stats   core.RunStats
+}
+
+// waitWindow bounds the per-class queue-wait sample ring behind the
+// Stats percentiles.
+const waitWindow = 512
 
 // Server schedules queries over one or more named graphs sharing a
 // substrate.
@@ -281,7 +400,9 @@ type Server struct {
 	cfg Config
 	reg *Registry // private: seeded from the default registry at New
 
-	queue chan *query
+	mq     *qos.MultiQueue[*query]
+	cache  *qos.Cache[cachedResult] // nil: QoS tier off
+	quotas *qos.Quotas              // nil: quotas off
 
 	mu          sync.Mutex
 	graphs      map[string]*core.Shared
@@ -293,14 +414,20 @@ type Server struct {
 	retained    []*query // finish order of queries still holding full vectors
 	retDead     int      // retained entries whose vectors history eviction already released
 	retBytes    int64
+	inflight    map[flightKey]*query // single-flight leaders
 	nextID      int64
 	closed      bool
+	draining    bool
 	submitted   int64
 	rejected    int64
 	completed   int64
 	failed      int64
 	running     int
 	peakRunning int
+	classDone   [qos.NumClasses]int64
+	classFail   [qos.NumClasses]int64
+	waitRing    [qos.NumClasses][]time.Duration
+	waitPos     [qos.NumClasses]int
 
 	wg sync.WaitGroup
 }
@@ -318,10 +445,19 @@ func New(shared *core.Shared, cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		reg:        defaultRegistry.Clone(),
-		queue:      make(chan *query, cfg.MaxQueued),
+		mq:         qos.NewMultiQueue[*query](cfg.QoS, cfg.MaxConcurrent, cfg.MaxQueued),
 		queries:    map[int64]*query{},
 		graphs:     map[string]*core.Shared{cfg.DefaultGraph: shared},
 		graphOrder: []string{cfg.DefaultGraph},
+	}
+	if cfg.QoS.Enabled {
+		s.cache = qos.NewCache(cfg.QoS.CacheBudget(), func(v cachedResult) int64 {
+			return v.rs.MemoryBytes()
+		})
+		s.inflight = map[flightKey]*query{}
+		if cfg.QoS.QuotaRate > 0 {
+			s.quotas = qos.NewQuotas(cfg.QoS)
+		}
 	}
 	for i := 0; i < cfg.MaxConcurrent; i++ {
 		s.wg.Add(1)
@@ -411,11 +547,11 @@ func (s *Server) AlgorithmNames() []string {
 
 // prepare validates req end to end — schema, graph, algorithm,
 // capabilities and parameters against the target image — builds the
-// program instance through the registry, and resolves which execution
-// engine will run it.
-func (s *Server) prepare(req Request) (core.Program, core.EngineKind, *core.Shared, error) {
+// program instance through the registry, resolves which execution
+// engine will run it, and classifies it into a priority class.
+func (s *Server) prepare(req Request) (core.Program, core.EngineKind, *core.Shared, qos.Class, error) {
 	if err := req.Validate(); err != nil {
-		return nil, "", nil, err
+		return nil, "", nil, "", err
 	}
 	name := req.Graph
 	if name == "" {
@@ -423,18 +559,74 @@ func (s *Server) prepare(req Request) (core.Program, core.EngineKind, *core.Shar
 	}
 	shared, err := s.Shared(name)
 	if err != nil {
-		return nil, "", nil, err
+		return nil, "", nil, "", err
 	}
 	prog, err := s.reg.build(req, metaOf(name, shared.Image()))
 	if err != nil {
-		return nil, "", nil, err
+		return nil, "", nil, "", err
 	}
 	spec, _ := s.reg.Spec(req.Algo) // build above proved it exists
 	kind, err := resolveEngine(req, spec, shared)
 	if err != nil {
-		return nil, "", nil, err
+		return nil, "", nil, "", err
 	}
-	return prog, kind, shared, nil
+	class := classify(req, spec)
+	return prog, kind, shared, class, nil
+}
+
+// classify resolves a request's priority class: the explicit override
+// when present (Validate proved it parses), else inference from the
+// algorithm's declared capabilities and its effective iteration count.
+func classify(req Request, spec AlgorithmSpec) qos.Class {
+	if req.Class != "" {
+		c, _ := qos.ParseClass(req.Class)
+		return c
+	}
+	return qos.InferClass(spec.Caps.NeedsSrc, effectiveIters(spec, req.Params))
+}
+
+// effectiveIters returns the iteration count a request will actually
+// run: the "iters" param when set, else the algorithm's declared
+// default (the `default:` tag surfaced in its param schema), else 0
+// (not an iterative algorithm). The peek is lenient like Caps.check's
+// src peek — strict decoding stays the constructor's job.
+func effectiveIters(spec AlgorithmSpec, params json.RawMessage) int {
+	var p struct {
+		Iters int `json:"iters"`
+	}
+	if len(params) > 0 {
+		_ = json.Unmarshal(params, &p)
+	}
+	if p.Iters > 0 {
+		return p.Iters
+	}
+	for _, pi := range paramSchema(spec.Params) {
+		if pi.Name == "iters" {
+			if d, ok := pi.Default.(int64); ok {
+				return int(d)
+			}
+		}
+	}
+	return 0
+}
+
+// canonicalParams renders raw params JSON in canonical form (compact,
+// sorted keys) for the cache key, so field order and whitespace do not
+// split identical requests. Empty and "null" both canonicalize to "".
+func canonicalParams(raw json.RawMessage) string {
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 || bytes.Equal(trimmed, []byte("null")) {
+		return ""
+	}
+	var v any
+	if err := json.Unmarshal(trimmed, &v); err != nil {
+		return string(trimmed) // prepare validated it; defensive fallback
+	}
+	b, err := json.Marshal(v) // object keys marshal sorted
+	if err != nil {
+		return string(trimmed)
+	}
+	return string(b)
 }
 
 // resolveEngine picks the execution engine for one query: the explicit
@@ -469,21 +661,42 @@ func resolveEngine(req Request, spec AlgorithmSpec, shared *core.Shared) (core.E
 // compatible with that graph — without admitting anything. Drivers use
 // it to reject a bad workload before generating load.
 func (s *Server) Validate(req Request) error {
-	_, _, _, err := s.prepare(req)
+	_, _, _, _, err := s.prepare(req)
 	return err
 }
 
-// Submit admits a query into the FIFO queue and returns its ID. It
-// fails fast on invalid requests, unknown graphs or algorithms, and
-// with ErrQueueFull when the queue is at capacity.
+// Submit admits a query and returns its ID. It fails fast on invalid
+// requests, unknown graphs or algorithms, quota exhaustion
+// (*qos.QuotaError, matching qos.ErrQuotaExceeded), ErrQueueFull at
+// capacity, and ErrDraining/ErrClosed during shutdown.
+//
+// With the QoS tier on, a submission whose (graph fingerprint, algo,
+// canonical params, engine) key is cached returns an
+// already-finished query (Query.Cache = "hit") without running or
+// queueing anything, and one whose key is currently in flight
+// attaches to that computation (Query.Cache = "coalesced") — N
+// identical concurrent submissions run once.
 func (s *Server) Submit(req Request) (int64, error) {
-	prog, kind, shared, err := s.prepare(req)
+	prog, kind, shared, class, err := s.prepare(req)
 	if err != nil {
 		return 0, err
 	}
 
+	// Quotas guard the front door: a denied tenant costs one bucket
+	// probe, nothing else. (Cache hits charge quota too — the quota
+	// meters admissions, not compute.)
+	if s.quotas != nil {
+		if err := s.quotas.Allow(req.Tenant); err != nil {
+			s.mu.Lock()
+			s.rejected++
+			s.mu.Unlock()
+			return 0, err
+		}
+	}
+
 	q := &query{
 		req:       req,
+		class:     class,
 		prog:      prog,
 		engine:    kind,
 		shared:    shared,
@@ -491,22 +704,67 @@ func (s *Server) Submit(req Request) (int64, error) {
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+	if s.cache != nil {
+		// Fingerprint may hash index+data samples on first use — keep it
+		// outside s.mu.
+		q.key = qos.Key{
+			Graph:  shared.Image().Fingerprint(),
+			Algo:   req.Algo,
+			Params: canonicalParams(req.Params),
+			Engine: string(kind),
+		}
+		q.hasKey = true
+	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return 0, ErrClosed
 	}
-	// Assign the ID before the queue send: a scheduler slot may pick the
-	// query up the instant it lands in the channel.
+	if s.draining {
+		s.mu.Unlock()
+		return 0, ErrDraining
+	}
+	if q.hasKey {
+		// Result cache: an exact hit finishes the query at submit time.
+		if v, ok := s.cache.Get(q.key); ok {
+			id := s.finishFromCacheLocked(q, v)
+			s.mu.Unlock()
+			close(q.done)
+			return id, nil
+		}
+		// Single-flight: attach to an identical in-flight computation.
+		// Same class only — gluing an interactive request to a leader
+		// queued at batch priority would invert its priority. (The
+		// result cache above has no such hazard: finished results are
+		// class-independent.)
+		if leader, ok := s.inflight[flightKey{q.key, q.class}]; ok {
+			s.nextID++
+			q.id = s.nextID
+			q.prog = nil // never runs
+			leader.followers = append(leader.followers, q)
+			s.queries[q.id] = q
+			s.order = append(s.order, q.id)
+			s.submitted++
+			s.cache.Coalesced()
+			s.mu.Unlock()
+			return q.id, nil
+		}
+	}
+	// Assign the ID before the queue push: a scheduler slot may pick the
+	// query up the instant it lands.
 	s.nextID++
 	q.id = s.nextID
-	select {
-	case s.queue <- q:
-	default:
+	if err := s.mq.Push(class, q); err != nil {
 		s.rejected++
 		s.mu.Unlock()
+		if errors.Is(err, qos.ErrDraining) {
+			return 0, ErrDraining
+		}
 		return 0, ErrQueueFull
+	}
+	if q.hasKey {
+		s.inflight[flightKey{q.key, q.class}] = q
 	}
 	s.queries[q.id] = q
 	s.order = append(s.order, q.id)
@@ -515,21 +773,54 @@ func (s *Server) Submit(req Request) (int64, error) {
 	return q.id, nil
 }
 
-// runLoop is one scheduler slot: it drains the FIFO queue, executing
-// each query on a fresh per-run engine over the query's graph.
+// finishFromCacheLocked materializes a cache hit as an
+// already-finished query record (called with s.mu held; returns the
+// assigned ID). The record shares the cached immutable ResultSet, so
+// lookups and top-K work exactly as on the query that ran; its bytes
+// stay charged to the cache budget, not the retained-result budget.
+func (s *Server) finishFromCacheLocked(q *query, v cachedResult) int64 {
+	now := time.Now()
+	s.nextID++
+	q.id = s.nextID
+	q.prog = nil
+	q.state = StateDone
+	q.started, q.finished = now, now
+	q.stats = v.stats
+	q.summary = v.summary
+	q.rs = v.rs
+	q.cache = CacheHit
+	s.queries[q.id] = q
+	s.order = append(s.order, q.id)
+	s.submitted++
+	s.completed++
+	s.classDone[q.class.Rank()]++
+	s.finished = append(s.finished, q.id)
+	s.evictHistoryLocked()
+	return q.id
+}
+
+// runLoop is one scheduler slot: it pulls eligible queries from the
+// class-aware admission queue (a plain FIFO when the QoS tier is off)
+// and executes each on a fresh per-run engine over the query's graph.
 func (s *Server) runLoop() {
 	defer s.wg.Done()
-	for q := range s.queue {
+	for {
+		q, rank, ok := s.mq.Pop()
+		if !ok {
+			return
+		}
+		now := time.Now()
 		s.mu.Lock()
 		s.running++
 		if s.running > s.peakRunning {
 			s.peakRunning = s.running
 		}
+		s.recordWaitLocked(q.class, now.Sub(q.submitted))
 		s.mu.Unlock()
 
 		q.mu.Lock()
 		q.state = StateRunning
-		q.started = time.Now()
+		q.started = now
 		q.mu.Unlock()
 
 		st, err := s.execute(q)
@@ -543,8 +834,9 @@ func (s *Server) runLoop() {
 			rs = result.From(q.prog, q.req.Algo)
 			summary = rs.Summary()
 		}
+		finished := time.Now()
 		q.mu.Lock()
-		q.finished = time.Now()
+		q.finished = finished
 		q.prog = nil // state beyond the ResultSet is never needed again
 		if err != nil {
 			q.state = StateFailed
@@ -558,23 +850,85 @@ func (s *Server) runLoop() {
 		}
 		q.mu.Unlock()
 
+		// Release the execution slot before the bookkeeping below: the
+		// next eligible query can start while counters settle.
+		s.mq.Done(rank)
+
 		// Counters settle before q.done wakes waiters, so a caller
 		// returning from Wait observes consistent server Stats.
 		s.mu.Lock()
 		s.running--
+		if q.hasKey {
+			delete(s.inflight, flightKey{q.key, q.class})
+		}
+		followers := q.followers
+		q.followers = nil
 		if err != nil {
 			s.failed++
+			s.classFail[q.class.Rank()]++
 		} else {
 			s.completed++
+			s.classDone[q.class.Rank()]++
 			s.retained = append(s.retained, q)
+			q.inRetained = true
 			s.retBytes += q.rsBytes
 			s.enforceResultBudgetLocked()
+			if q.hasKey {
+				s.cache.Put(q.key, cachedResult{rs: rs, summary: summary, stats: st})
+			}
 		}
 		s.finished = append(s.finished, q.id)
+		for _, f := range followers {
+			s.finishFollowerLocked(f, finished, rs, summary, st, err)
+		}
 		s.evictHistoryLocked()
 		s.mu.Unlock()
 		close(q.done)
+		for _, f := range followers {
+			close(f.done)
+		}
 	}
+}
+
+// finishFollowerLocked resolves one coalesced submission with its
+// leader's outcome (called with s.mu held; the caller closes f.done
+// after releasing s.mu). Followers share the leader's immutable
+// ResultSet; their bytes stay charged to the cache budget, so they
+// never join the retained-result list.
+func (s *Server) finishFollowerLocked(f *query, finished time.Time, rs *result.ResultSet, summary map[string]any, st core.RunStats, err error) {
+	f.mu.Lock()
+	f.started, f.finished = finished, finished
+	f.cache = CacheCoalesced
+	if err != nil {
+		f.state = StateFailed
+		f.errMsg = err.Error()
+	} else {
+		f.state = StateDone
+		f.stats = st
+		f.summary = summary
+		f.rs = rs
+	}
+	f.mu.Unlock()
+	if err != nil {
+		s.failed++
+		s.classFail[f.class.Rank()]++
+	} else {
+		s.completed++
+		s.classDone[f.class.Rank()]++
+	}
+	s.finished = append(s.finished, f.id)
+}
+
+// recordWaitLocked adds one dispatch's queue wait to the class's
+// sliding sample window (called with s.mu held).
+func (s *Server) recordWaitLocked(c qos.Class, wait time.Duration) {
+	i := c.Rank()
+	if len(s.waitRing[i]) < waitWindow {
+		s.waitRing[i] = append(s.waitRing[i], wait)
+		return
+	}
+	s.waitRing[i][s.waitPos[i]%waitWindow] = wait
+	s.waitPos[i]++
 }
 
 // enforceResultBudgetLocked releases full result vectors, oldest
@@ -619,7 +973,10 @@ func (s *Server) evictHistoryLocked() {
 	for len(s.finished)-s.finHead > s.cfg.MaxHistory {
 		id := s.finished[s.finHead]
 		if q, ok := s.queries[id]; ok {
-			if s.releaseResultLocked(q) { // refund the result budget with the record
+			// Cache hits and coalesced followers share cache-owned
+			// vectors and were never charged to the retained budget;
+			// only budget-charged records leave a dead retained entry.
+			if s.releaseResultLocked(q) && q.inRetained {
 				s.retDead++ // its s.retained entry is now dead; compacted lazily
 			}
 			delete(s.queries, id)
@@ -765,21 +1122,83 @@ func (s *Server) List() []Query {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{
+	depths := s.mq.Depths()
+	running := s.mq.Running()
+	st := Stats{
 		Submitted:       s.submitted,
 		Rejected:        s.rejected,
 		Completed:       s.completed,
 		Failed:          s.failed,
 		Running:         s.running,
-		Queued:          len(s.queue),
+		Queued:          s.mq.Queued(),
 		PeakRunning:     s.peakRunning,
 		RetainedResults: len(s.retained) - s.retDead,
 		RetainedBytes:   s.retBytes,
+		QoSEnabled:      s.cfg.QoS.Enabled,
+		Draining:        s.draining,
 	}
+	st.Classes = make([]ClassStats, 0, qos.NumClasses)
+	for i, cl := range qos.Classes {
+		cs := ClassStats{
+			Class:     cl,
+			Queued:    depths[i],
+			Running:   running[i],
+			Completed: s.classDone[i],
+			Failed:    s.classFail[i],
+		}
+		if n := len(s.waitRing[i]); n > 0 {
+			sorted := append([]time.Duration(nil), s.waitRing[i]...)
+			sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+			cs.WaitP50MS = durMS(quantile(sorted, 0.50))
+			cs.WaitP95MS = durMS(quantile(sorted, 0.95))
+			cs.WaitP99MS = durMS(quantile(sorted, 0.99))
+		}
+		st.Classes = append(st.Classes, cs)
+	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.ResultCache = &cs
+	}
+	if s.quotas != nil {
+		st.Tenants = s.quotas.Stats()
+	}
+	return st
+}
+
+// quantile indexes a sorted duration slice at q.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Drain stops admission without stopping service: Submit fails with
+// ErrDraining (503 over HTTP) while queued and in-flight queries run
+// to completion and every read endpoint keeps answering. Callers that
+// want to block until the queues empty follow with Close. Drain is
+// idempotent and safe alongside Close.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+	s.mq.Drain()
 }
 
 // Close stops admission, drains queued queries to completion, and waits
-// for the scheduler goroutines to exit.
+// for the scheduler goroutines to exit. Reads (Get, List, ResultSet,
+// Stats) keep working afterwards — Close ends computation, not
+// observation.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -787,7 +1206,8 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	s.draining = true
 	s.mu.Unlock()
-	close(s.queue)
+	s.mq.Drain()
 	s.wg.Wait()
 }

@@ -28,6 +28,7 @@ import (
 	"net/http"
 
 	"flashgraph/internal/core"
+	"flashgraph/internal/qos"
 	"flashgraph/internal/result"
 	"flashgraph/internal/serve"
 )
@@ -65,6 +66,30 @@ type (
 	ServerStats = serve.Stats
 	// GraphInfo describes one served graph (GET /graphs).
 	GraphInfo = serve.GraphInfo
+	// QoSConfig configures the serving-QoS tier (ServerConfig.QoS):
+	// priority-class admission, the result cache with single-flight
+	// coalescing, and per-tenant token-bucket quotas. The zero value
+	// is disabled — the seed-era single FIFO; set Enabled to opt in.
+	QoSConfig = qos.Config
+	// QueryClass is a query's priority class: interactive, analytic,
+	// or batch. Inferred per query from the algorithm's capabilities
+	// and effective parameters; override with Request.Class or
+	// ?class= on POST /queries.
+	QueryClass = qos.Class
+	// ClassStats breaks server traffic down for one priority class
+	// (ServerStats.Classes): queue depth, occupied slots, completions,
+	// and queue-wait percentiles.
+	ClassStats = serve.ClassStats
+	// CacheStats reports the result cache (ServerStats.ResultCache):
+	// hits, misses, evictions, retained bytes, coalesced submissions.
+	CacheStats = qos.CacheStats
+	// TenantStats snapshots one tenant's quota bucket
+	// (ServerStats.Tenants).
+	TenantStats = qos.TenantStats
+	// QuotaError reports a quota denial: which tenant and how long
+	// until a token refills. errors.Is(err, ErrQuotaExceeded) matches
+	// it; over HTTP it is 429 with Retry-After.
+	QuotaError = qos.QuotaError
 	// ResultHistogram is a fixed-width binning of a result vector.
 	ResultHistogram = result.Histogram
 	// RunContext is the per-run engine surface handed to
@@ -106,6 +131,24 @@ const (
 
 // RequestVersion is the current request schema version.
 const RequestVersion = serve.RequestVersion
+
+// Priority classes (Request.Class / ?class= values; QoSConfig keys).
+const (
+	// ClassInteractive is for point queries a user is waiting on (BFS,
+	// SSSP, betweenness from a source): highest dequeue weight plus
+	// reserved execution slots.
+	ClassInteractive = qos.ClassInteractive
+	// ClassAnalytic is the default mid tier: full-graph algorithms
+	// with modest iteration counts.
+	ClassAnalytic = qos.ClassAnalytic
+	// ClassBatch is for long sweeps (high iteration counts): lowest
+	// weight and a cap on simultaneously running batch queries.
+	ClassBatch = qos.ClassBatch
+)
+
+// ErrQuotaExceeded matches every *QuotaError via errors.Is — a
+// tenant's token bucket is empty.
+var ErrQuotaExceeded = qos.ErrQuotaExceeded
 
 // Typed parameter structs of the built-in algorithms (marshal them
 // into Request.Params with MarshalParams).
@@ -181,6 +224,12 @@ type ServerConfig struct {
 	// one (built-ins + Register calls) — the per-server alternative to
 	// Register.
 	Algorithms []AlgorithmSpec
+	// QoS configures the serving-QoS tier: priority-class admission
+	// with weighted dequeue and reserved interactive slots, the result
+	// cache with single-flight coalescing, and per-tenant token-bucket
+	// quotas. The zero value is disabled (the seed-era single FIFO);
+	// set QoS.Enabled to opt in.
+	QoS QoSConfig
 }
 
 // Server schedules algorithm queries over a Catalog's graphs with
@@ -219,6 +268,7 @@ func NewServer(cat *Catalog, cfg ServerConfig) (*Server, error) {
 		MaxHistory:    cfg.MaxHistory,
 		ResultBytes:   cfg.ResultBytes,
 		DefaultGraph:  def,
+		QoS:           cfg.QoS,
 	})
 	s := &Server{srv: srv}
 	for _, name := range names {
@@ -298,6 +348,13 @@ func (s *Server) TopK(id int64, vector string, k, offset int) ([]ResultEntry, er
 func (s *Server) Histogram(id int64, vector string, bins int) (ResultHistogram, error) {
 	return s.srv.Histogram(id, vector, bins)
 }
+
+// Drain stops admission without stopping service: Submit fails with
+// an error mapped to 503 over HTTP while queued and in-flight queries
+// run to completion and every read endpoint keeps answering — the
+// graceful-shutdown front half. Follow with Close to block until the
+// queues empty. Idempotent.
+func (s *Server) Drain() { s.srv.Drain() }
 
 // Close stops admission, drains queued queries, and waits for the
 // scheduler goroutines to exit. It does not close the catalog.
