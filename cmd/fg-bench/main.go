@@ -33,7 +33,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fg-bench: ")
 	var (
-		exp        = flag.String("exp", "all", "all | table1 | fig8 | fig9 | fig10 | fig11 | table2 | fig12 | fig13 | fig14 | ablations | concurrent | serving | ingest | encoding | spmv")
+		exp        = flag.String("exp", "all", "all | table1 | fig8 | fig9 | fig10 | fig11 | table2 | fig12 | fig13 | fig14 | ablations | concurrent | serving | ingest | encoding | spmv | io")
 		scaleAdd   = flag.Int("scale-add", 0, "log2 dataset scale adjustment")
 		threads    = flag.Int("threads", 8, "engine worker threads")
 		noThrottle = flag.Bool("no-throttle", false, "disable device timing")
@@ -64,6 +64,16 @@ func main() {
 		encEPV     = flag.Int("encoding-epv", 0, "encoding: edges per vertex (0 = default 16)")
 		encCacheMB = flag.Int64("encoding-cache", 0, "encoding: serving page cache MiB (0 = default 64)")
 		encJSON    = flag.String("encoding-json", "BENCH_encoding.json", "encoding: machine-readable output path")
+
+		// -exp io knobs (raw I/O path: decode CPU + submission shape).
+		ioScale    = flag.Int("io-scale", 0, "io: RMAT log2 vertex count (0 = default 20)")
+		ioEPV      = flag.Int("io-epv", 0, "io: edges per vertex (0 = default 16)")
+		ioCacheMB  = flag.Int64("io-cache", 0, "io: SAFS page cache MiB (0 = default 64)")
+		ioIters    = flag.Int("io-iters", 0, "io: full-sweep PageRank iterations (0 = default 30)")
+		ioDecodeMB = flag.Int64("io-decode-cache", 0, "io: decoded-record cache MiB for the new-path variant (0 = default 64)")
+		ioMinDeg   = flag.Uint("io-decode-min-degree", 0, "io: decode-cache admission degree (0 = default 64)")
+		ioDirect   = flag.Bool("io-direct", false, "io: open device files with O_DIRECT where supported")
+		ioJSON     = flag.String("io-json", "BENCH_io.json", "io: machine-readable output path")
 
 		// -exp spmv knobs (execution-engine crossover).
 		spmvScale   = flag.Int("spmv-scale", 0, "spmv: RMAT log2 vertex count (0 = default 20)")
@@ -117,6 +127,17 @@ func main() {
 			EPV:      *encEPV,
 			CacheMB:  *encCacheMB,
 			JSONPath: *encJSON,
+		}, w)
+	case "io":
+		bench.IOExp(cfg, bench.IOConfig{
+			Scale:           *ioScale,
+			EPV:             *ioEPV,
+			CacheMB:         *ioCacheMB,
+			Iters:           *ioIters,
+			DecodeCacheMB:   *ioDecodeMB,
+			DecodeMinDegree: uint32(*ioMinDeg),
+			Direct:          *ioDirect,
+			JSONPath:        *ioJSON,
 		}, w)
 	case "spmv":
 		bench.SpMVExp(cfg, bench.SpMVConfig{

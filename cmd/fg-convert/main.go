@@ -35,8 +35,24 @@ import (
 
 	"flashgraph"
 	"flashgraph/internal/graph"
+	"flashgraph/internal/ssd"
 	"flashgraph/internal/util"
 )
+
+// dropOSCache syncs the finished image and asks the kernel to evict it
+// from the page cache, so a subsequent fg-serve -direct run measures
+// cold-device behavior instead of reading the builder's leftovers.
+func dropOSCache(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Printf("drop-cache: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := ssd.DropOSCache(f); err != nil {
+		log.Printf("drop-cache: %v", err)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -51,6 +67,7 @@ func main() {
 		keepDupes  = flag.Bool("keep-duplicates", false, "keep duplicate edges and self loops")
 		memMB      = flag.Int64("mem", 256, "builder memory budget (MiB) for the external sort")
 		tmpDir     = flag.String("tmp", "", "directory for spilled sort runs (default system temp)")
+		dropCache  = flag.Bool("drop-cache", false, "evict the written image from the OS page cache (fsync + fadvise) so serving it -direct starts cold")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
@@ -85,6 +102,9 @@ func main() {
 			enc, util.HumanBytes(outG.SizeBytes()),
 			time.Since(start).Round(time.Millisecond),
 		)
+		if *dropCache {
+			dropOSCache(*out)
+		}
 		return
 	}
 
@@ -132,4 +152,7 @@ func main() {
 		util.HumanBytes(st.PeakMemBytes),
 		st.Spills,
 	)
+	if *dropCache {
+		dropOSCache(*out)
+	}
 }

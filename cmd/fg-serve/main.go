@@ -73,6 +73,10 @@ func main() {
 		threads       = flag.Int("threads", 8, "worker threads per query")
 		devices       = flag.Int("devices", 4, "simulated SSDs")
 		throttle      = flag.Bool("throttle", false, "realistic SSD timing")
+		storeDir      = flag.String("store-dir", "", "back the simulated SSD array with files in this directory (one per device)")
+		directIO      = flag.Bool("direct", false, "open -store-dir device files with O_DIRECT (raw I/O path, no OS page cache)")
+		decodeMB      = flag.Int64("decode-cache-mb", 0, "decoded edge-list cache for hot hubs (MiB, delta images only); 0 disables")
+		decodeMinDeg  = flag.Uint("decode-min-degree", 0, "minimum degree for the decoded-record cache (default 64)")
 		maxConcurrent = flag.Int("max-concurrent", 4, "queries executing simultaneously")
 		maxQueued     = flag.Int("max-queued", 64, "admitted queries waiting for a slot")
 		maxHistory    = flag.Int("max-history", 1024, "finished queries retained for polling")
@@ -98,11 +102,15 @@ func main() {
 	flag.Parse()
 
 	cat := flashgraph.NewCatalog(flashgraph.Options{
-		InMemory:   *inMemory,
-		Threads:    *threads,
-		CacheBytes: *cacheMB << 20,
-		Devices:    *devices,
-		Throttle:   *throttle,
+		InMemory:         *inMemory,
+		Threads:          *threads,
+		CacheBytes:       *cacheMB << 20,
+		Devices:          *devices,
+		Throttle:         *throttle,
+		StoreDir:         *storeDir,
+		DirectIO:         *directIO,
+		DecodeCacheBytes: *decodeMB << 20,
+		DecodeMinDegree:  uint32(*decodeMinDeg),
 	})
 	defer cat.Close()
 
@@ -187,6 +195,13 @@ func main() {
 			quota = fmt.Sprintf("quota %.3g q/s per tenant", *quotaRate)
 		}
 		log.Printf("qos: priority classes on, %s result cache, %s", util.HumanBytes(cacheBytes), quota)
+	}
+	if *storeDir != "" {
+		mode := "buffered+fadvise"
+		if *directIO {
+			mode = "O_DIRECT"
+		}
+		log.Printf("store: %d device files under %s (%s)", *devices, *storeDir, mode)
 	}
 	log.Printf("listening on %s", *addr)
 

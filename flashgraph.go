@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -363,6 +364,22 @@ type Options struct {
 	Throttle bool
 	// DeviceProfile overrides the per-SSD service-time model (optional).
 	DeviceProfile *ssd.DeviceParams
+	// StoreDir backs each simulated SSD with a file in this directory
+	// instead of RAM — the configuration for datasets larger than
+	// memory. Empty keeps in-memory stores.
+	StoreDir string
+	// DirectIO opens the per-device backing files with O_DIRECT where
+	// the filesystem supports it (falling back to buffered reads with
+	// cache-drop hints where it does not), so SAFS's page cache is the
+	// only cache and the OS never double-buffers edge data. Requires
+	// StoreDir.
+	DirectIO bool
+	// DecodeCacheBytes budgets a shared decoded-record LRU for hot
+	// hubs of delta-encoded graphs. 0 (the default) disables it.
+	DecodeCacheBytes int64
+	// DecodeMinDegree is the decode cache's admission threshold
+	// (default 64).
+	DecodeMinDegree uint32
 	// MaxRunning bounds running vertices per thread (default 4000).
 	MaxRunning int
 	// Engine passes through advanced engine knobs (merge mode,
@@ -396,22 +413,58 @@ func (opts Options) coreConfig() core.Config {
 		cfg = *opts.Engine
 		cfg.InMemory = cfg.InMemory || opts.InMemory
 	}
+	if cfg.DecodeCacheBytes == 0 {
+		cfg.DecodeCacheBytes = opts.DecodeCacheBytes
+	}
+	if cfg.DecodeMinDegree == 0 {
+		cfg.DecodeMinDegree = opts.DecodeMinDegree
+	}
 	return cfg
 }
 
 // newSubstrate builds the simulated SSD array and SAFS instance the
-// options describe.
-func (opts Options) newSubstrate() (*ssd.Array, *safs.FS) {
+// options describe. With StoreDir set each device is backed by a file
+// (O_DIRECT when DirectIO asks for it and the filesystem agrees);
+// otherwise devices are RAM-resident.
+func (opts Options) newSubstrate() (*ssd.Array, *safs.FS, error) {
 	dp := ssd.DeviceParams{Throttle: opts.Throttle}
 	if opts.DeviceProfile != nil {
 		dp = *opts.DeviceProfile
 	}
-	array := ssd.NewArray(ssd.ArrayParams{Devices: opts.Devices, Device: dp})
+	params := ssd.ArrayParams{Devices: opts.Devices, Device: dp}
+	var array *ssd.Array
+	if opts.StoreDir != "" {
+		if err := os.MkdirAll(opts.StoreDir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("flashgraph: store dir: %w", err)
+		}
+		n := opts.Devices
+		if n == 0 {
+			n = 4
+		}
+		stores := make([]ssd.Store, n)
+		for i := range stores {
+			s, err := ssd.NewStore(filepath.Join(opts.StoreDir, fmt.Sprintf("ssd%d.dat", i)), ssd.StoreConfig{DirectIO: opts.DirectIO})
+			if err != nil {
+				for _, prev := range stores[:i] {
+					if c, ok := prev.(interface{ Close() error }); ok {
+						c.Close()
+					}
+				}
+				return nil, nil, fmt.Errorf("flashgraph: device store %d: %w", i, err)
+			}
+			stores[i] = s
+		}
+		array = ssd.NewArrayWithStores(params, stores)
+	} else if opts.DirectIO {
+		return nil, nil, fmt.Errorf("flashgraph: DirectIO requires StoreDir (in-memory devices have no files to open O_DIRECT)")
+	} else {
+		array = ssd.NewArray(params)
+	}
 	fs := safs.New(array, safs.Config{
 		CacheBytes: opts.CacheBytes,
 		PageSize:   opts.PageSize,
 	})
-	return array, fs
+	return array, fs, nil
 }
 
 // Open loads g into a fresh engine. Close the engine to stop the
@@ -420,7 +473,11 @@ func Open(g *Graph, opts Options) (*Engine, error) {
 	cfg := opts.coreConfig()
 	e := &Engine{}
 	if !cfg.InMemory && cfg.FS == nil {
-		e.array, e.fs = opts.newSubstrate()
+		var err error
+		e.array, e.fs, err = opts.newSubstrate()
+		if err != nil {
+			return nil, err
+		}
 		cfg.FS = e.fs
 	}
 	shared, err := core.NewShared(g.img, cfg)
@@ -528,9 +585,10 @@ func (e *Engine) Close() {
 // fg-serve builds on a Catalog to serve multiple graphs from one
 // daemon, routing requests by graph name.
 type Catalog struct {
-	opts  Options
-	array *ssd.Array // nil in in-memory mode
-	fs    *safs.FS
+	opts   Options
+	array  *ssd.Array // nil in in-memory mode
+	fs     *safs.FS
+	subErr error // substrate construction failure; surfaced by Add
 
 	mu      sync.Mutex
 	engines map[string]*Engine
@@ -541,11 +599,13 @@ type Catalog struct {
 
 // NewCatalog prepares an empty catalog. All graphs later added share
 // the substrate these options describe; per-graph knobs (Threads,
-// MaxRunning, Engine) apply to every graph's runs.
+// MaxRunning, Engine) apply to every graph's runs. A substrate that
+// cannot be built (e.g. an unusable StoreDir) is reported by the first
+// Add.
 func NewCatalog(opts Options) *Catalog {
 	c := &Catalog{opts: opts, engines: map[string]*Engine{}}
 	if !opts.coreConfig().InMemory {
-		c.array, c.fs = opts.newSubstrate()
+		c.array, c.fs, c.subErr = opts.newSubstrate()
 	}
 	return c
 }
@@ -565,6 +625,9 @@ func (c *Catalog) Add(name string, g *Graph) (*Engine, error) {
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, fmt.Errorf("flashgraph: catalog is closed")
+	}
+	if c.subErr != nil {
+		return nil, c.subErr
 	}
 	if _, dup := c.engines[name]; dup {
 		return nil, fmt.Errorf("flashgraph: graph %q already in catalog", name)

@@ -76,8 +76,7 @@ func decodeLists(data []byte, ix *graph.Index, attrSize int, enc graph.Encoding)
 	lists := make([][]graph.VertexID, ix.NumVertices())
 	for v := range lists {
 		off, size := ix.Locate(graph.VertexID(v))
-		span := graph.ByteSpan(data[off : off+size])
-		pv := graph.NewPageVertex(graph.VertexID(v), graph.OutEdges, span, attrSize, enc)
+		pv := graph.NewPageVertexBytes(graph.VertexID(v), graph.OutEdges, data[off:off+size], attrSize, enc)
 		lists[v] = pv.Edges(nil, nil)
 	}
 	return lists

@@ -1,0 +1,516 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"flashgraph/internal/algo"
+	"flashgraph/internal/core"
+	"flashgraph/internal/gen"
+	"flashgraph/internal/graph"
+	"flashgraph/internal/result"
+	"flashgraph/internal/safs"
+	"flashgraph/internal/ssd"
+	"flashgraph/internal/util"
+)
+
+// IOConfig parameterizes the raw-I/O-path experiment.
+type IOConfig struct {
+	// Scale is the RMAT log2 vertex count (default 20 — the acceptance
+	// dataset — shifted by Config.ScaleAdd like every dataset).
+	Scale int
+	// EPV is edges per vertex (default 16).
+	EPV int
+	// CacheMB sizes the SAFS page cache (default 64).
+	CacheMB int64
+	// Iters is the fixed full-sweep PageRank iteration count (default 30).
+	Iters int
+	// DecodeCacheMB budgets the decoded-record cache in the "new path"
+	// PageRank variant (default 64).
+	DecodeCacheMB int64
+	// DecodeMinDegree is the decode cache's admission threshold
+	// (default graph.DefaultDecodeMinDegree via the zero value).
+	DecodeMinDegree uint32
+	// Direct requests O_DIRECT on the device files. Where the
+	// filesystem refuses (tmpfs), the stores degrade to buffered reads
+	// with fadvise hints; DirectActive in the report says what ran.
+	Direct bool
+	// JSONPath receives the machine-readable results (fg-bench defaults
+	// its flag to "BENCH_io.json").
+	JSONPath string
+}
+
+func (c *IOConfig) setDefaults(cfg *Config) {
+	if c.Scale == 0 {
+		c.Scale = 20 + cfg.ScaleAdd
+	}
+	if c.EPV == 0 {
+		c.EPV = 16
+	}
+	if c.CacheMB == 0 {
+		c.CacheMB = 64
+	}
+	if c.Iters == 0 {
+		c.Iters = 30
+	}
+	if c.DecodeCacheMB == 0 {
+		c.DecodeCacheMB = 64
+	}
+}
+
+// IOPageRankRun is one full-sweep PageRank measurement: an (engine,
+// layout, decode-cache) combination over a file-backed SSD array.
+type IOPageRankRun struct {
+	Variant            string  `json:"variant"`
+	Engine             string  `json:"engine"`
+	Encoding           string  `json:"encoding"`
+	DecodeCacheMB      int64   `json:"decode_cache_mb"`
+	DataBytes          int64   `json:"data_bytes"` // edge-list bytes on SSD
+	ElapsedSec         float64 `json:"elapsed_sec"`
+	BytesRead          int64   `json:"bytes_read"`
+	DeviceReads        int64   `json:"device_reads"`
+	ReadSyscalls       int64   `json:"read_syscalls"` // pread + preadv calls on the device files
+	VecSyscalls        int64   `json:"vec_syscalls"`  // preadv calls among ReadSyscalls
+	DecodeNsPerEdge    float64 `json:"decode_ns_per_edge"`
+	DecodeCacheHitRate float64 `json:"decode_cache_hit_rate"`
+	Checksum           string  `json:"checksum"`
+}
+
+// IOBFSRun is one BFS submission-path measurement on the delta image:
+// the same query under a different I/O dispatch discipline.
+type IOBFSRun struct {
+	Merge          string  `json:"merge"` // none | fg | safs-batched
+	ElapsedSec     float64 `json:"elapsed_sec"`
+	EdgeRequests   int64   `json:"edge_requests"`
+	MergedRequests int64   `json:"merged_requests"`
+	DeviceReads    int64   `json:"device_reads"`
+	VecReads       int64   `json:"vec_reads"`
+	ReadSyscalls   int64   `json:"read_syscalls"`
+	MergeRatio     float64 `json:"merge_ratio"` // batched reqs per served device request
+	QueuePeak      int64   `json:"queue_peak"`
+	BytesRead      int64   `json:"bytes_read"`
+	Checksum       string  `json:"checksum"`
+}
+
+// IOReport is the BENCH_io.json document.
+type IOReport struct {
+	Scale         int             `json:"scale"`
+	EPV           int             `json:"epv"`
+	CacheMB       int64           `json:"cache_mb"`
+	Iters         int             `json:"iters"`
+	DecodeCacheMB int64           `json:"decode_cache_mb"`
+	Direct        bool            `json:"direct"`
+	DirectActive  bool            `json:"direct_active"`
+	PageRank      []IOPageRankRun `json:"pagerank"`
+	BFS           []IOBFSRun      `json:"bfs"`
+	// Summary holds the acceptance ratios: delta_vs_raw_wall (cached
+	// delta elapsed / raw elapsed), byte_reduction_base/new (PageRank
+	// bytes-read reduction vs raw, without/with the decode cache), and
+	// bfs_request_reduction (per-page device reads / batched device
+	// reads for one BFS query).
+	Summary map[string]float64 `json:"summary"`
+}
+
+// ioCounter counts read syscalls issued against a substrate's device
+// files: how many pread-shaped and preadv-shaped store calls the
+// simulated array actually made.
+type ioCounter struct{ reads, vecs int64 }
+
+func (c *ioCounter) reset() {
+	atomic.StoreInt64(&c.reads, 0)
+	atomic.StoreInt64(&c.vecs, 0)
+}
+
+// countingStore wraps a file-backed Store and counts read submissions.
+// It forwards the vectored path so Device keeps its one-syscall merged
+// transfers.
+type countingStore struct {
+	inner ssd.Store
+	vec   ssd.VecReader
+	c     *ioCounter
+}
+
+func (s *countingStore) ReadAt(p []byte, off int64) (int, error) {
+	atomic.AddInt64(&s.c.reads, 1)
+	return s.inner.ReadAt(p, off)
+}
+
+func (s *countingStore) ReadVecAt(vec [][]byte, off int64) (int, error) {
+	atomic.AddInt64(&s.c.reads, 1)
+	atomic.AddInt64(&s.c.vecs, 1)
+	return s.vec.ReadVecAt(vec, off)
+}
+
+func (s *countingStore) WriteAt(p []byte, off int64) (int, error) { return s.inner.WriteAt(p, off) }
+func (s *countingStore) Size() int64                              { return s.inner.Size() }
+
+func (s *countingStore) Close() error {
+	if c, ok := s.inner.(interface{ Close() error }); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// newIOSubstrate builds a file-backed SSD array (4 devices under dir)
+// with syscall counting, and reports whether O_DIRECT was negotiated.
+// merge is the SAFS-side staging mode (safs.MergeSAFS defers page loads
+// until the engine flushes, so requests merge across vertices).
+func newIOSubstrate(cfg Config, dir, label string, cacheBytes int64, direct bool, merge safs.MergeMode) (*safs.FS, *ssd.Array, *ioCounter, bool) {
+	ctr := &ioCounter{}
+	directActive := false
+	stores := make([]ssd.Store, 4)
+	for i := range stores {
+		st, err := ssd.NewStore(filepath.Join(dir, fmt.Sprintf("%s-ssd%d.dat", label, i)), ssd.StoreConfig{DirectIO: direct})
+		if err != nil {
+			panic(err)
+		}
+		if ds, ok := st.(*ssd.DirectFileStore); ok && ds.Direct() {
+			directActive = true
+		}
+		vec, ok := st.(ssd.VecReader)
+		if !ok {
+			panic("bench: file store lost its vectored read path")
+		}
+		stores[i] = &countingStore{inner: st, vec: vec, c: ctr}
+	}
+	arr := ssd.NewArrayWithStores(ssd.ArrayParams{
+		StripeSize: 128 << 10,
+		Device:     deviceParams(cfg),
+	}, stores)
+	fs := safs.New(arr, safs.Config{CacheBytes: cacheBytes, Merge: merge})
+	return fs, arr, ctr, directActive
+}
+
+// measureDecodeNs times a hot in-memory decode sweep over every
+// out-edge list (one warm pass, one timed pass) and returns ns/edge —
+// the pure decode-CPU number, no I/O, no engine.
+func measureDecodeNs(img *graph.Image, cache *graph.DecodeCache) float64 {
+	if img.Encoding == graph.EncodingBlock {
+		return 0 // block rows decode inside stripe sweeps, not per vertex
+	}
+	fp := ""
+	if cache != nil {
+		fp = img.Fingerprint()
+	}
+	var dst []graph.VertexID
+	sweep := func() int64 {
+		var edges int64
+		for v := 0; v < img.NumV; v++ {
+			off, size := img.OutIndex.Locate(graph.VertexID(v))
+			pv := graph.NewPageVertexBytes(graph.VertexID(v), graph.OutEdges, img.OutData[off:off+size], 0, img.Encoding)
+			if cache != nil {
+				pv.SetDecodeCache(cache, fp)
+			}
+			dst = pv.Edges(dst[:0], nil)
+			edges += int64(len(dst))
+		}
+		return edges
+	}
+	sweep() // warm: faults pages in, fills the decode cache
+	start := time.Now()
+	edges := sweep()
+	if edges == 0 {
+		return 0
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(edges)
+}
+
+// IOExp measures the raw I/O path end to end over file-backed device
+// stores: (a) decode CPU — full-sweep PageRank over raw, delta without
+// and with the decoded-record cache, and the 2D block layout on the
+// SpMV engine — and (b) submission shape — one cold BFS query on the
+// delta image under per-page dispatch (MergeNone) vs FlashGraph
+// worker-side merging (MergeFG) vs SAFS staging flushed through the
+// batched, coalescing SubmitBatch path (MergeSAFS). The run panics if
+// any checksum diverges, if batching fails to cut device requests per
+// BFS query by 2x vs per-page dispatch, or if the cached delta run
+// gives back the layout's byte reduction — this experiment is the
+// acceptance gauge for ROADMAP item 4.
+func IOExp(cfg Config, iocfg IOConfig, w io.Writer) []Result {
+	cfg.setDefaults()
+	iocfg.setDefaults(&cfg)
+	header(w, fmt.Sprintf("Raw I/O path: decode CPU and submission shape (RMAT scale %d, %d edges/vertex, %s cache, %d PageRank sweeps)",
+		iocfg.Scale, iocfg.EPV, util.HumanBytes(iocfg.CacheMB<<20), iocfg.Iters))
+
+	tmp, err := os.MkdirTemp("", "fg-io-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	// One RMAT stream, built once into the raw image, re-encoded (no
+	// edge-list round trip) into the delta and block images.
+	rawPath := filepath.Join(tmp, "io-raw.fg")
+	b := graph.NewStreamBuilder(graph.BuildConfig{
+		NumV:     1 << iocfg.Scale,
+		Directed: true,
+		Encoding: graph.EncodingRaw,
+		MemBytes: 256 << 20,
+		TmpDir:   tmp,
+	})
+	if err := gen.RMATStream(iocfg.Scale, iocfg.EPV, cfg.Seed+1, b.Add); err != nil {
+		panic(err)
+	}
+	if _, err := b.WriteFile(rawPath); err != nil {
+		panic(err)
+	}
+	rawImg, err := graph.OpenImageFile(rawPath)
+	if err != nil {
+		panic(err)
+	}
+	defer rawImg.Close()
+	reencode := func(name string, enc graph.Encoding) *graph.Image {
+		path := filepath.Join(tmp, name)
+		f, err := os.Create(path)
+		if err != nil {
+			panic(err)
+		}
+		if err := rawImg.EncodeAs(f, enc); err != nil {
+			panic(err)
+		}
+		if err := f.Close(); err != nil {
+			panic(err)
+		}
+		img, err := graph.OpenImageFile(path)
+		if err != nil {
+			panic(err)
+		}
+		return img
+	}
+	deltaImg := reencode("io-delta.fg", graph.EncodingDelta)
+	defer deltaImg.Close()
+	blockImg := reencode("io-block.fg", graph.EncodingBlock)
+	defer blockImg.Close()
+
+	report := IOReport{
+		Scale: iocfg.Scale, EPV: iocfg.EPV, CacheMB: iocfg.CacheMB,
+		Iters: iocfg.Iters, DecodeCacheMB: iocfg.DecodeCacheMB,
+		Direct:  iocfg.Direct,
+		Summary: map[string]float64{},
+	}
+
+	// Decode ns/edge: hot in-memory sweeps, independent of the engine.
+	decodeNs := map[string]float64{}
+	for _, v := range []struct {
+		key  string
+		img  *graph.Image
+		mb   int64
+		file string
+	}{
+		{"vertex/raw", rawImg, 0, rawPath},
+		{"vertex/delta", deltaImg, 0, filepath.Join(tmp, "io-delta.fg")},
+		{"vertex/delta+cache", deltaImg, iocfg.DecodeCacheMB, filepath.Join(tmp, "io-delta.fg")},
+	} {
+		f, err := os.Open(v.file)
+		if err != nil {
+			panic(err)
+		}
+		mem, err := graph.Decode(f)
+		f.Close()
+		if err != nil {
+			panic(err)
+		}
+		var cache *graph.DecodeCache
+		if v.mb > 0 {
+			cache = graph.NewDecodeCache(graph.DecodeCacheConfig{Bytes: v.mb << 20, MinDegree: iocfg.DecodeMinDegree})
+		}
+		decodeNs[v.key] = measureDecodeNs(mem, cache)
+	}
+
+	// Part (a): full-sweep PageRank — every vertex active every
+	// iteration, the workload where decode CPU has nowhere to hide.
+	fmt.Fprintf(w, "%-20s %10s %12s %12s %12s %12s %10s %10s\n",
+		"pagerank variant", "on-SSD", "elapsed(s)", "read", "dev-reads", "syscalls", "ns/edge", "hub-hit")
+	measurePR := func(label, variant string, img *graph.Image, kind core.EngineKind, decodeMB int64) IOPageRankRun {
+		fs, arr, ctr, directActive := newIOSubstrate(cfg, tmp, "pr-"+label, iocfg.CacheMB<<20, iocfg.Direct, safs.MergeNone)
+		defer arr.Close()
+		report.DirectActive = report.DirectActive || directActive
+		shared, err := core.NewShared(img, core.Config{
+			Threads: cfg.Threads, RangeShift: 6, FS: fs,
+			DecodeCacheBytes: decodeMB << 20, DecodeMinDegree: iocfg.DecodeMinDegree,
+		})
+		if err != nil {
+			panic(err)
+		}
+		eng, err := shared.NewEngine(kind)
+		if err != nil {
+			panic(err)
+		}
+		defer eng.Close()
+		ctr.reset() // image load is not query traffic
+		pr := algo.NewPageRank()
+		pr.Threshold = 0
+		pr.Iters = iocfg.Iters
+		st, err := eng.Run(pr)
+		if err != nil {
+			panic(err)
+		}
+		run := IOPageRankRun{
+			Variant:         variant,
+			Engine:          st.Engine,
+			Encoding:        img.Encoding.String(),
+			DecodeCacheMB:   decodeMB,
+			DataBytes:       img.DataSize(),
+			ElapsedSec:      st.Elapsed.Seconds(),
+			BytesRead:       st.BytesRead,
+			DeviceReads:     st.DeviceReads,
+			ReadSyscalls:    atomic.LoadInt64(&ctr.reads),
+			VecSyscalls:     atomic.LoadInt64(&ctr.vecs),
+			DecodeNsPerEdge: decodeNs[variant],
+			Checksum:        result.From(pr, "pagerank").Checksum(),
+		}
+		if dc := shared.DecodeCache(); dc != nil {
+			run.DecodeCacheHitRate = dc.Stats().HitRate()
+		}
+		return run
+	}
+
+	prVariants := []struct {
+		label    string
+		variant  string
+		img      *graph.Image
+		kind     core.EngineKind
+		decodeMB int64
+	}{
+		{"raw", "vertex/raw", rawImg, core.EngineVertex, 0},
+		{"delta", "vertex/delta", deltaImg, core.EngineVertex, 0},
+		{"delta-cache", "vertex/delta+cache", deltaImg, core.EngineVertex, iocfg.DecodeCacheMB},
+		{"block", "spmv/block", blockImg, core.EngineSpMV, 0},
+	}
+	var out []Result
+	for _, v := range prVariants {
+		run := measurePR(v.label, v.variant, v.img, v.kind, v.decodeMB)
+		report.PageRank = append(report.PageRank, run)
+		fmt.Fprintf(w, "%-20s %10s %12.3f %12s %12d %12d %10.1f %10.3f\n",
+			run.Variant, util.HumanBytes(run.DataBytes), run.ElapsedSec,
+			util.HumanBytes(run.BytesRead), run.DeviceReads, run.ReadSyscalls,
+			run.DecodeNsPerEdge, run.DecodeCacheHitRate)
+		out = append(out, Result{
+			Exp: "io", Dataset: fmt.Sprintf("rmat-%d", iocfg.Scale),
+			App: "pagerank", Variant: run.Variant, Value: run.ElapsedSec,
+			Extra: map[string]float64{
+				"bytes_read":    float64(run.BytesRead),
+				"device_reads":  float64(run.DeviceReads),
+				"read_syscalls": float64(run.ReadSyscalls),
+				"ns_per_edge":   run.DecodeNsPerEdge,
+			},
+		})
+	}
+	prRaw, prDelta, prCached := report.PageRank[0], report.PageRank[1], report.PageRank[2]
+	for _, run := range report.PageRank[1:] {
+		if run.Checksum != prRaw.Checksum {
+			panic(fmt.Sprintf("bench: pagerank diverges: %s checksum %s != %s checksum %s",
+				run.Variant, run.Checksum, prRaw.Variant, prRaw.Checksum))
+		}
+	}
+
+	// Part (b): one cold BFS query on the delta image per dispatch
+	// discipline. Per-page dispatch (MergeNone) is the baseline the
+	// batched path must beat by 2x on device requests.
+	fmt.Fprintf(w, "%-14s %12s %12s %12s %12s %12s %10s\n",
+		"bfs dispatch", "elapsed(s)", "edge-reqs", "dev-reads", "vec-reads", "syscalls", "merge")
+	measureBFS := func(name string, mode core.MergeMode, stage safs.MergeMode) IOBFSRun {
+		fs, arr, ctr, _ := newIOSubstrate(cfg, tmp, "bfs-"+name, iocfg.CacheMB<<20, iocfg.Direct, stage)
+		defer arr.Close()
+		shared, err := core.NewShared(deltaImg, core.Config{
+			Threads: cfg.Threads, RangeShift: 12, FS: fs, Merge: mode,
+		})
+		if err != nil {
+			panic(err)
+		}
+		ctr.reset()
+		bfs := algo.NewBFS(bfsSource(deltaImg))
+		st, err := shared.NewRun().Run(bfs)
+		if err != nil {
+			panic(err)
+		}
+		as := arr.Stats()
+		return IOBFSRun{
+			Merge:          name,
+			ElapsedSec:     st.Elapsed.Seconds(),
+			EdgeRequests:   st.EdgeRequests,
+			MergedRequests: st.MergedRequests,
+			DeviceReads:    st.DeviceReads,
+			VecReads:       as.VecReads,
+			ReadSyscalls:   atomic.LoadInt64(&ctr.reads),
+			MergeRatio:     as.MergeRatio(),
+			QueuePeak:      as.QueuePeak,
+			BytesRead:      st.BytesRead,
+			Checksum:       result.From(bfs, "bfs").Checksum(),
+		}
+	}
+	bfsVariants := []struct {
+		name  string
+		mode  core.MergeMode
+		stage safs.MergeMode
+	}{
+		{"per-page", core.MergeNone, safs.MergePage},
+		{"none", core.MergeNone, safs.MergeNone},
+		{"fg", core.MergeFG, safs.MergeNone},
+		{"safs-batched", core.MergeSAFS, safs.MergeSAFS},
+	}
+	for _, v := range bfsVariants {
+		run := measureBFS(v.name, v.mode, v.stage)
+		report.BFS = append(report.BFS, run)
+		fmt.Fprintf(w, "%-14s %12.3f %12d %12d %12d %12d %10.2f\n",
+			run.Merge, run.ElapsedSec, run.EdgeRequests, run.DeviceReads,
+			run.VecReads, run.ReadSyscalls, run.MergeRatio)
+		out = append(out, Result{
+			Exp: "io", Dataset: fmt.Sprintf("rmat-%d", iocfg.Scale),
+			App: "bfs", Variant: run.Merge, Value: float64(run.DeviceReads),
+			Extra: map[string]float64{
+				"elapsed_s":     run.ElapsedSec,
+				"read_syscalls": float64(run.ReadSyscalls),
+				"merge_ratio":   run.MergeRatio,
+			},
+		})
+	}
+	bfsPage, bfsBatched := report.BFS[0], report.BFS[3]
+	for _, run := range report.BFS[1:] {
+		if run.Checksum != bfsPage.Checksum {
+			panic(fmt.Sprintf("bench: bfs diverges under %s dispatch: checksum %s != %s",
+				run.Merge, run.Checksum, bfsPage.Checksum))
+		}
+	}
+
+	// Acceptance ratios.
+	wallRatio := prCached.ElapsedSec / prRaw.ElapsedSec
+	baseRed := 1 - float64(prDelta.BytesRead)/float64(prRaw.BytesRead)
+	newRed := 1 - float64(prCached.BytesRead)/float64(prRaw.BytesRead)
+	reqCut := float64(bfsPage.DeviceReads) / float64(bfsBatched.DeviceReads)
+	report.Summary["delta_vs_raw_wall"] = wallRatio
+	report.Summary["byte_reduction_base"] = baseRed
+	report.Summary["byte_reduction_new"] = newRed
+	report.Summary["bfs_request_reduction"] = reqCut
+	report.Summary["bfs_merge_ratio"] = bfsBatched.MergeRatio
+	if newRed < 0.9*baseRed {
+		panic(fmt.Sprintf("bench: decode cache gave back the byte win: %.1f%% reduction vs %.1f%% without it",
+			newRed*100, baseRed*100))
+	}
+	if reqCut < 2 {
+		panic(fmt.Sprintf("bench: batched submission cut BFS device requests only %.2fx vs per-page dispatch (want >= 2x)",
+			reqCut))
+	}
+	fmt.Fprintf(w, "delta+cache vs raw pagerank: %.3fx wall-clock, %.1f%% fewer bytes read (%.1f%% without cache), answers bit-identical\n",
+		wallRatio, newRed*100, baseRed*100)
+	fmt.Fprintf(w, "bfs batched vs per-page: %.1fx fewer device requests (%d -> %d), merge ratio %.2f, %d -> %d read syscalls\n",
+		reqCut, bfsPage.DeviceReads, bfsBatched.DeviceReads, bfsBatched.MergeRatio,
+		bfsPage.ReadSyscalls, bfsBatched.ReadSyscalls)
+
+	if iocfg.JSONPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(iocfg.JSONPath, append(blob, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(w, "wrote %s (%d pagerank runs, %d bfs runs)\n", iocfg.JSONPath, len(report.PageRank), len(report.BFS))
+	}
+	return out
+}

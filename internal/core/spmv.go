@@ -296,7 +296,8 @@ func (e *SpMVEngine) sweepRecords(dir graph.EdgeDir, ix *graph.Index) error {
 				return fmt.Errorf("stripe %d (dir %d) truncated at vertex %d", r, dir, v)
 			}
 			if ix.Degree(graph.VertexID(v)) > 0 {
-				pv := graph.NewPageVertex(graph.VertexID(v), dir, graph.ByteSpan(buf[pos:pos+rec]), attrSize, enc)
+				pv := graph.NewPageVertexBytes(graph.VertexID(v), dir, buf[pos:pos+rec], attrSize, enc)
+				pv.SetDecodeCache(e.shared.decode, e.shared.fp)
 				e.rowScratch = pv.Edges(e.rowScratch[:0], nil)
 				e.prog.ApplyRow(dir, graph.VertexID(v), e.rowScratch)
 			}

@@ -316,8 +316,8 @@ func (w *worker) issue() {
 		ctx := w.partCtx
 		for i := 0; i < len(reqs); i++ {
 			r := reqs[i]
-			span := graph.ByteSpan(e.data(r.dir)[r.off : r.off+r.size])
-			pv := graph.NewPageVertex(r.target, r.dir, span, e.img.AttrSize, e.img.Encoding)
+			pv := graph.NewPageVertexBytes(r.target, r.dir, e.data(r.dir)[r.off:r.off+r.size], e.img.AttrSize, e.img.Encoding)
+			pv.SetDecodeCache(e.decode, e.fp)
 			ctx.cur = r.requester
 			e.alg.RunOnVertex(ctx, r.requester, &pv)
 			w.vertexRequestDone(r.requester)
@@ -387,9 +387,20 @@ func (w *worker) issueMerged(group []edgeReq, end int64) {
 			panic("core: edge-list read failed: " + err.Error())
 		}
 		ctx := w.partCtx
+		var scratch []byte
 		for _, it := range items {
-			sub := view.Sub(it.off-start, it.size)
-			pv := graph.NewPageVertex(it.target, it.dir, sub, e.img.AttrSize, e.img.Encoding)
+			// View.Slice hands back the cache frame directly unless the
+			// record crosses a page boundary, so nearly every vertex
+			// decodes on PageVertex's devirtualized byte path with no
+			// per-vertex view allocation. scratch is grown here (not by
+			// Slice) so boundary-crossing copies reuse one buffer across
+			// the task's vertices.
+			if int64(cap(scratch)) < it.size {
+				scratch = make([]byte, it.size)
+			}
+			rec := view.Slice(it.off-start, it.size, scratch)
+			pv := graph.NewPageVertexBytes(it.target, it.dir, rec, e.img.AttrSize, e.img.Encoding)
+			pv.SetDecodeCache(e.decode, e.fp)
 			ctx.cur = it.requester
 			e.alg.RunOnVertex(ctx, it.requester, &pv)
 			w.vertexRequestDone(it.requester)

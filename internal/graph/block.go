@@ -293,16 +293,9 @@ func decodeBlock(bb []byte, rowBase, colBase VertexID, attrSize int, cols []Vert
 			return cols, fmt.Errorf("bad edge count")
 		}
 		pos += k
-		cols = cols[:0]
-		col := colBase
-		for e := uint64(0); e < cnt; e++ {
-			gap, k := binary.Uvarint(bb[pos:])
-			if k <= 0 {
-				return cols, fmt.Errorf("bad column gap")
-			}
-			pos += k
-			col += VertexID(gap)
-			cols = append(cols, col)
+		cols, pos, _ = decodeGaps(cols[:0], bb, pos, int(cnt), uint64(colBase))
+		if pos < 0 {
+			return cols, fmt.Errorf("bad column gap")
 		}
 		var attrs []byte
 		if attrSize > 0 {

@@ -1,0 +1,174 @@
+package graph
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DecodeCacheConfig sizes the decoded-record cache. The zero value
+// disables it: NewDecodeCache returns nil, and every DecodeCache method
+// is nil-receiver safe, so callers thread the pointer through without
+// guards.
+type DecodeCacheConfig struct {
+	// Bytes is the retained-footprint budget. <= 0 disables the cache.
+	Bytes int64
+	// MinDegree is the admission threshold: only vertices with at least
+	// this many edges are cached (hubs are where varint decode time
+	// concentrates; caching the power-law tail would churn the budget
+	// for records that decode in nanoseconds). 0 means the default, 64.
+	MinDegree uint32
+}
+
+// DefaultDecodeMinDegree is the admission threshold when the config
+// leaves MinDegree zero.
+const DefaultDecodeMinDegree = 64
+
+// decodeCacheOverhead approximates the per-entry bookkeeping bytes
+// (list element, map slot, key) charged on top of the neighbor slice.
+const decodeCacheOverhead = 96
+
+// decodeKey identifies one decoded edge list exactly: the image's
+// content fingerprint (not a catalog name — two images sharing a name
+// must not share entries), the direction, and the vertex.
+type decodeKey struct {
+	fp  string
+	dir EdgeDir
+	v   VertexID
+}
+
+// DecodeCacheStats snapshots the cache counters.
+type DecodeCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Inserts   int64 `json:"inserts"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Budget    int64 `json:"budget"`
+}
+
+// HitRate returns hits / (hits + misses).
+func (s DecodeCacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// DecodeCache is a byte-budgeted LRU over decoded neighbor lists — the
+// decode-CPU eraser for hot hubs. The SAFS page cache already removes
+// the I/O for a re-read page, but a delta-encoded hub still pays the
+// full varint prefix-sum on every visit; iterative algorithms visit the
+// same hubs every superstep. Entries are admitted by degree (see
+// DecodeCacheConfig.MinDegree) and keyed by image fingerprint, so a
+// cache outliving one graph can serve a catalog.
+//
+// Cached slices are immutable once inserted: Get hands the stored slice
+// to concurrent readers, and PageVertex.Edges copies it into the
+// caller's buffer.
+type DecodeCache struct {
+	mu     sync.Mutex
+	budget int64
+	minDeg uint32
+	lru    *list.List // front = most recent
+	byKey  map[decodeKey]*list.Element
+	stats  DecodeCacheStats
+}
+
+type decodeEntry struct {
+	key   decodeKey
+	edges []VertexID
+	bytes int64
+}
+
+// NewDecodeCache builds a cache from the config, or returns nil (the
+// disabled cache) when the budget is not positive.
+func NewDecodeCache(cfg DecodeCacheConfig) *DecodeCache {
+	if cfg.Bytes <= 0 {
+		return nil
+	}
+	minDeg := cfg.MinDegree
+	if minDeg == 0 {
+		minDeg = DefaultDecodeMinDegree
+	}
+	return &DecodeCache{
+		budget: cfg.Bytes,
+		minDeg: minDeg,
+		lru:    list.New(),
+		byKey:  map[decodeKey]*list.Element{},
+		stats:  DecodeCacheStats{Budget: cfg.Bytes},
+	}
+}
+
+// Admit reports whether a record of the given degree is worth caching.
+// Nil-safe: a disabled cache admits nothing.
+func (c *DecodeCache) Admit(degree uint32) bool {
+	return c != nil && degree >= c.minDeg
+}
+
+// Get returns the cached neighbor list and marks it most-recently used.
+// The returned slice must not be mutated.
+func (c *DecodeCache) Get(fp string, dir EdgeDir, v VertexID) ([]VertexID, bool) {
+	if c == nil {
+		return nil, false
+	}
+	k := decodeKey{fp: fp, dir: dir, v: v}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*decodeEntry).edges, true
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Put inserts a copy of edges (callers reuse their decode buffers) and
+// evicts least-recently-used entries until the budget holds. An entry
+// larger than the whole budget is not admitted.
+func (c *DecodeCache) Put(fp string, dir EdgeDir, v VertexID, edges []VertexID) {
+	if c == nil {
+		return
+	}
+	bytes := int64(len(edges))*4 + decodeCacheOverhead
+	if bytes > c.budget {
+		return
+	}
+	k := decodeKey{fp: fp, dir: dir, v: v}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byKey[k]; ok {
+		// Same fingerprint + vertex means the same immutable bytes; the
+		// existing entry is already correct.
+		return
+	}
+	stored := make([]VertexID, len(edges))
+	copy(stored, edges)
+	el := c.lru.PushFront(&decodeEntry{key: k, edges: stored, bytes: bytes})
+	c.byKey[k] = el
+	c.stats.Bytes += bytes
+	c.stats.Inserts++
+	for c.stats.Bytes > c.budget && c.lru.Len() > 0 {
+		back := c.lru.Back()
+		e := back.Value.(*decodeEntry)
+		c.lru.Remove(back)
+		delete(c.byKey, e.key)
+		c.stats.Bytes -= e.bytes
+		c.stats.Evictions++
+	}
+	c.stats.Entries = len(c.byKey)
+}
+
+// Stats snapshots the counters. Nil-safe: a disabled cache reports
+// zeros.
+func (c *DecodeCache) Stats() DecodeCacheStats {
+	if c == nil {
+		return DecodeCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.byKey)
+	return s
+}

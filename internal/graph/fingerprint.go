@@ -49,12 +49,12 @@ func (img *Image) hashDirection(h io.Writer, dir EdgeDir, ix *Index) {
 	var num [8]byte
 	binary.LittleEndian.PutUint64(num[:], uint64(ix.fileSize))
 	h.Write(num[:])
-	h.Write(ix.degree)
+	ix.hashDegreeBytes(h)
 	for _, off := range ix.groupOff {
 		binary.LittleEndian.PutUint64(num[:], uint64(off))
 		h.Write(num[:])
 	}
-	h.Write(ix.recBytes)
+	ix.hashRecBytes(h)
 	ra, err := img.edgeReaderAt(dir)
 	if err != nil {
 		return // no data to sample (index already hashed)

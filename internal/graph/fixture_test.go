@@ -1,0 +1,139 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fixtureFingerprint is the recorded content fingerprint of the checked-
+// in v2 delta fixture. It pins two compatibility surfaces at once: the
+// v2 container bytes (the fixture must keep decoding) and fingerprint
+// byte-stability (index-representation changes, like the packed pair
+// compaction, must not move the hash — cached results key on it).
+const fixtureFingerprint = "108a7c787ad0dc19"
+
+// fixtureAdjacency builds the fixture graph deterministically from
+// arithmetic (no RNG, so the fixture is regenerable bit-identically):
+// 600 vertices, small cyclic out-degrees, plus vertex 5 as a degree-400
+// hub whose degree byte and record-size byte both spill past the 255
+// sentinels.
+func fixtureAdjacency() *Adjacency {
+	const n = 600
+	var edges []Edge
+	for v := 0; v < n; v++ {
+		d := v % 7
+		if v == 5 {
+			d = 400
+		}
+		for i := 0; i < d; i++ {
+			edges = append(edges, Edge{Src: VertexID(v), Dst: VertexID((v*31 + i*17 + 7) % n)})
+		}
+	}
+	a := FromEdges(n, edges, true)
+	a.Dedup()
+	return a
+}
+
+// fixtureDeltaBytes encodes the fixture graph as a v2 delta container.
+func fixtureDeltaBytes(t *testing.T) []byte {
+	t.Helper()
+	img := BuildImage(fixtureAdjacency(), 0, nil)
+	var buf bytes.Buffer
+	if err := img.EncodeAs(&buf, EncodingDelta); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+const fixturePath = "testdata/v2-directed-delta.fgimg"
+
+// TestRegenV2DeltaFixture rewrites the fixture from the deterministic
+// builder. It only runs when explicitly requested:
+//
+//	REGEN_FIXTURE=1 go test -run TestRegenV2DeltaFixture ./internal/graph
+func TestRegenV2DeltaFixture(t *testing.T) {
+	if os.Getenv("REGEN_FIXTURE") == "" {
+		t.Skip("set REGEN_FIXTURE=1 to rewrite the fixture")
+	}
+	data := fixtureDeltaBytes(t)
+	if err := os.WriteFile(fixturePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	img, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: %d bytes, fingerprint %s", fixturePath, len(data), img.Fingerprint())
+}
+
+// TestV2DeltaFixture is the compatibility gate over the checked-in v2
+// delta container: today's encoder must reproduce it bit-identically,
+// today's decoders (RAM and file-backed) must open it, its fingerprint
+// must equal the recorded constant, and the rebuilt compact index must
+// agree with the decoded edge lists — including the hub vertex that
+// lives in both large-vertex hash tables.
+func TestV2DeltaFixture(t *testing.T) {
+	want, err := os.ReadFile(fixturePath)
+	if err != nil {
+		t.Fatalf("missing fixture (run TestRegenV2DeltaFixture with REGEN_FIXTURE=1): %v", err)
+	}
+	if got := fixtureDeltaBytes(t); !bytes.Equal(got, want) {
+		t.Fatalf("encoder no longer reproduces the v2 fixture (len %d vs %d)", len(got), len(want))
+	}
+
+	img, err := Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp := img.Fingerprint(); fp != fixtureFingerprint {
+		t.Fatalf("fingerprint drifted: %s, recorded %s", fp, fixtureFingerprint)
+	}
+
+	// File-backed open must agree byte-for-byte on identity.
+	path := filepath.Join(t.TempDir(), "fixture.fgimg")
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fimg, err := OpenImageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fimg.Close()
+	if fp := fimg.Fingerprint(); fp != fixtureFingerprint {
+		t.Fatalf("file-backed fingerprint drifted: %s", fp)
+	}
+
+	// Cross-check the rebuilt index and record decode against the
+	// adjacency the fixture was built from.
+	adj := fixtureAdjacency()
+	if img.NumV != adj.N {
+		t.Fatalf("NumV = %d, want %d", img.NumV, adj.N)
+	}
+	var dst []VertexID
+	var scratch [64]byte
+	for _, v := range []VertexID{0, 5, 31, 255, 599} {
+		if got, want := img.OutIndex.Degree(v), uint32(len(adj.Out[v])); got != want {
+			t.Fatalf("vertex %d: degree %d, want %d", v, got, want)
+		}
+		off, size := img.OutIndex.Locate(v)
+		if rb := img.OutIndex.RecordBytes(v); rb != size {
+			t.Fatalf("vertex %d: RecordBytes %d != Locate size %d", v, rb, size)
+		}
+		pv := NewPageVertex(v, OutEdges, ByteSpan(img.OutData[off:off+size]), 0, EncodingDelta)
+		dst = pv.Edges(dst, scratch[:])
+		if len(dst) != len(adj.Out[v]) {
+			t.Fatalf("vertex %d: decoded %d edges, want %d", v, len(dst), len(adj.Out[v]))
+		}
+		for i, u := range adj.Out[v] {
+			if dst[i] != u {
+				t.Fatalf("vertex %d: edge %d = %d, want %d", v, i, dst[i], u)
+			}
+		}
+	}
+	// The hub's spills must actually exercise both hash tables.
+	if img.OutIndex.LargeVertices() == 0 {
+		t.Fatal("fixture lost its large-vertex hash-table residents")
+	}
+}

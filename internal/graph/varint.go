@@ -1,0 +1,100 @@
+package graph
+
+import "encoding/binary"
+
+// decodeGaps is the shared hot loop of the delta decoders: it decodes n
+// varint gaps from raw[pos:], accumulates them onto prev (prefix-sum),
+// and appends each resulting ID to dst. It returns the extended slice,
+// the stream position just past the last gap, and the last ID decoded.
+// A corrupt or truncated stream returns pos == -1; the callers translate
+// that into their own error idiom (panic for PageVertex, error for the
+// block decoder).
+//
+// Power-law delta streams are dominated by single-byte gaps (a gap needs
+// two varint bytes only past 127), so the loop peeks at eight bytes at a
+// time: when none has its continuation bit set, all eight are complete
+// single-byte gaps and decode without per-byte branches. Any
+// continuation bit falls back to one binary.Uvarint and the window
+// re-arms — mixed streams pay at most one slow varint per multi-byte
+// gap. A four-byte window catches the mid-size records the wide window
+// skips. The destination is grown to its final length up front so the
+// unrolled bodies index-write instead of paying append's length/capacity
+// bookkeeping per edge.
+func decodeGaps(dst []VertexID, raw []byte, pos, n int, prev uint64) ([]VertexID, int, uint64) {
+	base := len(dst)
+	if cap(dst) < base+n {
+		grown := make([]VertexID, base, base+n)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:base+n]
+	i := 0
+	for i+8 <= n && pos+8 <= len(raw) {
+		x := binary.LittleEndian.Uint64(raw[pos:])
+		if x&0x8080808080808080 != 0 {
+			gap, k := binary.Uvarint(raw[pos:])
+			if k <= 0 {
+				return dst[:base+i], -1, prev
+			}
+			pos += k
+			prev += gap
+			dst[base+i] = VertexID(prev)
+			i++
+			continue
+		}
+		o := base + i
+		prev += x & 0xff
+		dst[o] = VertexID(prev)
+		prev += x >> 8 & 0xff
+		dst[o+1] = VertexID(prev)
+		prev += x >> 16 & 0xff
+		dst[o+2] = VertexID(prev)
+		prev += x >> 24 & 0xff
+		dst[o+3] = VertexID(prev)
+		prev += x >> 32 & 0xff
+		dst[o+4] = VertexID(prev)
+		prev += x >> 40 & 0xff
+		dst[o+5] = VertexID(prev)
+		prev += x >> 48 & 0xff
+		dst[o+6] = VertexID(prev)
+		prev += x >> 56
+		dst[o+7] = VertexID(prev)
+		pos += 8
+		i += 8
+	}
+	for i+4 <= n && pos+4 <= len(raw) {
+		x := binary.LittleEndian.Uint32(raw[pos:])
+		if x&0x80808080 != 0 {
+			gap, k := binary.Uvarint(raw[pos:])
+			if k <= 0 {
+				return dst[:base+i], -1, prev
+			}
+			pos += k
+			prev += gap
+			dst[base+i] = VertexID(prev)
+			i++
+			continue
+		}
+		o := base + i
+		prev += uint64(x & 0xff)
+		dst[o] = VertexID(prev)
+		prev += uint64(x >> 8 & 0xff)
+		dst[o+1] = VertexID(prev)
+		prev += uint64(x >> 16 & 0xff)
+		dst[o+2] = VertexID(prev)
+		prev += uint64(x >> 24)
+		dst[o+3] = VertexID(prev)
+		pos += 4
+		i += 4
+	}
+	for ; i < n; i++ {
+		gap, k := binary.Uvarint(raw[pos:])
+		if k <= 0 {
+			return dst[:base+i], -1, prev
+		}
+		pos += k
+		prev += gap
+		dst[base+i] = VertexID(prev)
+	}
+	return dst, pos, prev
+}

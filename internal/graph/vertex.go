@@ -47,6 +47,12 @@ type PageVertex struct {
 	// Dir reports which list this is for directed graphs.
 	Dir EdgeDir
 
+	// Exactly one of bytes/span carries the record: bytes is the
+	// devirtualized fast path for records already contiguous in memory
+	// (no interface allocation at construction, no dynamic dispatch per
+	// header/ID access — both showed up in decode profiles), span the
+	// general path for page-cache views.
+	bytes    []byte
 	span     Span
 	attrSize int
 	encoding Encoding
@@ -60,6 +66,12 @@ type PageVertex struct {
 	curIdx   int
 	curOff   int64
 	curPrev  VertexID
+
+	// Optional decoded-record cache (SetDecodeCache): Edges consults it
+	// for delta records of admitted degree. fp is the owning image's
+	// content fingerprint, the cache key's graph component.
+	cache *DecodeCache
+	fp    string
 }
 
 // EdgeDir selects an edge-list direction.
@@ -74,8 +86,44 @@ const (
 )
 
 // NewPageVertex wraps a record span in the given on-SSD layout.
+// ByteSpan spans are unboxed onto the devirtualized path.
 func NewPageVertex(id VertexID, dir EdgeDir, span Span, attrSize int, enc Encoding) PageVertex {
+	if bs, ok := span.(ByteSpan); ok {
+		return NewPageVertexBytes(id, dir, bs, attrSize, enc)
+	}
 	return PageVertex{ID: id, Dir: dir, span: span, attrSize: attrSize, encoding: enc, numEdges: -1}
+}
+
+// NewPageVertexBytes wraps a record already contiguous in memory. It is
+// the allocation-free form of NewPageVertex(..., ByteSpan(b), ...):
+// boxing a slice into the Span interface heap-allocates the slice
+// header, which the per-request engine paths would otherwise pay once
+// per vertex visit.
+func NewPageVertexBytes(id VertexID, dir EdgeDir, b []byte, attrSize int, enc Encoding) PageVertex {
+	return PageVertex{ID: id, Dir: dir, bytes: b, attrSize: attrSize, encoding: enc, numEdges: -1}
+}
+
+// spanLen, spanUint32, and spanSlice dispatch between the two record
+// carriers; the bytes branch compiles to direct slice ops.
+func (pv *PageVertex) spanLen() int64 {
+	if pv.bytes != nil {
+		return int64(len(pv.bytes))
+	}
+	return pv.span.Len()
+}
+
+func (pv *PageVertex) spanUint32(rel int64) uint32 {
+	if pv.bytes != nil {
+		return binary.LittleEndian.Uint32(pv.bytes[rel:])
+	}
+	return pv.span.Uint32(rel)
+}
+
+func (pv *PageVertex) spanSlice(rel, n int64, scratch []byte) []byte {
+	if pv.bytes != nil {
+		return pv.bytes[rel : rel+n]
+	}
+	return pv.span.Slice(rel, n, scratch)
 }
 
 // uvarintAt decodes one unsigned varint at byte offset off of the span,
@@ -84,12 +132,12 @@ func NewPageVertex(id VertexID, dir EdgeDir, span Span, attrSize int, enc Encodi
 // the worker's per-run recover converts it into a failed query while
 // the shared substrate (and every other graph in a catalog) survives.
 func (pv *PageVertex) uvarintAt(off int64) (uint64, int64) {
-	max := pv.span.Len() - off
+	max := pv.spanLen() - off
 	if max > binary.MaxVarintLen64 {
 		max = binary.MaxVarintLen64
 	}
 	var buf [binary.MaxVarintLen64]byte
-	b := pv.span.Slice(off, max, buf[:])
+	b := pv.spanSlice(off, max, buf[:])
 	v, n := binary.Uvarint(b)
 	if n <= 0 {
 		panic("graph: corrupt varint in delta edge-list record")
@@ -117,13 +165,13 @@ func (pv *PageVertex) NumEdges() int {
 		pv.header()
 		return pv.numEdges
 	}
-	return int(pv.span.Uint32(0))
+	return int(pv.spanUint32(0))
 }
 
 // RecordBytes returns the record's exact on-SSD byte length (the span
 // covers exactly the record). A scratch buffer of this capacity makes
 // Edges allocation-free under both layouts.
-func (pv *PageVertex) RecordBytes() int64 { return pv.span.Len() }
+func (pv *PageVertex) RecordBytes() int64 { return pv.spanLen() }
 
 // Edge returns the i-th neighbor. O(1) for raw records; O(i) worst case
 // for delta records (ascending access is amortized O(1) via the
@@ -131,7 +179,7 @@ func (pv *PageVertex) RecordBytes() int64 { return pv.span.Len() }
 // whole list.
 func (pv *PageVertex) Edge(i int) VertexID {
 	if pv.encoding != EncodingDelta {
-		return pv.span.Uint32(headerSize + int64(i)*edgeSize)
+		return pv.spanUint32(headerSize + int64(i)*edgeSize)
 	}
 	pv.header()
 	if i < pv.curIdx {
@@ -151,6 +199,15 @@ func (pv *PageVertex) Edge(i int) VertexID {
 	return pv.curPrev
 }
 
+// SetDecodeCache attaches a decoded-record cache and the owning image's
+// content fingerprint. Both the nil cache and the zero PageVertex stay
+// valid: Edges simply decodes. Only delta records consult the cache —
+// raw records decode in a copy-speed loop that a cache cannot beat.
+func (pv *PageVertex) SetDecodeCache(c *DecodeCache, fp string) {
+	pv.cache = c
+	pv.fp = fp
+}
+
 // Edges decodes all neighbors in one sequential pass, appending to dst
 // (reusing its capacity) and using scratch for page-crossing copies.
 // The returned slice aliases dst's backing array. This is the streaming
@@ -162,24 +219,27 @@ func (pv *PageVertex) Edges(dst []VertexID, scratch []byte) []VertexID {
 		return dst
 	}
 	if pv.encoding == EncodingDelta {
-		// One slice of the whole ID stream, then a tight varint loop.
-		// The first varint is the absolute ID; prev=0 folds it into the
-		// same prev+gap accumulation.
-		raw := pv.span.Slice(pv.idsOff, pv.attrOff()-pv.idsOff, scratch)
-		pos := 0
-		prev := uint64(0)
-		for i := 0; i < n; i++ {
-			gap, k := binary.Uvarint(raw[pos:])
-			if k <= 0 {
-				panic("graph: corrupt varint in delta edge-list record")
+		admit := pv.cache.Admit(uint32(n))
+		if admit {
+			if edges, ok := pv.cache.Get(pv.fp, pv.Dir, pv.ID); ok {
+				return append(dst, edges...)
 			}
-			pos += k
-			prev += gap
-			dst = append(dst, VertexID(prev))
+		}
+		// One slice of the whole ID stream, then the shared batch varint
+		// loop. The first varint is the absolute ID; prev=0 folds it into
+		// the same prev+gap accumulation.
+		raw := pv.spanSlice(pv.idsOff, pv.attrOff()-pv.idsOff, scratch)
+		var pos int
+		dst, pos, _ = decodeGaps(dst, raw, 0, n, 0)
+		if pos < 0 {
+			panic("graph: corrupt varint in delta edge-list record")
+		}
+		if admit {
+			pv.cache.Put(pv.fp, pv.Dir, pv.ID, dst)
 		}
 		return dst
 	}
-	raw := pv.span.Slice(headerSize, int64(n)*edgeSize, scratch)
+	raw := pv.spanSlice(headerSize, int64(n)*edgeSize, scratch)
 	for i := 0; i < n; i++ {
 		dst = append(dst, binary.LittleEndian.Uint32(raw[i*edgeSize:]))
 	}
@@ -193,7 +253,7 @@ func (pv *PageVertex) Edges(dst []VertexID, scratch []byte) []VertexID {
 func (pv *PageVertex) attrOff() int64 {
 	n := int64(pv.NumEdges())
 	if pv.encoding == EncodingDelta {
-		return pv.span.Len() - n*int64(pv.attrSize)
+		return pv.spanLen() - n*int64(pv.attrSize)
 	}
 	return headerSize + n*edgeSize
 }
@@ -202,7 +262,7 @@ func (pv *PageVertex) attrOff() int64 {
 // scratch when the attribute crosses a page boundary.
 func (pv *PageVertex) AttrBytes(i int, scratch []byte) []byte {
 	off := pv.attrOff() + int64(i)*int64(pv.attrSize)
-	return pv.span.Slice(off, int64(pv.attrSize), scratch)
+	return pv.spanSlice(off, int64(pv.attrSize), scratch)
 }
 
 // AttrUint32 decodes the i-th edge attribute as a little-endian uint32

@@ -44,6 +44,10 @@ const (
 	// MergeSAFS defers page loads until Flush, then sorts and merges
 	// adjacent loads across all staged requests of the IOContext.
 	MergeSAFS
+	// MergePage issues every page load as its own device request, with
+	// no grouping even inside a single ReadTask — the per-page-dispatch
+	// baseline the merged/vectored submission path is measured against.
+	MergePage
 )
 
 // Config configures a filesystem instance.
@@ -380,17 +384,25 @@ func (ctx *IOContext) Flush() {
 	ctx.flushStaged()
 }
 
-// flushStaged groups consecutive staged loads (same file, adjacent pages)
-// into single vectored array reads and dispatches them.
+// flushStaged groups consecutive staged loads (same file, adjacent
+// pages) into vectored array reads and dispatches them. In MergeSAFS
+// mode the whole flush goes down as ONE batch submission: the array
+// routes every group's device extents together, and each device sorts
+// and coalesces adjacent extents across groups before service — so
+// runs that are contiguous on a device but split across files (or
+// split by the staging order) still merge into single requests.
 func (ctx *IOContext) flushStaged() {
 	// Take ownership of the staged slice: completion closures below hold
 	// sub-slices of it, so the context must not reuse the backing array.
 	staged := ctx.staged
 	ctx.staged = nil
 	ps := int64(ctx.fs.pageSize)
+	var batch []ssd.BatchRead
+	batched := ctx.fs.merge == MergeSAFS
+	perPage := ctx.fs.merge == MergePage
 	for i := 0; i < len(staged); {
 		j := i + 1
-		for j < len(staged) &&
+		for !perPage && j < len(staged) &&
 			staged[j].fileID == staged[i].fileID &&
 			staged[j].pageNo == staged[j-1].pageNo+1 {
 			j++
@@ -401,12 +413,20 @@ func (ctx *IOContext) flushStaged() {
 			vec[k] = ld.page.Data()
 		}
 		off := group[0].base + group[0].pageNo*ps
-		ctx.fs.array.SubmitReadVec(off, vec, func(err error) {
+		done := func(err error) {
 			for _, ld := range group {
 				ld.page.Complete(err)
 			}
-		})
+		}
+		if batched {
+			batch = append(batch, ssd.BatchRead{Off: off, Vec: vec, Done: done})
+		} else {
+			ctx.fs.array.SubmitReadVec(off, vec, done)
+		}
 		i = j
+	}
+	if len(batch) > 0 {
+		ctx.fs.array.SubmitReadBatch(batch)
 	}
 }
 

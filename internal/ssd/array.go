@@ -118,17 +118,13 @@ func (a *Array) SubmitWrite(off int64, buf []byte, done func(err error)) {
 	a.submit(OpWrite, off, buf, done)
 }
 
-func (a *Array) submit(op Op, off int64, buf []byte, done func(err error)) {
-	exts := a.split(off, buf)
-	if len(exts) == 1 {
-		e := exts[0]
-		a.devices[e.dev].Submit(&Request{Op: op, Offset: e.devOff, Buf: e.buf, Done: done})
-		return
-	}
+// joinDone returns a completion callback that fires done exactly once,
+// with the first error, after n invocations.
+func joinDone(n int, done func(err error)) func(err error) {
 	var mu sync.Mutex
 	var firstErr error
-	remaining := len(exts)
-	sub := func(err error) {
+	remaining := n
+	return func(err error) {
 		mu.Lock()
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -140,23 +136,33 @@ func (a *Array) submit(op Op, off int64, buf []byte, done func(err error)) {
 			done(firstErr)
 		}
 	}
+}
+
+func (a *Array) submit(op Op, off int64, buf []byte, done func(err error)) {
+	exts := a.split(off, buf)
+	if len(exts) == 1 {
+		e := exts[0]
+		a.devices[e.dev].Submit(&Request{Op: op, Offset: e.devOff, Buf: e.buf, Done: done})
+		return
+	}
+	sub := joinDone(len(exts), done)
 	for _, e := range exts {
 		a.devices[e.dev].Submit(&Request{Op: op, Offset: e.devOff, Buf: e.buf, Done: sub})
 	}
 }
 
-// SubmitReadVec issues an asynchronous scatter read: the contiguous
-// linear range starting at off is transferred into the buffers of vec in
-// order. The range is cut only at device-stripe boundaries, so a read
+// vecExtent is one device-local piece of a scatter read.
+type vecExtent struct {
+	dev    int
+	devOff int64
+	bufs   [][]byte
+}
+
+// cutVec cuts the contiguous linear range starting at off, scattered
+// into vec's buffers, at device-stripe boundaries only — so a read
 // covering N stripes costs at most N device requests regardless of how
-// many buffers it scatters into — one merged FlashGraph request filling
-// 32 cache pages is still (usually) one device request.
-func (a *Array) SubmitReadVec(off int64, vec [][]byte, done func(err error)) {
-	type vecExtent struct {
-		dev    int
-		devOff int64
-		bufs   [][]byte
-	}
+// many buffers it scatters into.
+func (a *Array) cutVec(off int64, vec [][]byte) []vecExtent {
 	var exts []vecExtent
 	bi, bo := 0, 0 // cursor into vec: buffer index, offset within buffer
 	for bi < len(vec) {
@@ -185,6 +191,16 @@ func (a *Array) SubmitReadVec(off int64, vec [][]byte, done func(err error)) {
 		exts = append(exts, ext)
 		off += filled
 	}
+	return exts
+}
+
+// SubmitReadVec issues an asynchronous scatter read: the contiguous
+// linear range starting at off is transferred into the buffers of vec in
+// order. The range is cut only at device-stripe boundaries — one merged
+// FlashGraph request filling 32 cache pages is still (usually) one
+// device request.
+func (a *Array) SubmitReadVec(off int64, vec [][]byte, done func(err error)) {
+	exts := a.cutVec(off, vec)
 	if len(exts) == 0 {
 		done(nil)
 		return
@@ -194,23 +210,44 @@ func (a *Array) SubmitReadVec(off int64, vec [][]byte, done func(err error)) {
 		a.devices[e.dev].Submit(&Request{Op: OpRead, Offset: e.devOff, Vec: e.bufs, Done: done})
 		return
 	}
-	var mu sync.Mutex
-	var firstErr error
-	remaining := len(exts)
-	sub := func(err error) {
-		mu.Lock()
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-		remaining--
-		fire := remaining == 0
-		mu.Unlock()
-		if fire {
-			done(firstErr)
-		}
-	}
+	sub := joinDone(len(exts), done)
 	for _, e := range exts {
 		a.devices[e.dev].Submit(&Request{Op: OpRead, Offset: e.devOff, Vec: e.bufs, Done: sub})
+	}
+}
+
+// BatchRead is one contiguous scatter read in a batch submission.
+type BatchRead struct {
+	Off  int64
+	Vec  [][]byte
+	Done func(err error)
+}
+
+// SubmitReadBatch submits many scatter reads as one batch: every read
+// is cut into device extents, extents are grouped per device, and each
+// device receives its whole group through SubmitBatch — which sorts and
+// coalesces adjacent extents ACROSS requests before service. This is
+// the submission path behind SAFS-level merging: a worker's flush of
+// staged page loads becomes at most one (vectored) request per device
+// per contiguous byte run, instead of one request per load group.
+func (a *Array) SubmitReadBatch(batch []BatchRead) {
+	perDev := make([][]*Request, len(a.devices))
+	for _, br := range batch {
+		exts := a.cutVec(br.Off, br.Vec)
+		if len(exts) == 0 {
+			br.Done(nil)
+			continue
+		}
+		done := br.Done
+		if len(exts) > 1 {
+			done = joinDone(len(exts), br.Done)
+		}
+		for _, e := range exts {
+			perDev[e.dev] = append(perDev[e.dev], &Request{Op: OpRead, Offset: e.devOff, Vec: e.bufs, Done: done})
+		}
+	}
+	for dev, reqs := range perDev {
+		a.devices[dev].SubmitBatch(reqs)
 	}
 }
 
@@ -230,13 +267,28 @@ func (a *Array) WriteAt(buf []byte, off int64) error {
 
 // ArrayStats aggregates device stats.
 type ArrayStats struct {
-	Reads      int64
-	Writes     int64
-	BytesRead  int64
-	BytesWrite int64
-	SeqReads   int64
-	Busy       time.Duration // summed across devices
-	PerDevice  []DeviceStats
+	Reads         int64
+	Writes        int64
+	BytesRead     int64
+	BytesWrite    int64
+	SeqReads      int64
+	VecReads      int64
+	BatchSubmits  int64
+	BatchedReqs   int64
+	CoalescedReqs int64
+	QueuePeak     int64         // max across devices
+	Busy          time.Duration // summed across devices
+	PerDevice     []DeviceStats
+}
+
+// MergeRatio reports batched requests per served device request across
+// the array (1 when no batches were submitted).
+func (s ArrayStats) MergeRatio() float64 {
+	served := s.BatchedReqs - s.CoalescedReqs
+	if served <= 0 {
+		return 1
+	}
+	return float64(s.BatchedReqs) / float64(served)
 }
 
 // Stats snapshots all devices.
@@ -249,6 +301,13 @@ func (a *Array) Stats() ArrayStats {
 		s.BytesRead += ds.BytesRead
 		s.BytesWrite += ds.BytesWrite
 		s.SeqReads += ds.SeqReads
+		s.VecReads += ds.VecReads
+		s.BatchSubmits += ds.BatchSubmits
+		s.BatchedReqs += ds.BatchedReqs
+		s.CoalescedReqs += ds.CoalescedReqs
+		if ds.QueuePeak > s.QueuePeak {
+			s.QueuePeak = ds.QueuePeak
+		}
 		s.Busy += ds.Busy
 		s.PerDevice = append(s.PerDevice, ds)
 	}

@@ -23,6 +23,7 @@ package ssd
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -125,10 +126,32 @@ type DeviceStats struct {
 	BytesRead  int64
 	BytesWrite int64
 	SeqReads   int64 // reads that continued the previous request
+	VecReads   int64 // vectored (scatter) requests among Reads
+	// Batch submission counters: how many SubmitBatch calls arrived, how
+	// many requests they carried, and how many of those were coalesced
+	// into an adjacent neighbor (each coalesced request is one device
+	// request saved).
+	BatchSubmits  int64
+	BatchedReqs   int64
+	CoalescedReqs int64
+	// QueuePeak is the high-water mark of the submission queue length —
+	// the depth the io_uring-shaped path actually achieved.
+	QueuePeak int64
 	// Busy is accumulated virtual service time: the time the modeled
 	// device spent transferring. Utilization over a wall-clock interval t
 	// is Busy/t.
 	Busy time.Duration
+}
+
+// MergeRatio reports batched requests per device request after
+// coalescing (1 when no batches were submitted): the factor by which
+// SubmitBatch shrank the request stream.
+func (s DeviceStats) MergeRatio() float64 {
+	served := s.BatchedReqs - s.CoalescedReqs
+	if served <= 0 {
+		return 1
+	}
+	return float64(s.BatchedReqs) / float64(served)
 }
 
 // Store is the backing byte store for a simulated device.
@@ -143,6 +166,7 @@ type Store interface {
 type Device struct {
 	params DeviceParams
 	store  Store
+	vec    VecReader // store's vectored read path, nil if unsupported
 	queue  chan *Request
 
 	closeMu   sync.RWMutex
@@ -151,7 +175,8 @@ type Device struct {
 	wg        sync.WaitGroup
 
 	// counters (atomics; Busy in nanoseconds)
-	reads, writes, bytesRead, bytesWrite, seqReads, busyNS int64
+	reads, writes, bytesRead, bytesWrite, seqReads, vecReads, busyNS int64
+	batchSubmits, batchedReqs, coalescedReqs, queuePeak              int64
 }
 
 // ErrClosed is returned for requests submitted after Close.
@@ -165,6 +190,7 @@ func NewDevice(params DeviceParams, store Store) *Device {
 		store:  store,
 		queue:  make(chan *Request, params.QueueDepth),
 	}
+	d.vec, _ = store.(VecReader)
 	d.wg.Add(1)
 	go d.run()
 	return d
@@ -184,7 +210,81 @@ func (d *Device) Submit(req *Request) {
 	// the I/O goroutine keeps draining regardless, so Close (which takes
 	// the write lock) waits but never deadlocks.
 	d.queue <- req
+	d.noteQueueDepth(int64(len(d.queue)))
 	d.closeMu.RUnlock()
+}
+
+// SubmitBatch enqueues a group of requests as one submission: reads are
+// sorted by offset and runs of exactly adjacent extents coalesce into
+// single vectored requests before service — the io_uring-shaped
+// submission path over the same simulated model. Writes pass through
+// uncoalesced. Each original request's Done fires exactly once, after
+// the transfer covering it completes. The slice may be reordered.
+func (d *Device) SubmitBatch(reqs []*Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	if len(reqs) == 1 {
+		d.Submit(reqs[0])
+		return
+	}
+	atomic.AddInt64(&d.batchSubmits, 1)
+	reads := reqs[:0]
+	for _, r := range reqs {
+		if r.Op == OpRead {
+			reads = append(reads, r)
+		} else {
+			d.Submit(r)
+		}
+	}
+	atomic.AddInt64(&d.batchedReqs, int64(len(reads)))
+	sort.Slice(reads, func(i, j int) bool { return reads[i].Offset < reads[j].Offset })
+	for i := 0; i < len(reads); {
+		j := i + 1
+		end := reads[i].Offset + int64(reads[i].length())
+		for j < len(reads) && reads[j].Offset == end {
+			end += int64(reads[j].length())
+			j++
+		}
+		if j == i+1 {
+			d.Submit(reads[i])
+			i = j
+			continue
+		}
+		group := reads[i:j]
+		atomic.AddInt64(&d.coalescedReqs, int64(len(group)-1))
+		var vec [][]byte
+		for _, r := range group {
+			if r.Vec != nil {
+				vec = append(vec, r.Vec...)
+			} else {
+				vec = append(vec, r.Buf)
+			}
+		}
+		members := make([]*Request, len(group))
+		copy(members, group)
+		d.Submit(&Request{
+			Op:     OpRead,
+			Offset: group[0].Offset,
+			Vec:    vec,
+			Done: func(err error) {
+				for _, r := range members {
+					r.Done(err)
+				}
+			},
+		})
+		i = j
+	}
+}
+
+// noteQueueDepth raises the queue-depth high-water mark to depth.
+func (d *Device) noteQueueDepth(depth int64) {
+	for {
+		cur := atomic.LoadInt64(&d.queuePeak)
+		if depth <= cur || atomic.CompareAndSwapInt64(&d.queuePeak, cur, depth) {
+			return
+		}
+	}
 }
 
 // Close drains outstanding requests and stops the I/O goroutine.
@@ -196,18 +296,29 @@ func (d *Device) Close() {
 		close(d.queue)
 	})
 	d.wg.Wait()
+	// File-backed stores hold descriptors; release them with the device.
+	// Closing an already-closed store is harmless, so callers that also
+	// close their own stores stay correct.
+	if c, ok := d.store.(interface{ Close() error }); ok {
+		c.Close()
+	}
 }
 
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() DeviceStats {
 	return DeviceStats{
-		Name:       d.params.Name,
-		Reads:      atomic.LoadInt64(&d.reads),
-		Writes:     atomic.LoadInt64(&d.writes),
-		BytesRead:  atomic.LoadInt64(&d.bytesRead),
-		BytesWrite: atomic.LoadInt64(&d.bytesWrite),
-		SeqReads:   atomic.LoadInt64(&d.seqReads),
-		Busy:       time.Duration(atomic.LoadInt64(&d.busyNS)),
+		Name:          d.params.Name,
+		Reads:         atomic.LoadInt64(&d.reads),
+		Writes:        atomic.LoadInt64(&d.writes),
+		BytesRead:     atomic.LoadInt64(&d.bytesRead),
+		BytesWrite:    atomic.LoadInt64(&d.bytesWrite),
+		SeqReads:      atomic.LoadInt64(&d.seqReads),
+		VecReads:      atomic.LoadInt64(&d.vecReads),
+		BatchSubmits:  atomic.LoadInt64(&d.batchSubmits),
+		BatchedReqs:   atomic.LoadInt64(&d.batchedReqs),
+		CoalescedReqs: atomic.LoadInt64(&d.coalescedReqs),
+		QueuePeak:     atomic.LoadInt64(&d.queuePeak),
+		Busy:          time.Duration(atomic.LoadInt64(&d.busyNS)),
 	}
 }
 
@@ -218,6 +329,11 @@ func (d *Device) ResetStats() {
 	atomic.StoreInt64(&d.bytesRead, 0)
 	atomic.StoreInt64(&d.bytesWrite, 0)
 	atomic.StoreInt64(&d.seqReads, 0)
+	atomic.StoreInt64(&d.vecReads, 0)
+	atomic.StoreInt64(&d.batchSubmits, 0)
+	atomic.StoreInt64(&d.batchedReqs, 0)
+	atomic.StoreInt64(&d.coalescedReqs, 0)
+	atomic.StoreInt64(&d.queuePeak, 0)
 	atomic.StoreInt64(&d.busyNS, 0)
 }
 
@@ -246,6 +362,11 @@ func (d *Device) transfer(req *Request) (int, error) {
 			return d.store.WriteAt(req.Buf, req.Offset)
 		}
 		return 0, fmt.Errorf("ssd: unknown op %d", req.Op)
+	}
+	if req.Op == OpRead && d.vec != nil {
+		// One store submission for the whole scatter list (preadv on
+		// file-backed stores) instead of one ReadAt per buffer.
+		return d.vec.ReadVecAt(req.Vec, req.Offset)
 	}
 	total := 0
 	off := req.Offset
@@ -295,7 +416,13 @@ func (d *Device) run() {
 			atomic.AddInt64(&d.reads, 1)
 			atomic.AddInt64(&d.bytesRead, int64(n))
 			if sequential {
+				// A vectored request is ONE device request, so continuing
+				// the previous extent counts as one sequential read no
+				// matter how many buffers it scatters into.
 				atomic.AddInt64(&d.seqReads, 1)
+			}
+			if req.Vec != nil {
+				atomic.AddInt64(&d.vecReads, 1)
 			}
 		case OpWrite:
 			atomic.AddInt64(&d.writes, 1)

@@ -1,0 +1,275 @@
+package ssd
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// VecReader is implemented by stores that can fill a scatter list from
+// one contiguous range in a single submission (preadv-style). Device
+// uses it to make a merged vectored read one store call instead of one
+// ReadAt per buffer.
+type VecReader interface {
+	ReadVecAt(vec [][]byte, off int64) (int, error)
+}
+
+// StoreConfig selects how NewStore opens a file-backed device store.
+// The zero value is plain buffered I/O (exactly NewFileStore).
+type StoreConfig struct {
+	// DirectIO opens the read path with O_DIRECT where the platform and
+	// filesystem support it, bypassing the OS page cache. SAFS runs its
+	// own set-associative page cache over the array, so buffered reads
+	// cache every block twice — once in SAFS, once in the kernel —
+	// wasting RAM and a copy. Unsupported combinations (non-Linux
+	// builds, tmpfs) degrade to buffered reads with fadvise(DONTNEED)
+	// hints; Active reports what was negotiated.
+	DirectIO bool
+	// Alignment is the O_DIRECT offset/length/buffer alignment in bytes.
+	// Default 4096, the common logical block size.
+	Alignment int
+	// DropCache issues fadvise(DONTNEED) after buffered reads and
+	// periodically during writes, keeping the kernel page cache clean on
+	// paths where O_DIRECT is unavailable. Implied when DirectIO
+	// degrades to buffered I/O.
+	DropCache bool
+}
+
+// NewStore opens path as a device backing store per cfg.
+func NewStore(path string, cfg StoreConfig) (Store, error) {
+	if !cfg.DirectIO && !cfg.DropCache {
+		return NewFileStore(path)
+	}
+	return NewDirectFileStore(path, cfg)
+}
+
+// dropSyncBytes is how many written bytes accumulate before a
+// DirectFileStore flushes and drops them from the kernel page cache.
+// Image loads stream MiBs through WriteAt; without periodic eviction
+// the "uncached" store would leave the whole image cached twice.
+const dropSyncBytes = 32 << 20
+
+// DirectFileStore backs a device with a real file whose read path
+// avoids the OS page cache: O_DIRECT with an aligned bounce buffer
+// where supported, fadvise(DONTNEED)-hinted buffered I/O elsewhere.
+// Writes (image load time, not the serving hot path) go through a
+// separate buffered descriptor and are flushed + dropped from the
+// kernel cache every dropSyncBytes.
+type DirectFileStore struct {
+	rf        *os.File // read descriptor (O_DIRECT when direct)
+	wf        *os.File // write descriptor (always buffered)
+	align     int
+	direct    bool
+	dropCache bool
+
+	mu     sync.Mutex
+	bounce []byte // aligned scratch for direct reads
+	dirty  int64  // bytes written since the last flush+drop
+}
+
+// NewDirectFileStore opens (creating if needed) path with the raw read
+// path cfg asks for, degrading gracefully where O_DIRECT is
+// unsupported.
+func NewDirectFileStore(path string, cfg StoreConfig) (*DirectFileStore, error) {
+	if cfg.Alignment <= 0 {
+		cfg.Alignment = 4096
+	}
+	wf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ssd: open store: %w", err)
+	}
+	s := &DirectFileStore{rf: wf, wf: wf, align: cfg.Alignment, dropCache: cfg.DropCache}
+	if cfg.DirectIO {
+		if rf, err := openDirect(path); err == nil {
+			s.rf = rf
+			s.direct = true
+		} else {
+			// tmpfs and friends reject O_DIRECT at open; fall back to
+			// buffered reads but keep the kernel cache clean with hints.
+			s.dropCache = true
+		}
+	}
+	return s, nil
+}
+
+// Direct reports whether the read path actually negotiated O_DIRECT.
+func (s *DirectFileStore) Direct() bool { return s.direct }
+
+// ReadAt implements Store with FileStore's EOF semantics (zero-fill
+// past the end, full length reported).
+func (s *DirectFileStore) ReadAt(p []byte, off int64) (int, error) {
+	if s.direct {
+		return s.directRead(off, int64(len(p)), func(src []byte) {
+			copy(p, src)
+		})
+	}
+	n, err := s.rf.ReadAt(p, off)
+	if err != nil && !errors.Is(err, io.EOF) {
+		return n, err
+	}
+	for i := n; i < len(p); i++ {
+		p[i] = 0
+	}
+	if s.dropCache {
+		fadviseDontNeed(s.rf, s.alignDown(off), int64(len(p))+int64(s.align))
+	}
+	return len(p), nil
+}
+
+// ReadVecAt implements VecReader. Under O_DIRECT the whole contiguous
+// range is one aligned bounce read scattered into vec; otherwise it is
+// one preadv submission.
+func (s *DirectFileStore) ReadVecAt(vec [][]byte, off int64) (int, error) {
+	if s.direct {
+		total := int64(0)
+		for _, b := range vec {
+			total += int64(len(b))
+		}
+		return s.directRead(off, total, func(src []byte) {
+			for _, b := range vec {
+				n := copy(b, src)
+				src = src[n:]
+			}
+		})
+	}
+	n, err := readVec(s.rf, vec, off)
+	if err == nil && s.dropCache {
+		fadviseDontNeed(s.rf, s.alignDown(off), int64(n)+int64(s.align))
+	}
+	return n, err
+}
+
+// directRead reads the aligned superset of [off, off+length) through
+// the O_DIRECT descriptor into the bounce buffer and hands the exact
+// window to scatter. It returns length and nil on success (bytes past
+// EOF read as zeros, matching FileStore).
+func (s *DirectFileStore) directRead(off, length int64, scatter func([]byte)) (int, error) {
+	if length == 0 {
+		return 0, nil
+	}
+	a0 := s.alignDown(off)
+	a1 := s.alignUp(off + length)
+	need := int(a1 - a0)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.bounce) < need {
+		s.bounce = allocAligned(need, s.align)
+	}
+	buf := s.bounce[:need]
+	n, err := s.rf.ReadAt(buf, a0)
+	if err != nil && !errors.Is(err, io.EOF) {
+		return 0, err
+	}
+	for i := n; i < need; i++ {
+		buf[i] = 0
+	}
+	scatter(buf[off-a0 : off-a0+length])
+	return int(length), nil
+}
+
+// WriteAt implements Store through the buffered descriptor. Every
+// dropSyncBytes the file is flushed and its pages dropped, so image
+// loads do not grow a shadow copy in the kernel page cache.
+func (s *DirectFileStore) WriteAt(p []byte, off int64) (int, error) {
+	n, err := s.wf.WriteAt(p, off)
+	if err != nil {
+		return n, err
+	}
+	if s.direct || s.dropCache {
+		s.mu.Lock()
+		s.dirty += int64(n)
+		flush := s.dirty >= dropSyncBytes
+		if flush {
+			s.dirty = 0
+		}
+		s.mu.Unlock()
+		if flush {
+			if err := s.wf.Sync(); err != nil {
+				return n, err
+			}
+			fadviseDontNeed(s.wf, 0, 0)
+		}
+	}
+	return n, nil
+}
+
+// Size returns the current file size.
+func (s *DirectFileStore) Size() int64 {
+	fi, err := s.wf.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// Close closes the underlying descriptors.
+func (s *DirectFileStore) Close() error {
+	var err error
+	if s.rf != s.wf {
+		err = s.rf.Close()
+	}
+	if e := s.wf.Close(); err == nil {
+		err = e
+	}
+	return err
+}
+
+func (s *DirectFileStore) alignDown(off int64) int64 {
+	return off - off%int64(s.align)
+}
+
+func (s *DirectFileStore) alignUp(off int64) int64 {
+	a := int64(s.align)
+	return (off + a - 1) / a * a
+}
+
+// DropOSCache flushes f and asks the kernel to evict its cached pages
+// (best effort; a no-op where fadvise is unavailable). Converters use
+// it so a freshly written multi-GiB image does not linger in the page
+// cache it will never be read through.
+func DropOSCache(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	fadviseDontNeed(f, 0, 0)
+	return nil
+}
+
+// readVecFallback fills vec with sequential ReadAt calls — the
+// portable path behind readVec, with the same EOF semantics.
+func readVecFallback(f *os.File, vec [][]byte, off int64) (int, error) {
+	total := 0
+	for _, b := range vec {
+		total += len(b)
+	}
+	got := 0
+	for _, b := range vec {
+		n, err := f.ReadAt(b, off)
+		if err != nil && !errors.Is(err, io.EOF) {
+			return got + n, err
+		}
+		got += n
+		off += int64(n)
+		if n < len(b) {
+			break
+		}
+	}
+	zeroFillVec(vec, got)
+	return total, nil
+}
+
+// zeroFillVec zeroes every byte of vec from scatter position got on.
+func zeroFillVec(vec [][]byte, got int) {
+	for _, b := range vec {
+		if got >= len(b) {
+			got -= len(b)
+			continue
+		}
+		for i := got; i < len(b); i++ {
+			b[i] = 0
+		}
+		got = 0
+	}
+}

@@ -58,6 +58,28 @@ func (m *MemStore) WriteAt(p []byte, off int64) (int, error) {
 	return len(p), nil
 }
 
+// ReadVecAt implements VecReader: one lock acquisition fills every
+// buffer of the scatter list (the in-memory analogue of preadv).
+func (m *MemStore) ReadVecAt(vec [][]byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("ssd: negative offset %d", off)
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	total := 0
+	for _, p := range vec {
+		for i := range p {
+			p[i] = 0
+		}
+		if off < int64(len(m.data)) {
+			copy(p, m.data[off:])
+		}
+		off += int64(len(p))
+		total += len(p)
+	}
+	return total, nil
+}
+
 // Size returns the highest written offset.
 func (m *MemStore) Size() int64 {
 	m.mu.RLock()
@@ -82,18 +104,27 @@ func NewFileStore(path string) (*FileStore, error) {
 // ReadAt implements Store; short reads past EOF are zero-filled,
 // matching a thin-provisioned flash device (and MemStore). os.File
 // wraps EOF in *os.PathError on some paths, so the sentinel must be
-// matched with errors.Is, not string comparison.
+// matched with errors.Is, not string comparison. Only EOF earns the
+// zero-fill treatment: a real I/O error surfaces with the true byte
+// count instead of masquerading as a full read of zeros.
 func (s *FileStore) ReadAt(p []byte, off int64) (int, error) {
 	n, err := s.f.ReadAt(p, off)
-	if n < len(p) {
-		for i := n; i < len(p); i++ {
-			p[i] = 0
-		}
+	if err != nil && !errors.Is(err, io.EOF) {
+		return n, err
 	}
-	if errors.Is(err, io.EOF) {
-		err = nil
+	for i := n; i < len(p); i++ {
+		p[i] = 0
 	}
-	return len(p), err
+	return len(p), nil
+}
+
+// ReadVecAt implements VecReader: the contiguous range starting at off
+// is scattered into the buffers of vec with one preadv(2) submission
+// where the platform supports it, instead of one ReadAt per buffer.
+// EOF semantics match ReadAt: bytes past the end read as zeros and the
+// full length is reported.
+func (s *FileStore) ReadVecAt(vec [][]byte, off int64) (int, error) {
+	return readVec(s.f, vec, off)
 }
 
 // WriteAt implements Store.
