@@ -1,0 +1,77 @@
+// Command fg-lint runs FlashGraph's project-specific static-analysis
+// suite (internal/lint) over package patterns — a multichecker for the
+// repo's compiler-checked invariants:
+//
+//	go run ./cmd/fg-lint ./...
+//
+// Run it from the repository root: import resolution follows the
+// enclosing module. Exit status 0 means no findings; 1 means findings
+// (each printed as file:line:col: analyzer: message); 2 means the
+// packages failed to load or type-check.
+//
+// Suppressions carry a reason and are themselves linted:
+//
+//	//fg:allowfloat <reason>                 (detfloat only)
+//	//fg:lint:ignore <analyzer> <reason>     (any analyzer)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flashgraph/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fg-lint [-only a,b] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.ListPackages(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	loader := lint.NewLoader()
+	findings := 0
+	for _, p := range pkgs {
+		pkg, err := loader.LoadDir(p.Dir, p.Path, p.GoFiles)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, d := range lint.RunAnalyzers(pkg, analyzers) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "fg-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

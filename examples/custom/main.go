@@ -120,7 +120,7 @@ func (lp *LabelProp) Result() *flashgraph.ResultSet {
 // registry serves its schema at GET /algos and DecodeParams rejects
 // requests that do not match it, naming the offending field.
 type labelPropParams struct {
-	Iters int `json:"iters"`
+	Iters int `json:"iters" doc:"iteration cap for label propagation" default:"10"`
 }
 
 // spec is everything the serving stack needs to run LabelProp:

@@ -58,8 +58,10 @@ func (b *BC) Init(eng core.ExecutionEngine) {
 	}
 	b.level[b.Src] = 0
 	b.sigma[b.Src] = 1
-	b.phase = 0
-	b.maxLevel = 0
+	// phase/maxLevel are atomic on the hot path — keep every access
+	// atomic (fg-lint atomicmix), including the pre-worker reset here.
+	atomic.StoreInt32(&b.phase, 0)
+	atomic.StoreInt32(&b.maxLevel, 0)
 	b.buckets = nil
 	eng.ActivateSeed(b.Src)
 }
@@ -107,7 +109,8 @@ func (b *BC) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex) 
 	ctx.Multicast(targets, core.Message{
 		Kind: bcBackward,
 		I64:  int64(b.level[v]),
-		F64:  (1 + b.Centrality[v]) / b.sigma[v],
+		//fg:allowfloat Brandes dependency is float by definition; BC runs only on the vertex engine and is outside the cross-engine bit-identity contract
+		F64: (1 + b.Centrality[v]) / b.sigma[v],
 	})
 }
 
@@ -127,11 +130,13 @@ func (b *BC) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.Message) {
 			ctx.Activate(v)
 		}
 		if b.level[v] == senderLevel+1 {
+			//fg:allowfloat sigma sums integral path counts exactly (< 2^53 paths); float only to share the message F64 slot
 			b.sigma[v] += msg.F64
 		}
 	case bcBackward:
 		// Only parents one level above the sender accumulate.
 		if b.level[v] == int32(msg.I64)-1 {
+			//fg:allowfloat Brandes dependency accumulation; vertex-engine only, not in the bit-identity contract
 			b.Centrality[v] += b.sigma[v] * msg.F64
 		}
 	}

@@ -65,7 +65,9 @@ func (p *PageRank) Init(eng core.ExecutionEngine) {
 	p.Scores = make([]float64, n)
 	p.accumFix = make([]int64, n)
 	p.shareFix = make([]int64, n)
+	//fg:allowfloat one-time conversion of float config (Threshold) into fixed point before any worker runs
 	p.thrFix = int64(p.Threshold * prScale)
+	//fg:allowfloat one-time conversion of float config (Damping) into the fixed-point initial delta
 	baseFix := int64((1 - p.Damping) * prScale)
 	for v := range p.accumFix {
 		p.accumFix[v] = baseFix
@@ -92,10 +94,12 @@ func (p *PageRank) absorb(v graph.VertexID, outdeg uint32) int64 {
 		return 0
 	}
 	p.accumFix[v] = 0
+	//fg:allowfloat pure per-vertex function of fixed-point state, shared verbatim by both forms — rounding is identical across engines
 	p.Scores[v] += float64(d) / prScale
 	if outdeg == 0 {
 		return 0
 	}
+	//fg:allowfloat deterministic per-vertex share computation from fixed-point d; both forms call this exact expression
 	return int64(p.Damping * float64(d) / float64(outdeg))
 }
 

@@ -54,6 +54,7 @@ func (p *PPR) Init(eng core.ExecutionEngine) {
 	p.delta = make([]float64, n)
 	p.accum = make([]float64, n)
 	p.scratch = newScratchPool(eng)
+	//fg:allowfloat PPR is a float algorithm end to end: vertex-engine only, approximate by design, not in the bit-identity contract
 	p.accum[p.Src] = 1 - p.Damping
 	eng.ActivateSeed(p.Src)
 }
@@ -66,6 +67,7 @@ func (p *PPR) Run(ctx *core.Ctx, v graph.VertexID) {
 		return
 	}
 	p.accum[v] = 0
+	//fg:allowfloat float PPR score absorb; vertex-engine only, approximate by design
 	p.Scores[v] += d
 	if ctx.OutDegree(v) == 0 {
 		return
@@ -93,17 +95,20 @@ func (p *PPR) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex)
 			// Streaming decode into per-worker scratch (delta records
 			// decode sequentially); attribute access stays O(1) per edge.
 			edges := p.scratch[ctx.WorkerID()].edges(pv)
+			//fg:allowfloat weighted-walk share scaling; PPR is float/approximate, not in the bit-identity contract
 			scale := p.Damping * d / float64(total)
 			for i, u := range edges {
 				w := pv.AttrUint32(i)
 				if w == 0 {
 					continue // zero-weight edges carry no walk probability
 				}
+				//fg:allowfloat per-edge weighted share; PPR is float/approximate, not in the bit-identity contract
 				ctx.Send(u, core.Message{F64: scale * float64(w)})
 			}
 			return
 		}
 	}
+	//fg:allowfloat uniform share fallback; PPR is float/approximate, not in the bit-identity contract
 	share := p.Damping * d / float64(n)
 	targets := p.scratch[ctx.WorkerID()].edges(pv) // streaming decode, no alloc
 	ctx.Multicast(targets, core.Message{F64: share})
@@ -113,6 +118,7 @@ func (p *PPR) RunOnVertex(ctx *core.Ctx, v graph.VertexID, pv *graph.PageVertex)
 // the delta crosses the threshold (same scheme as PageRank).
 func (p *PPR) RunOnMessage(ctx *core.Ctx, v graph.VertexID, msg core.Message) {
 	wasBelow := p.accum[v] <= p.Threshold && p.accum[v] >= -p.Threshold
+	//fg:allowfloat float delta accumulation; PPR is approximate by design and vertex-engine only
 	p.accum[v] += msg.F64
 	if wasBelow && (p.accum[v] > p.Threshold || p.accum[v] < -p.Threshold) {
 		ctx.Activate(v)

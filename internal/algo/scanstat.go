@@ -55,10 +55,12 @@ func NewScanStat() *ScanStat { return &ScanStat{} }
 
 // Init implements core.Algorithm.
 func (s *ScanStat) Init(eng core.ExecutionEngine) {
-	s.Max = -1
+	// Init runs before workers start, but the counters are atomic on
+	// the hot path — keep every access atomic (fg-lint atomicmix).
+	atomic.StoreInt64(&s.Max, -1)
 	s.ArgMax = graph.InvalidVertex
-	s.Computed = 0
-	s.Skipped = 0
+	atomic.StoreInt64(&s.Computed, 0)
+	atomic.StoreInt64(&s.Skipped, 0)
 	s.directed = eng.Directed()
 	s.workers = make([]ssWorker, eng.Threads())
 	for i := range s.workers {
@@ -190,7 +192,9 @@ func (s *ScanStat) candArrived(ctx *core.Ctx, ws *ssWorker, v graph.VertexID, pv
 		scan := int64(len(st.nbrs)) + st.among/2
 		atomic.AddInt64(&s.Computed, 1)
 		s.mu.Lock()
-		if scan > s.Max {
+		// The lock serializes (Max, ArgMax) updates; the load is still
+		// atomic because pruning reads Max locklessly (lines above).
+		if scan > atomic.LoadInt64(&s.Max) {
 			atomic.StoreInt64(&s.Max, scan)
 			s.ArgMax = v
 		}
@@ -224,9 +228,11 @@ func dedupNeighbors(raw []graph.VertexID, v graph.VertexID) []graph.VertexID {
 // design means most vertices never compute their scan statistic).
 func (s *ScanStat) Result() *result.ResultSet {
 	rs := result.New("scanstat")
-	rs.AddScalar("max", s.Max)
+	// Result runs after the engine joins its workers, but the counters
+	// are atomic on the hot path — keep every access atomic (atomicmix).
+	rs.AddScalar("max", atomic.LoadInt64(&s.Max))
 	rs.AddScalar("argmax", s.ArgMax)
-	rs.AddScalar("computed", s.Computed)
-	rs.AddScalar("skipped", s.Skipped)
+	rs.AddScalar("computed", atomic.LoadInt64(&s.Computed))
+	rs.AddScalar("skipped", atomic.LoadInt64(&s.Skipped))
 	return rs
 }

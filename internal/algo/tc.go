@@ -63,7 +63,9 @@ func candKey(v, u graph.VertexID) uint64 { return uint64(v)<<32 | uint64(u) }
 // Init implements core.Algorithm.
 func (t *TC) Init(eng core.ExecutionEngine) {
 	n := eng.NumVertices()
-	t.Total = 0
+	// Total is atomic on the hot path — keep every access atomic
+	// (fg-lint atomicmix), including the pre-worker reset here.
+	atomic.StoreInt64(&t.Total, 0)
 	t.PerVertex = make([]int64, n)
 	t.directed = eng.Directed()
 	t.workers = make([]tcWorker, eng.Threads())
@@ -286,6 +288,6 @@ func containsSorted(s []graph.VertexID, x graph.VertexID) bool {
 // not retain per-vertex triangle counts).
 func (t *TC) Result() *result.ResultSet {
 	rs := result.New("tc")
-	rs.AddScalar("triangles", t.Total)
+	rs.AddScalar("triangles", atomic.LoadInt64(&t.Total))
 	return rs
 }

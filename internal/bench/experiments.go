@@ -169,11 +169,16 @@ func Fig10(cfg Config, w io.Writer) []Result {
 			}
 			fmt.Fprintf(w, "%-6s %12.4f %12.4f %12.4f %12.4f\n",
 				app, mem.Elapsed.Seconds(), sem.Elapsed.Seconds(), pg.Seconds(), gal.Seconds())
-			for variant, secs := range map[string]float64{
-				"FG-mem": mem.Elapsed.Seconds(), "FG-1G": sem.Elapsed.Seconds(),
-				"PowerGraph": pg.Seconds(), "Galois": gal.Seconds(),
+			for _, v := range []struct {
+				variant string
+				secs    float64
+			}{
+				{"FG-mem", mem.Elapsed.Seconds()},
+				{"FG-1G", sem.Elapsed.Seconds()},
+				{"PowerGraph", pg.Seconds()},
+				{"Galois", gal.Seconds()},
 			} {
-				out = append(out, Result{Exp: "fig10", Dataset: d.Name, App: app, Variant: variant, Value: secs})
+				out = append(out, Result{Exp: "fig10", Dataset: d.Name, App: app, Variant: v.variant, Value: v.secs})
 			}
 		}
 	}

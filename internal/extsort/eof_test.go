@@ -1,0 +1,127 @@
+package extsort
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// wrappedEOFReader serves from a fixed buffer and reports end-of-stream
+// as a *wrapped* io.EOF — the shape layered readers (fmt.Errorf("%w"),
+// decompressors, instrumented stores) legally produce. A bare
+// `err != io.EOF` comparison misclassifies this clean EOF as a read
+// error; errors.Is does not. This is the twice-fixed bug class
+// (PR 3: FileStore.ReadAt, PR 8: non-EOF short reads) that fg-lint's
+// eofcompare analyzer now flags at compile time.
+type wrappedEOFReader struct {
+	r io.Reader
+}
+
+func (w *wrappedEOFReader) Read(p []byte) (int, error) {
+	n, err := w.r.Read(p)
+	if err == io.EOF {
+		return n, fmt.Errorf("layered store: %w", io.EOF)
+	}
+	return n, err
+}
+
+// TestRunReaderWrappedEOF drives the merge path's record reader over a
+// run whose reader wraps io.EOF: the stream must end cleanly (no
+// error), with every record intact.
+func TestRunReaderWrappedEOF(t *testing.T) {
+	var run bytes.Buffer
+	want := []uint64{pack(1, 2), pack(3, 4), pack(5, 6)}
+	for _, rec := range want {
+		var b [recordBytes]byte
+		binary.LittleEndian.PutUint64(b[:], rec)
+		run.Write(b[:])
+	}
+
+	rr := &runReader{br: bufio.NewReader(&wrappedEOFReader{r: &run})}
+	var got []uint64
+	for rr.advance() {
+		got = append(got, rr.cur)
+	}
+	if rr.err != nil {
+		t.Fatalf("wrapped EOF misread as run error: %v", rr.err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i, rec := range want {
+		if got[i] != rec {
+			t.Fatalf("record %d: got %#x, want %#x", i, got[i], rec)
+		}
+	}
+}
+
+// TestRunReaderTruncatedRun confirms the opposite contract: a run that
+// ends mid-record is a real error, wrapped or not.
+func TestRunReaderTruncatedRun(t *testing.T) {
+	var run bytes.Buffer
+	var b [recordBytes]byte
+	binary.LittleEndian.PutUint64(b[:], pack(7, 8))
+	run.Write(b[:])
+	run.Write(b[:3]) // torn second record
+
+	rr := &runReader{br: bufio.NewReader(&wrappedEOFReader{r: &run})}
+	if !rr.advance() {
+		t.Fatalf("first (intact) record should advance: err=%v", rr.err)
+	}
+	if rr.advance() {
+		t.Fatal("torn record should not advance")
+	}
+	if rr.err == nil {
+		t.Fatal("torn record must surface a read error, not a clean EOF")
+	}
+}
+
+// TestSpillingSortWrappedEOFEndToEnd forces the external path (spilled
+// runs, k-way merge) and replays Iter twice, proving the merge machinery
+// the wrapped-EOF fix protects still yields the exact sorted stream.
+func TestSpillingSortWrappedEOFEndToEnd(t *testing.T) {
+	s := New(Config{MemBytes: 1, TmpDir: t.TempDir()}) // floor: 1024-record runs
+	defer s.Close()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		k := uint32((i * 2654435761) % 977)
+		if err := s.Add(k, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sort(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Spills() == 0 {
+		t.Fatal("test must exercise spilled runs")
+	}
+	for pass := 0; pass < 2; pass++ {
+		it, err := s.Iter()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev uint64
+		count := 0
+		for {
+			k, v, ok := it.Next()
+			if !ok {
+				if err := it.Err(); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+			rec := pack(k, v)
+			if count > 0 && rec < prev {
+				t.Fatalf("pass %d: out of order at %d: %#x after %#x", pass, count, rec, prev)
+			}
+			prev = rec
+			count++
+		}
+		if count != n {
+			t.Fatalf("pass %d: merged %d records, want %d", pass, count, n)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"bufio"
 	"container/heap"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -287,8 +288,12 @@ type runReader struct {
 // advance loads the next record; false at EOF or error.
 func (r *runReader) advance() bool {
 	var scratch [recordBytes]byte
-	if _, err := io.ReadFull(r.br, scratch[:]); err != nil {
-		if err != io.EOF {
+	if n, err := io.ReadFull(r.br, scratch[:]); err != nil {
+		// A wrapped io.EOF at a record boundary is a clean end of run.
+		// Anything else — including a torn record, where ReadFull's own
+		// ErrUnexpectedEOF promotion misses wrapped EOFs because it
+		// compares err == io.EOF — is a real read error.
+		if n > 0 || !errors.Is(err, io.EOF) {
 			r.err = fmt.Errorf("extsort: reading run: %w", err)
 		}
 		return false

@@ -214,6 +214,8 @@ func encodeBlockStream(w io.Writer, st NeighborStream, n, attrSize int, src bool
 // encodeBlock appends one block's bytes to dst. rows/cols/attrs list
 // the block's edges sorted by (row, col); rowBase/colBase are the
 // block's origin.
+//
+//fg:lint:ignore encoderonly encodeBlock is encodeStream's block-layout emitter, reached only through the canonical encoder in stream.go
 func encodeBlock(dst []byte, rowBase, colBase VertexID, rows, cols []VertexID, attrs []byte, attrSize int) []byte {
 	if len(rows) == 0 {
 		return dst

@@ -152,6 +152,13 @@ func (pv *PageVertex) header() {
 		return
 	}
 	cnt, off := pv.uvarintAt(0)
+	// Every edge costs at least one ID-stream byte plus its attribute
+	// bytes, so a claimed count beyond the record's byte extent is
+	// corruption. Panic (the record-corruption idiom above) before the
+	// count sizes any decode allocation.
+	if avail := pv.spanLen() - off; cnt > uint64(avail) || int64(cnt)*int64(1+pv.attrSize) > avail {
+		panic("graph: corrupt edge count in delta edge-list record")
+	}
 	pv.numEdges = int(cnt)
 	pv.idsOff = off
 	pv.curIdx = -1

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags struct fields that are accessed both through
+// sync/atomic (atomic.AddInt64(&s.f, ...), atomic.LoadInt64(&s.f)) and
+// through plain loads/stores in the same package. Mixing the two is a
+// data race the moment the plain access runs concurrently with the
+// atomic one, and it defeats -race's happens-before tracking in subtle
+// ways: the stats counters in ssd.DeviceStats and the qos tier are the
+// live risk area. Either every access goes through sync/atomic, or the
+// field moves under a mutex — half-and-half is never right. Single-
+// threaded phases (constructors, Close) that legitimately touch the
+// field plainly annotate //fg:lint:ignore atomicmix <reason>.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "struct field accessed both via sync/atomic and via plain load/store",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: fields used atomically, and the &field arguments involved
+	// (so pass 2 can skip those exact nodes).
+	atomicFields := map[*types.Var][]token.Pos{}
+	atomicArgs := map[ast.Expr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if fv := fieldVar(pass, un.X); fv != nil {
+					atomicFields[fv] = append(atomicFields[fv], call.Pos())
+					atomicArgs[un.X] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Pass 2: plain accesses to those fields.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if atomicArgs[ast.Expr(sel)] {
+				return false
+			}
+			fv := fieldVar(pass, sel)
+			if fv == nil {
+				return true
+			}
+			if _, isAtomic := atomicFields[fv]; !isAtomic {
+				return true
+			}
+			pass.Report(sel.Pos(),
+				"field %s is accessed with sync/atomic elsewhere in this package but plainly here; every access must go through sync/atomic (or move the field under a mutex, or //fg:lint:ignore atomicmix <reason> for single-threaded phases)",
+				fv.Name())
+			return false
+		})
+	}
+}
+
+// fieldVar resolves a selector expression to the struct field it
+// addresses, or nil for methods, package selectors, and locals.
+func fieldVar(pass *Pass, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

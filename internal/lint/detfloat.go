@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetFloat forbids float32/float64 arithmetic inside implementations of
+// core.Program / core.SpMVProgram — the engine programs whose
+// ResultSets are checksummed and contractually bit-identical across the
+// 11 engine×encoding×serving combinations. Float accumulation is
+// order-sensitive, and the engines deliver updates in different orders
+// (per-message, per-edge-block, per-thread); only fixed-point (Q16.48)
+// or integer arithmetic keeps results deterministic. Oracle, baseline,
+// and deliberately-approximate code annotates //fg:allowfloat <reason>.
+var DetFloat = &Analyzer{
+	Name: "detfloat",
+	Doc:  "float arithmetic inside a core.Program/SpMVProgram implementation; use fixed point or //fg:allowfloat",
+	Run:  runDetFloat,
+}
+
+func runDetFloat(pass *Pass) {
+	program := namedInterface(pass, corePath, "Program")
+	spmv := namedInterface(pass, corePath, "SpMVProgram")
+	if program == nil && spmv == nil {
+		return // package nowhere near the engine layer
+	}
+	implements := func(t types.Type) bool {
+		for _, iface := range []*types.Interface{program, spmv} {
+			if iface == nil {
+				continue
+			}
+			if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			recv := pass.Info.Defs[fn.Name].(*types.Func).Signature().Recv()
+			if recv == nil {
+				continue
+			}
+			base := recv.Type()
+			if ptr, ok := base.(*types.Pointer); ok {
+				base = ptr.Elem()
+			}
+			if _, ok := base.(*types.Named); !ok {
+				continue
+			}
+			if !implements(base) {
+				continue
+			}
+			checkFloatArith(pass, fn)
+		}
+	}
+}
+
+func checkFloatArith(pass *Pass, fn *ast.FuncDecl) {
+	where := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures inside the method still run on the engine's
+			// compute path — keep walking.
+			return true
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.ADD, token.SUB, token.MUL, token.QUO:
+			default:
+				return true
+			}
+			// Constant folding (e.g. float64(1<<48) in a const) is
+			// compile-time exact; only flag runtime arithmetic.
+			if tv, ok := pass.Info.Types[n]; ok && tv.Value != nil {
+				return true
+			}
+			if floatOperand(pass, n.X) || floatOperand(pass, n.Y) {
+				pass.Report(n.Pos(), "float arithmetic in engine program method %s breaks bit-identity; use fixed point (Q16.48) / integers or annotate //fg:allowfloat <reason>", where)
+				return false
+			}
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			default:
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if tv, ok := pass.Info.Types[lhs]; ok && tv.Type != nil && basicFloat(tv.Type) {
+					pass.Report(n.Pos(), "float accumulation (%s) in engine program method %s breaks bit-identity; use fixed point (Q16.48) / integers or annotate //fg:allowfloat <reason>", n.Tok, where)
+					break
+				}
+			}
+		case *ast.IncDecStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil && basicFloat(tv.Type) {
+				pass.Report(n.Pos(), "float %s in engine program method %s breaks bit-identity; use fixed point (Q16.48) / integers or annotate //fg:allowfloat <reason>", n.Tok, where)
+			}
+		}
+		return true
+	})
+}
+
+func floatOperand(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Type != nil && basicFloat(tv.Type)
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// EncoderOnly enforces the single-canonical-encoder rule from PR 3:
+// encodeStream in internal/graph/stream.go is the ONLY code allowed to
+// emit on-SSD image record bytes. Any second emitter would have to
+// reproduce the byte-exact record layouts (raw, delta, 2D block) or
+// silently fork the format — the bit-identity tests compare images
+// byte-for-byte, and fingerprint-keyed caching assumes one encoding of
+// one graph. The analyzer flags the record-emission primitives —
+// binary.AppendUvarint / AppendVarint / PutUvarint / PutVarint and
+// binary.Write — in any non-test file other than stream.go, within
+// packages that handle image bytes (internal/graph itself and anything
+// importing it). Low-level helpers that stream.go itself calls carry
+// an //fg:lint:ignore annotation naming their caller.
+var EncoderOnly = &Analyzer{
+	Name: "encoderonly",
+	Doc:  "image record bytes emitted outside internal/graph/stream.go (encodeStream is the one canonical encoder)",
+	Run:  runEncoderOnly,
+}
+
+const graphPath = "flashgraph/internal/graph"
+
+// encoderAllowedFile is the one file permitted to emit record bytes.
+const encoderAllowedFile = "stream.go"
+
+func runEncoderOnly(pass *Pass) {
+	// Only packages that can hold image bytes are in scope: the graph
+	// package itself and importers of it. Everyone else (extsort run
+	// files, bench JSON, ...) writes its own formats freely.
+	if pass.Pkg.Path() != graphPath && lookupPkg(pass, graphPath) == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		file := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if pass.Pkg.Path() == graphPath && file == encoderAllowedFile {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+				return true
+			}
+			switch fn.Name() {
+			case "AppendUvarint", "AppendVarint", "PutUvarint", "PutVarint", "Write":
+				pass.Report(call.Pos(),
+					"binary.%s emits record-level bytes outside internal/graph/%s; encodeStream is the one canonical image encoder (route through it, or //fg:lint:ignore encoderonly <reason> for non-image formats)",
+					fn.Name(), encoderAllowedFile)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EOFCompare flags == / != comparisons (and switch cases) between an
+// error value and a sentinel error variable such as io.EOF. Layered
+// readers and stores legally wrap sentinels (fmt.Errorf("%w", io.EOF)),
+// so identity comparison silently misclassifies them; errors.Is is the
+// only correct form. This is the repo's twice-fixed bug class:
+// FileStore.ReadAt (PR 3) and the non-EOF short-read paths (PR 8) both
+// shipped with err != io.EOF and both broke under wrapped errors.
+var EOFCompare = &Analyzer{
+	Name: "eofcompare",
+	Doc:  "comparing an error to a sentinel (io.EOF, Err...) with == or !=; use errors.Is",
+	Run:  runEOFCompare,
+}
+
+func runEOFCompare(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				// The one place identity comparison against a sentinel is
+				// the protocol: an `Is(target error) bool` method, which
+				// errors.Is itself calls with unwrapped targets.
+				if isErrorsIsMethod(pass, n) {
+					return false
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if s := sentinelErrorOperand(pass, n.X, n.Y); s != "" {
+					pass.Report(n.Pos(), "error compared to sentinel %s with %s; use errors.Is", s, n.Op)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorExpr(pass, n.Tag) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if s := sentinelErrorName(pass, e); s != "" {
+							pass.Report(e.Pos(), "switch on error value cases sentinel %s; use errors.Is", s)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isErrorsIsMethod matches `func (T) Is(error) bool` — the errors.Is
+// customization hook.
+func isErrorsIsMethod(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || fn.Name.Name != "Is" {
+		return false
+	}
+	def, ok := pass.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := def.Signature()
+	if sig.Params().Len() != 1 || !isErrorType(sig.Params().At(0).Type()) || sig.Results().Len() != 1 {
+		return false
+	}
+	b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}
+
+// sentinelErrorOperand returns the printed name of whichever side of a
+// comparison is a sentinel error variable, provided the other side is
+// an error-typed expression (so flag err == io.EOF, not EOF == EOF
+// string tests or nil checks).
+func sentinelErrorOperand(pass *Pass, x, y ast.Expr) string {
+	if s := sentinelErrorName(pass, x); s != "" && isErrorExpr(pass, y) {
+		return s
+	}
+	if s := sentinelErrorName(pass, y); s != "" && isErrorExpr(pass, x) {
+		return s
+	}
+	return ""
+}
+
+// sentinelErrorName reports e as a package-level error variable
+// ("io.EOF", "ErrDraining"), or "".
+func sentinelErrorName(pass *Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return ""
+	}
+	// Package-level (sentinel) variables live directly in their
+	// package scope; locals do not.
+	if v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !isErrorType(v.Type()) {
+		return ""
+	}
+	if v.Pkg().Path() == pass.Pkg.Path() {
+		return v.Name()
+	}
+	return v.Pkg().Name() + "." + v.Name()
+}
+
+func isErrorExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}
+
+func isErrorType(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	if ok && iface.NumMethods() == 1 && iface.Method(0).Name() == "Error" {
+		return true
+	}
+	// Concrete sentinel types (var ErrFoo = &MyErr{}) still count when
+	// they implement error.
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

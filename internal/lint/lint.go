@@ -1,0 +1,325 @@
+// Package lint is FlashGraph's project-specific static-analysis suite:
+// six analyzers that machine-check invariants no stock linter knows
+// about — sentinel-error comparison (the twice-fixed err == io.EOF bug
+// class), fixed-point determinism in engine programs, map-iteration
+// nondeterminism feeding checksummed output, the single-canonical-
+// encoder rule, mixed atomic/plain field access, and complete param
+// struct tags.
+//
+// The package mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer/Pass/Diagnostic) but is built purely on the standard
+// library's go/ast + go/types: the build environment vendors no
+// third-party modules, and the repo's invariants need whole-package
+// type information, not the extra machinery of the full framework. If
+// x/tools ever becomes vendorable the analyzers port mechanically.
+//
+// Suppressions are explicit and carry a reason:
+//
+//	//fg:allowfloat <reason>                 (detfloat only)
+//	//fg:lint:ignore <analyzer> <reason>     (any analyzer)
+//
+// A directive covers its own source line and the line below it (so it
+// works both at end of line and on the line above the finding); placed
+// in a top-level declaration's doc comment it covers the whole
+// declaration. A directive without a reason is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over one type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and ignore directives.
+	Name string
+	// Doc is the one-line rule statement shown by fg-lint -help.
+	Doc string
+	// Run reports findings via pass.Report.
+	Run func(pass *Pass)
+}
+
+// Pass carries one package's syntax and types through an analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags []Diagnostic
+	cur   *Analyzer
+}
+
+// Report records one finding.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.cur.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// All returns the full suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		EOFCompare,
+		DetFloat,
+		MapIter,
+		EncoderOnly,
+		AtomicMix,
+		ParamTags,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("" = all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q (have %s)", n, strings.Join(Names(), ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Names lists every analyzer name.
+func Names() []string {
+	var out []string
+	for _, a := range All() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// RunAnalyzers applies the analyzers to one loaded package, filters
+// directive-suppressed findings, and returns the rest sorted by
+// position. Suppression directives missing a reason are appended as
+// findings of the pseudo-analyzer "directive".
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	pass := &Pass{Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+	for _, a := range analyzers {
+		pass.cur = a
+		a.Run(pass)
+	}
+	supp, bad := collectSuppressions(pkg.Fset, pkg.Files)
+	kept := bad
+	for _, d := range pass.diags {
+		if !supp.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return kept
+}
+
+// suppression is one directive's coverage: an analyzer name ("" = any)
+// over an inclusive line range of one file.
+type suppression struct {
+	file      string
+	analyzer  string
+	from, to  int
+	reasonLen int
+}
+
+type suppressionSet []suppression
+
+func (s suppressionSet) covers(d Diagnostic) bool {
+	for _, sup := range s {
+		if sup.file != d.Pos.Filename {
+			continue
+		}
+		if sup.analyzer != "" && sup.analyzer != d.Analyzer {
+			continue
+		}
+		if d.Pos.Line >= sup.from && d.Pos.Line <= sup.to {
+			return true
+		}
+	}
+	return false
+}
+
+const (
+	allowFloatPrefix = "fg:allowfloat"
+	ignorePrefix     = "fg:lint:ignore"
+)
+
+// parseDirective decodes one comment line. ok reports whether it is a
+// directive at all; analyzer is the suppressed analyzer name; reason is
+// the trailing free text.
+func parseDirective(text string) (analyzer, reason string, ok bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	switch {
+	case strings.HasPrefix(text, allowFloatPrefix):
+		return "detfloat", strings.TrimSpace(text[len(allowFloatPrefix):]), true
+	case strings.HasPrefix(text, ignorePrefix):
+		rest := strings.TrimSpace(text[len(ignorePrefix):])
+		name, reason, _ := strings.Cut(rest, " ")
+		return name, strings.TrimSpace(reason), true
+	}
+	return "", "", false
+}
+
+// collectSuppressions scans a package's comments for directives. Every
+// directive covers its own line and the next; a directive inside a
+// top-level declaration's doc comment covers the whole declaration.
+// Directives with no reason (or, for fg:lint:ignore, no analyzer)
+// become findings instead of suppressions.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressionSet, []Diagnostic) {
+	var supp suppressionSet
+	var bad []Diagnostic
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, f := range files {
+		docRange := map[*ast.CommentGroup][2]int{}
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				docRange[doc] = [2]int{
+					fset.Position(decl.Pos()).Line,
+					fset.Position(decl.End()).Line,
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				analyzer, reason, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if analyzer == "" || !known[analyzer] {
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "directive",
+						Message: fmt.Sprintf("fg:lint:ignore needs an analyzer name (one of %s)", strings.Join(Names(), ", "))})
+					continue
+				}
+				if reason == "" {
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "directive",
+						Message: fmt.Sprintf("suppression of %s must state a reason", analyzer)})
+					continue
+				}
+				from, to := pos.Line, pos.Line+1
+				if r, isDoc := docRange[cg]; isDoc {
+					from, to = r[0], r[1]
+				}
+				supp = append(supp, suppression{file: pos.Filename, analyzer: analyzer, from: from, to: to, reasonLen: len(reason)})
+			}
+		}
+	}
+	return supp, bad
+}
+
+// ---- shared type helpers used by several analyzers ----
+
+// corePath is the import path whose Program/SpMVProgram interfaces mark
+// deterministic engine code.
+const corePath = "flashgraph/internal/core"
+
+// lookupPkg finds a (transitively) imported package by exact path, or
+// the pass's own package if it has that path.
+func lookupPkg(pass *Pass, path string) *types.Package {
+	if pass.Pkg.Path() == path {
+		return pass.Pkg
+	}
+	seen := map[*types.Package]bool{}
+	var find func(p *types.Package) *types.Package
+	find = func(p *types.Package) *types.Package {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		for _, imp := range p.Imports() {
+			if imp.Path() == path {
+				return imp
+			}
+			if found := find(imp); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return find(pass.Pkg)
+}
+
+// namedInterface resolves pkgPath.name to an interface type, or nil.
+func namedInterface(pass *Pass, pkgPath, name string) *types.Interface {
+	pkg := lookupPkg(pass, pkgPath)
+	if pkg == nil {
+		return nil
+	}
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// funcFor returns the *types.Func for a call's callee, following
+// selector and identifier forms; nil for indirect calls, conversions,
+// and builtins.
+func funcFor(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := pass.Info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pass.Info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether f is the package-level function (or method)
+// pkgPath.name.
+func isPkgFunc(f *types.Func, pkgPath, name string) bool {
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// basicFloat reports whether t's core type is float32/float64.
+func basicFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzers runs each analyzer over its fixture package and checks
+// the diagnostics against `// want `regexp“ comments, analysistest
+// style: every diagnostic must match a want on its line, and every want
+// must be matched by a diagnostic. Fixtures also exercise the allowed
+// forms (which must stay silent) and the suppression directives.
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		dir        string // under testdata/src
+		analyzer   string
+		importPath string // fixture's assumed import path (encoderonly keys rules off it)
+	}{
+		{"eofcompare", "eofcompare", "fixture/eofcompare"},
+		{"detfloat", "detfloat", "fixture/detfloat"},
+		{"mapiter", "mapiter", "fixture/mapiter"},
+		{"encoderonly", "encoderonly", "fixture/encoderonly"},
+		{"graphpkg", "encoderonly", "flashgraph/internal/graph"},
+		{"atomicmix", "atomicmix", "fixture/atomicmix"},
+		{"paramtags", "paramtags", "fixture/paramtags"},
+	}
+	loader := NewLoader() // shared: dependencies type-check once
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.dir)
+			pkg, err := loader.LoadDir(dir, tc.importPath, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			analyzers, err := ByName(tc.analyzer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := loadWants(t, dir)
+			for _, d := range RunAnalyzers(pkg, analyzers) {
+				key := fileLine{filepath.Base(d.Pos.Filename), d.Pos.Line}
+				matched := false
+				for _, w := range wants[key] {
+					if !w.hit && w.re.MatchString(d.Message) {
+						w.hit = true
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for key, ws := range wants {
+				for _, w := range ws {
+					if !w.hit {
+						t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDirectiveFindings checks that malformed suppressions are findings
+// of the pseudo-analyzer "directive" and suppress nothing: the fixture's
+// two sentinel comparisons must still surface.
+func TestDirectiveFindings(t *testing.T) {
+	pkg, err := NewLoader().LoadDir(filepath.Join("testdata", "src", "directive"), "fixture/directive", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var directive, eof []Diagnostic
+	for _, d := range RunAnalyzers(pkg, All()) {
+		switch d.Analyzer {
+		case "directive":
+			directive = append(directive, d)
+		case "eofcompare":
+			eof = append(eof, d)
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if len(directive) != 2 {
+		t.Fatalf("directive findings = %d, want 2: %v", len(directive), directive)
+	}
+	checks := []string{"must state a reason", "needs an analyzer name"}
+	for _, want := range checks {
+		found := false
+		for _, d := range directive {
+			if strings.Contains(d.Message, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no directive finding containing %q in %v", want, directive)
+		}
+	}
+	if len(eof) != 2 {
+		t.Errorf("eofcompare findings = %d, want 2 (malformed directives must not suppress): %v", len(eof), eof)
+	}
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+type want struct {
+	re  *regexp.Regexp
+	hit bool
+}
+
+// wantMarker introduces expectations; each is a backquoted regexp.
+const wantMarker = "// want "
+
+var wantExprRe = regexp.MustCompile("`([^`]+)`")
+
+// loadWants parses `// want `re`...` comments from every fixture file,
+// keyed by (basename, line).
+func loadWants(t *testing.T, dir string) map[fileLine][]*want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[fileLine][]*want{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			text := sc.Text()
+			i := strings.Index(text, wantMarker)
+			if i < 0 {
+				continue
+			}
+			exprs := wantExprRe.FindAllStringSubmatch(text[i+len(wantMarker):], -1)
+			if len(exprs) == 0 {
+				t.Fatalf("%s:%d: want comment with no backquoted regexp", e.Name(), line)
+			}
+			for _, m := range exprs {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp: %v", e.Name(), line, err)
+				}
+				wants[fileLine{e.Name(), line}] = append(wants[fileLine{e.Name(), line}], &want{re: re})
+			}
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return wants
+}

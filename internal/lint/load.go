@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+// Test files are excluded: the analyzers guard production invariants,
+// and tests legitimately build corrupt records, compare raw errors, and
+// iterate maps.
+type Package struct {
+	Dir   string
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages from source. One Loader
+// shares a FileSet and a source importer across loads, so a dependency
+// is type-checked once however many target packages import it.
+type Loader struct {
+	fset *token.FileSet
+	conf types.Config
+}
+
+// NewLoader returns a Loader rooted at the current process directory
+// (import resolution follows the enclosing module, so run fg-lint from
+// the repository root).
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset: fset,
+		conf: types.Config{
+			Importer: importer.ForCompiler(fset, "source", nil),
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		},
+	}
+}
+
+// LoadDir parses the named .go files of one directory (all non-test
+// files when names is nil — fixture loading) and type-checks them as
+// importPath. Callers with build-constrained packages pass go list's
+// GoFiles so per-platform files are filtered the same way the compiler
+// filters them.
+func (l *Loader) LoadDir(dir, importPath string, names []string) (*Package, error) {
+	if names == nil {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	pkg, err := l.conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{Dir: dir, Path: importPath, Fset: l.fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// ListedPackage is one go-list result: where the package lives and
+// which files the current build context compiles.
+type ListedPackage struct {
+	Dir     string
+	Path    string
+	GoFiles []string
+}
+
+// ListPackages resolves go-list patterns (./..., specific dirs) to
+// package directories, import paths, and build-context-filtered file
+// lists using the go command, which must run from inside the module.
+func ListPackages(patterns []string) ([]ListedPackage, error) {
+	args := append([]string{"list", "-f", "{{.Dir}}\x01{{.ImportPath}}\x01{{range .GoFiles}}{{.}}\x02{{end}}"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var out []ListedPackage
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, "\x01")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("go list: unparseable line %q", line)
+		}
+		files := strings.Split(strings.TrimSuffix(parts[2], "\x02"), "\x02")
+		out = append(out, ListedPackage{Dir: parts[0], Path: parts[1], GoFiles: files})
+	}
+	return out, nil
+}

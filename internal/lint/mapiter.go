@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter flags `range` over a map whose loop body performs an
+// order-sensitive write — appending to / indexing a slice that is never
+// sorted afterwards in the same function, writing a ResultSet vector,
+// feeding a checksum or io.Writer, or emitting formatted/JSON output.
+// Go randomizes map iteration order per run, so any such loop produces
+// run-dependent bytes and directly breaks the bit-identity contract
+// (checksummed ResultSets, canonical image bytes, stable JSON).
+// Collecting keys and sorting before the order-sensitive work is the
+// fix; a sort of the written slice after the loop is recognized and
+// allowed.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "map iteration feeding order-sensitive output (slice/ResultSet/checksum/encoder) without a sort",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				checkMapRange(pass, f, rng)
+			}
+			return true
+		})
+	}
+}
+
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	writerIface := namedInterface(pass, "io", "Writer")
+	var sliceWrites []*types.Var // slice vars written in the body, pending the sort check
+	sliceWriteAt := map[*types.Var]token.Pos{}
+
+	// The range key/value variables: a write indexed by them lands at a
+	// key-determined position, so its final state is order-independent.
+	rangeVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				rangeVars[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				rangeVars[obj] = true
+			}
+		}
+	}
+	indexedByRangeVar := func(index ast.Expr) bool {
+		found := false
+		ast.Inspect(index, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && rangeVars[pass.Info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested map ranges get their own report.
+			if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if sink := callSink(pass, n, writerIface); sink != "" {
+				pass.Report(rng.Pos(), "map iteration order is nondeterministic but the loop body %s; sort the keys first", sink)
+				return false
+			}
+			// append(s, ...) assigned back to s — ordered build. The
+			// builtin resolves to *types.Builtin (a user-defined append
+			// would be a *types.Func and is not this pattern).
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				if v := appendTarget(pass, n); v != nil {
+					if _, seen := sliceWriteAt[v]; !seen {
+						sliceWrites = append(sliceWrites, v)
+						sliceWriteAt[v] = n.Pos()
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				tv, ok := pass.Info.Types[ix.X]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				if _, isSlice := tv.Type.Underlying().(*types.Slice); !isSlice {
+					continue
+				}
+				// s[k] = ... with k from the range is a keyed write —
+				// every iteration order converges to the same state.
+				if indexedByRangeVar(ix.Index) {
+					continue
+				}
+				if v := exprVar(pass, ix.X); v != nil {
+					if _, seen := sliceWriteAt[v]; !seen {
+						sliceWrites = append(sliceWrites, v)
+						sliceWriteAt[v] = n.Pos()
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	for _, v := range sliceWrites {
+		if !sortedAfter(pass, file, rng, v) {
+			pass.Report(sliceWriteAt[v], "slice %s is built by iterating a map, whose order is nondeterministic, and never sorted; sort %s (or the map's keys) before order matters", v.Name(), v.Name())
+		}
+	}
+}
+
+// callSink classifies a call inside a map-range body as order-sensitive
+// output, returning a description or "".
+func callSink(pass *Pass, call *ast.CallExpr, writerIface *types.Interface) string {
+	if f := funcFor(pass, call); f != nil && f.Pkg() != nil {
+		switch f.Pkg().Path() {
+		case "fmt":
+			switch f.Name() {
+			case "Fprint", "Fprintf", "Fprintln":
+				return "writes formatted output"
+			}
+		case "encoding/json":
+			if f.Name() == "Marshal" || f.Name() == "MarshalIndent" || f.Name() == "Encode" {
+				return "emits JSON"
+			}
+		}
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selInfo, ok := pass.Info.Selections[sel]
+	if !ok || selInfo.Kind() != types.MethodVal {
+		return ""
+	}
+	recv := selInfo.Recv()
+	name := sel.Sel.Name
+	// ResultSet vectors, encoder buffers, checksums: any mutating method
+	// on a flashgraph/internal/result type.
+	if named, ok := derefNamed(recv); ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "flashgraph/internal/result" &&
+		(hasPrefix(name, "Add") || hasPrefix(name, "Set") || hasPrefix(name, "Append")) {
+		return "writes a ResultSet (" + name + ")"
+	}
+	// Checksum / encoder / response writes: Write or Sum on an
+	// io.Writer-implementing receiver (hash.Hash embeds io.Writer).
+	if (name == "Write" || name == "Sum" || name == "WriteString" || name == "Encode") && writerIface != nil &&
+		(types.Implements(recv, writerIface) || types.Implements(types.NewPointer(recv), writerIface)) {
+		return "writes bytes to an io.Writer/hash (" + name + ")"
+	}
+	return ""
+}
+
+// sortedAfter reports whether v is passed to a sort.* / slices.Sort*
+// call after the range statement, anywhere later in the same file's
+// enclosing function.
+func sortedAfter(pass *Pass, file *ast.File, rng *ast.RangeStmt, v *types.Var) bool {
+	var encl ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if n.Pos() <= rng.Pos() && rng.End() <= n.End() {
+				encl = n // keep innermost
+			}
+		}
+		return true
+	})
+	if encl == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || sorted {
+			return true
+		}
+		f := funcFor(pass, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if p := f.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			uses := false
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.Info.Uses[id] == v {
+					uses = true
+				}
+				return !uses
+			})
+			if uses {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// appendTarget returns the variable an `x = append(x, ...)` call builds,
+// or nil when the append result is dropped or not slice-typed.
+func appendTarget(pass *Pass, call *ast.CallExpr) *types.Var {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	return exprVar(pass, call.Args[0])
+}
+
+func exprVar(pass *Pass, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := pass.Info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := pass.Info.Uses[e.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }

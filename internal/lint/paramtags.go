@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// ParamTags validates every params struct fed to DecodeParams — the
+// strict decoder every AlgorithmSpec.New implementation uses. The
+// registry reflects these structs into the GET /algos schema: a field
+// without a `doc:` tag serves an empty description, a missing or
+// unparseable `default:` tag serves null, and a field type outside the
+// JSON-schema set (bool / integer / number / string) produces an
+// "unknown"-typed parameter that MarshalParams cannot round-trip.
+// Today those mistakes surface only at runtime, when a client reads
+// GET /algos; this analyzer surfaces them at build time.
+var ParamTags = &Analyzer{
+	Name: "paramtags",
+	Doc:  "params struct passed to DecodeParams missing doc:/default: tags or using an unsupported field type",
+	Run:  runParamTags,
+}
+
+func runParamTags(pass *Pass) {
+	// One struct may be decoded at many call sites (SrcParams serves
+	// bfs, bc, and sssp); report its problems once.
+	seen := map[*types.Struct]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			fn := funcFor(pass, call)
+			if fn == nil || fn.Name() != "DecodeParams" || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "flashgraph/internal/serve", "flashgraph":
+			default:
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Args[1]]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			t := tv.Type
+			for {
+				ptr, ok := t.Underlying().(*types.Pointer)
+				if !ok {
+					break
+				}
+				t = ptr.Elem()
+			}
+			st, ok := t.Underlying().(*types.Struct)
+			if !ok {
+				return true // DecodeParams itself rejects non-structs at runtime
+			}
+			if seen[st] {
+				return true
+			}
+			seen[st] = true
+			// Only check structs this package defines: a cross-package
+			// prototype is checked when its own package is linted, so
+			// findings land beside their code (and suppressions), once.
+			if named, ok := t.(*types.Named); ok {
+				if p := named.Obj().Pkg(); p != nil && p.Path() != pass.Pkg.Path() {
+					return true
+				}
+			}
+			checkParamFields(pass, typeName(t), st)
+			return true
+		})
+	}
+}
+
+func typeName(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return "params struct"
+}
+
+func checkParamFields(pass *Pass, name string, st *types.Struct) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		tag := reflect.StructTag(st.Tag(i))
+		jsonName, _, _ := strings.Cut(tag.Get("json"), ",")
+		if jsonName == "-" {
+			continue
+		}
+		ft := f.Type()
+		for {
+			ptr, ok := ft.Underlying().(*types.Pointer)
+			if !ok {
+				break
+			}
+			ft = ptr.Elem()
+		}
+		// encoding/json promotes untagged embedded structs' fields.
+		if f.Embedded() && jsonName == "" {
+			if est, ok := ft.Underlying().(*types.Struct); ok {
+				checkParamFields(pass, name, est)
+				continue
+			}
+		}
+		if !f.Exported() {
+			continue
+		}
+		display := f.Name()
+		if jsonName != "" {
+			display = jsonName
+		}
+		kind := paramKind(ft)
+		if kind == "" {
+			pass.Report(f.Pos(), "param %s.%s has unsupported type %s; DecodeParams schemas support bool, integer, number, and string fields only", name, display, ft)
+			continue
+		}
+		if tag.Get("doc") == "" {
+			pass.Report(f.Pos(), "param %s.%s needs a doc:\"...\" tag; GET /algos serves it as the parameter description", name, display)
+		}
+		def, hasDefault := tag.Lookup("default")
+		if !hasDefault {
+			pass.Report(f.Pos(), "param %s.%s needs a default:\"...\" tag; GET /algos and class inference read the declared default", name, display)
+		} else if !defaultParses(def, kind) {
+			pass.Report(f.Pos(), "param %s.%s default:%q does not parse as %s; the schema would silently serve null", name, display, def, kind)
+		}
+	}
+}
+
+// paramKind maps a field type to its JSON schema word, "" when
+// unsupported (mirrors the registry's jsonTypeName + parseDefaultTag
+// support matrix).
+func paramKind(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	switch {
+	case b.Info()&types.IsBoolean != 0:
+		return "boolean"
+	case b.Info()&types.IsInteger != 0:
+		return "integer"
+	case b.Info()&types.IsFloat != 0:
+		return "number"
+	case b.Info()&types.IsString != 0:
+		return "string"
+	}
+	return ""
+}
+
+func defaultParses(def, kind string) bool {
+	switch kind {
+	case "boolean":
+		_, err := strconv.ParseBool(def)
+		return err == nil
+	case "integer":
+		if _, err := strconv.ParseInt(def, 10, 64); err == nil {
+			return true
+		}
+		_, err := strconv.ParseUint(def, 10, 64)
+		return err == nil
+	case "number":
+		_, err := strconv.ParseFloat(def, 64)
+		return err == nil
+	}
+	return true // strings take any default
+}

@@ -1,0 +1,29 @@
+// Fixture for the atomicmix analyzer: a field accessed through
+// sync/atomic anywhere in the package must be atomic everywhere, unless
+// a reasoned suppression marks a single-threaded phase.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64 // accessed atomically on the hot path
+	cold int64 // never atomic: plain access is fine
+}
+
+func (c *counters) hit() { atomic.AddInt64(&c.hits, 1) }
+
+func (c *counters) snapshot() int64 {
+	return c.hits // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counters) atomicSnapshot() int64 { return atomic.LoadInt64(&c.hits) }
+
+func (c *counters) coldBump() { c.cold++ }
+
+// reset runs before any goroutine starts; the plain store is safe and
+// the suppression says why.
+//
+//fg:lint:ignore atomicmix fixture: single-threaded constructor phase
+func reset(c *counters) {
+	c.hits = 0
+}

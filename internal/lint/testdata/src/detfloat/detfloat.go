@@ -1,0 +1,37 @@
+// Fixture for the detfloat analyzer: float arithmetic inside a
+// core.Program implementation is flagged; integers, free functions,
+// non-Program types, and //fg:allowfloat-annotated lines are not.
+package detfloat
+
+import "flashgraph/internal/core"
+
+// prog implements core.Program via Init, putting every method on the
+// engine's deterministic compute path.
+type prog struct {
+	scores []float64
+	accum  []int64
+}
+
+func (p *prog) Init(eng core.ExecutionEngine) {
+	p.scores = make([]float64, eng.NumVertices())
+	p.accum = make([]int64, eng.NumVertices())
+	//fg:allowfloat fixture: one-time conversion, demonstrating the escape hatch
+	scale := 0.85 * float64(eng.NumVertices())
+	_ = scale
+}
+
+func (p *prog) step(v int, d float64) {
+	p.scores[v] += d     // want `float accumulation`
+	x := p.scores[v] * 2 // want `float arithmetic in engine program method step`
+	_ = x
+	p.scores[v]++          // want `float \+\+ in engine program method step`
+	p.accum[v] += int64(d) // integer accumulation is the sanctioned form
+}
+
+// helper is a free function, not a Program method: floats are fine.
+func helper(a, b float64) float64 { return a * b }
+
+// other implements nothing from core: floats are fine.
+type other struct{ x float64 }
+
+func (o *other) bump(d float64) { o.x += d }

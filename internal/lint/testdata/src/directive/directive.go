@@ -1,0 +1,16 @@
+// Fixture for directive validation: a suppression without a reason and
+// one naming no known analyzer are findings themselves — and suppress
+// nothing, so the comparisons below still surface.
+package directive
+
+import "io"
+
+//fg:lint:ignore eofcompare
+func missingReason(err error) bool {
+	return err == io.EOF
+}
+
+//fg:lint:ignore nosuchanalyzer because it does not exist
+func unknownAnalyzer(err error) bool {
+	return err == io.EOF
+}

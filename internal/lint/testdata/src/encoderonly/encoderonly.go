@@ -1,0 +1,22 @@
+// Fixture for the encoderonly analyzer in an importer of
+// internal/graph: record-emission primitives are flagged unless a
+// reasoned suppression names the non-image format being written.
+package encoderonly
+
+import (
+	"encoding/binary"
+
+	"flashgraph/internal/graph"
+)
+
+// appendID emits varint record bytes outside stream.go: flagged.
+func appendID(dst []byte, v graph.VertexID) []byte {
+	return binary.AppendUvarint(dst, uint64(v)) // want `binary.AppendUvarint emits record-level bytes`
+}
+
+// appendLen writes its own non-image format and says so.
+//
+//fg:lint:ignore encoderonly fixture: run-file length prefix, not image record bytes
+func appendLen(dst []byte, n int) []byte {
+	return binary.AppendUvarint(dst, uint64(n))
+}

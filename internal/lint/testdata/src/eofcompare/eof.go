@@ -1,0 +1,57 @@
+// Fixture for the eofcompare analyzer: identity comparison against
+// sentinel errors, the allowed errors.Is forms, the Is-method protocol
+// exemption, and a reasoned doc-comment suppression.
+package eofcompare
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrStale is a package-level sentinel.
+var ErrStale = errors.New("stale")
+
+func bad(err error) bool {
+	if err == io.EOF { // want `error compared to sentinel io.EOF with ==; use errors.Is`
+		return true
+	}
+	return err != ErrStale // want `error compared to sentinel ErrStale with !=; use errors.Is`
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case io.EOF: // want `switch on error value cases sentinel io.EOF; use errors.Is`
+		return "eof"
+	case nil:
+		return ""
+	}
+	return "other"
+}
+
+func good(err error) bool {
+	if errors.Is(err, io.EOF) {
+		return true
+	}
+	return err == nil // nil comparison is not a sentinel comparison
+}
+
+type wrapErr struct{ inner error }
+
+func (w *wrapErr) Error() string { return "wrap: " + w.inner.Error() }
+
+// Is implements the errors.Is protocol: identity comparison against the
+// sentinel is the entire point here, so the analyzer exempts it.
+func (w *wrapErr) Is(target error) bool {
+	return target == ErrStale
+}
+
+// suppressed demonstrates a reasoned suppression: a directive in the doc
+// comment covers the whole declaration, including lines deep in the body.
+//
+//fg:lint:ignore eofcompare fixture demonstrating the doc-comment suppression path
+func suppressed(err error) bool {
+	if err == nil {
+		return false
+	}
+	return err == io.EOF
+}

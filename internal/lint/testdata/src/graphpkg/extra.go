@@ -1,0 +1,9 @@
+package graph
+
+import "encoding/binary"
+
+// appendElsewhere emits record bytes from a different file of the graph
+// package: flagged.
+func appendElsewhere(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v) // want `binary.AppendUvarint emits record-level bytes`
+}

@@ -1,0 +1,11 @@
+// Fixture for the encoderonly analyzer inside the graph package
+// itself: stream.go is the one file allowed to emit record bytes.
+package graph
+
+import "encoding/binary"
+
+// appendRecord lives in stream.go, the canonical encoder's home: not
+// flagged.
+func appendRecord(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}

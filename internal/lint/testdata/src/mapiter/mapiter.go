@@ -1,0 +1,71 @@
+// Fixture for the mapiter analyzer: map-range loops feeding
+// order-sensitive sinks are flagged; sorted-after slices, keyed writes,
+// and commutative accumulation are not.
+package mapiter
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"flashgraph/internal/result"
+)
+
+func badPrint(m map[string]int) {
+	for k, v := range m { // want `map iteration order is nondeterministic but the loop body writes formatted output`
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v)
+	}
+}
+
+func badJSON(enc *json.Encoder, m map[string]int) {
+	for _, v := range m { // want `emits JSON`
+		_ = enc.Encode(v)
+	}
+}
+
+func badResult(m map[string]int64, rs *result.ResultSet) {
+	for k, v := range m { // want `writes a ResultSet \(AddScalar\)`
+		rs.AddScalar(k, v)
+	}
+}
+
+func badHash(m map[string]int) []byte {
+	h := sha256.New()
+	for k := range m { // want `writes bytes to an io.Writer/hash \(Write\)`
+		h.Write([]byte(k))
+	}
+	return h.Sum(nil)
+}
+
+func badSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `slice keys is built by iterating a map`
+	}
+	return keys
+}
+
+func goodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // the sort makes the build order irrelevant
+	return keys
+}
+
+func goodKeyed(m map[int]int, out []int) {
+	for k, v := range m {
+		out[k] = v // keyed write lands at a key-determined index: order-independent
+	}
+}
+
+func goodCounting(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // scalar accumulation is commutative
+	}
+	return total
+}

@@ -1,0 +1,34 @@
+// Fixture for the paramtags analyzer: params structs reaching
+// DecodeParams need complete doc:/default: tags and schema-supported
+// field types; json:"-" and unexported fields are exempt.
+package paramtags
+
+import (
+	"encoding/json"
+
+	"flashgraph"
+)
+
+type goodParams struct {
+	Src    uint32  `json:"src" doc:"source vertex" default:"0"`
+	Alpha  float64 `json:"alpha" doc:"damping factor" default:"0.85"`
+	Label  string  `json:"label" doc:"series label" default:""`
+	Debug  bool    `json:"debug" doc:"verbose logging" default:"false"`
+	Hidden int     `json:"-"`
+	secret int
+}
+
+type badParams struct {
+	Iters int      `json:"iters"`                             // want `needs a doc` `needs a default`
+	IDs   []uint32 `json:"ids" doc:"vertex ids" default:""`   // want `unsupported type`
+	Limit int      `json:"limit" doc:"row cap" default:"ten"` // want `does not parse as integer`
+}
+
+func decode(raw json.RawMessage) error {
+	var g goodParams
+	if err := flashgraph.DecodeParams(raw, &g); err != nil {
+		return err
+	}
+	var b badParams
+	return flashgraph.DecodeParams(raw, &b)
+}

@@ -329,7 +329,7 @@ func DecodeParams(raw json.RawMessage, into any) error {
 	}
 	// Strictness includes the tail: Decode stops after one JSON value,
 	// so `{"iters":5} garbage` would otherwise pass.
-	if _, err := dec.Token(); err != io.EOF {
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
 		return fmt.Errorf("%w: trailing data after params object (accepted params: %s)", ErrBadParam, acceptedParams(into))
 	}
 	return nil
