@@ -33,7 +33,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fg-bench: ")
 	var (
-		exp        = flag.String("exp", "all", "all | table1 | fig8 | fig9 | fig10 | fig11 | table2 | fig12 | fig13 | fig14 | ablations | concurrent | serving | ingest | encoding | spmv | io")
+		exp        = flag.String("exp", "all", "all | table1 | fig8 | fig9 | fig10 | fig11 | table2 | fig12 | fig13 | fig14 | ablations | concurrent | serving | ingest | encoding | spmv | io | chaos")
 		scaleAdd   = flag.Int("scale-add", 0, "log2 dataset scale adjustment")
 		threads    = flag.Int("threads", 8, "engine worker threads")
 		noThrottle = flag.Bool("no-throttle", false, "disable device timing")
@@ -74,6 +74,12 @@ func main() {
 		ioMinDeg   = flag.Uint("io-decode-min-degree", 0, "io: decode-cache admission degree (0 = default 64)")
 		ioDirect   = flag.Bool("io-direct", false, "io: open device files with O_DIRECT where supported")
 		ioJSON     = flag.String("io-json", "BENCH_io.json", "io: machine-readable output path")
+
+		// -exp chaos knobs (fault-tolerance acceptance gauge).
+		chaosProbes = flag.Int("chaos-probes", 0, "chaos: interactive bfs probes per phase (0 = default 6)")
+		chaosSweeps = flag.Int("chaos-sweeps", 0, "chaos: pagerank sweeps per phase (0 = default 2)")
+		chaosSeed   = flag.Uint64("chaos-seed", 0, "chaos: fault-injection seed (0 = default 1)")
+		chaosJSON   = flag.String("chaos-json", "BENCH_chaos.json", "chaos: machine-readable output path")
 
 		// -exp spmv knobs (execution-engine crossover).
 		spmvScale   = flag.Int("spmv-scale", 0, "spmv: RMAT log2 vertex count (0 = default 20)")
@@ -154,6 +160,13 @@ func main() {
 			BatchIters:  *servBatchIters,
 			Slots:       *servSlots,
 			JSONPath:    *servJSON,
+		}, w)
+	case "chaos":
+		bench.Chaos(cfg, bench.ChaosConfig{
+			Probes:    *chaosProbes,
+			Sweeps:    *chaosSweeps,
+			FaultSeed: *chaosSeed,
+			JSONPath:  *chaosJSON,
 		}, w)
 	case "concurrent":
 		bench.Concurrent(cfg, bench.ConcurrentConfig{

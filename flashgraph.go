@@ -181,24 +181,18 @@ func (g *Graph) Save(w io.Writer) error { return g.img.Encode(w) }
 // edge list or materializes an in-memory adjacency.
 func (g *Graph) SaveAs(w io.Writer, enc Encoding) error { return g.img.EncodeAs(w, enc) }
 
-// SaveFile writes the image to a file.
+// SaveFile writes the image to a file. The write is crash-safe: bytes
+// land in a temp file that is fsynced and renamed over path only once
+// complete, so an interrupted save never leaves a partial image.
 func (g *Graph) SaveFile(path string) error {
-	return g.saveFileVia(path, g.Save)
+	return graph.AtomicWriteFile(path, g.Save)
 }
 
 // SaveFileAs writes the image to a file re-encoded in the given
-// edge-list layout (see SaveAs).
+// edge-list layout (see SaveAs), with the same crash-safe temp-file
+// and rename protocol as SaveFile.
 func (g *Graph) SaveFileAs(path string, enc Encoding) error {
-	return g.saveFileVia(path, func(w io.Writer) error { return g.SaveAs(w, enc) })
-}
-
-func (g *Graph) saveFileVia(path string, save func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return save(f)
+	return graph.AtomicWriteFile(path, func(w io.Writer) error { return g.SaveAs(w, enc) })
 }
 
 // Close releases the backing file of a file-backed graph

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"flashgraph/internal/graph"
+	"flashgraph/internal/safs"
+)
+
+// TestRunHonorsContext: both engines stop at their next quiescent
+// boundary when the attached context terminates, and the run's error
+// satisfies errors.Is against the context's cause — cancellation and
+// deadline expiry are typed outcomes, not generic failures. A nil
+// context (the default) stays unbounded.
+func TestRunHonorsContext(t *testing.T) {
+	img, a := buildTestImage(t, 9, 8, 7)
+	blockImg, _ := buildEncodedImage(t, 9, 8, 7, 0, graph.EncodingBlock)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	expired, stop := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer stop()
+
+	cases := []struct {
+		name string
+		ctx  context.Context
+		want error
+	}{
+		{name: "canceled", ctx: canceled, want: context.Canceled},
+		{name: "deadline", ctx: expired, want: context.DeadlineExceeded},
+	}
+	for _, tc := range cases {
+		t.Run("vertex/"+tc.name, func(t *testing.T) {
+			eng := semEngine(t, img, nil)
+			eng.SetContext(tc.ctx)
+			if _, err := eng.Run(&testBFS{src: 0}); !errors.Is(err, tc.want) {
+				t.Fatalf("run err = %v, want %v", err, tc.want)
+			}
+		})
+		t.Run("spmv/"+tc.name, func(t *testing.T) {
+			shared, err := NewShared(blockImg, Config{Threads: 4, FS: newTestFS(t, safs.Config{CacheBytes: 4 << 20}), RangeShift: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := shared.NewEngine(EngineSpMV)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.SetContext(tc.ctx)
+			if _, err := eng.Run(&testSweep{}); !errors.Is(err, tc.want) {
+				t.Fatalf("run err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+
+	// Unbounded control: an already-terminated run above must not have
+	// been an artifact — the same engines complete without a context.
+	eng := semEngine(t, img, nil)
+	alg := &testBFS{src: 0}
+	if _, err := eng.Run(alg); err != nil {
+		t.Fatal(err)
+	}
+	want := refBFSLevels(a, 0)
+	for v := range want {
+		if alg.level[v] != want[v] {
+			t.Fatalf("vertex %d: level %d, want %d", v, alg.level[v], want[v])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -218,6 +219,7 @@ type Engine struct {
 	alg       Algorithm
 	iteration int
 	sweepFwd  bool
+	ctx       context.Context // optional run bound; checked at iteration boundaries
 
 	stats    runCounters
 	loadTime time.Duration
@@ -225,15 +227,26 @@ type Engine struct {
 	panicVal atomic.Value // first worker panic; aborts the run
 }
 
+// abortCause boxes a recorded panic value so panicVal always stores
+// one concrete type (atomic.Value requirement) while keeping the
+// original value — in particular an error's wrap chain, so a typed
+// device failure (e.g. safs.ErrCorrupted) stays errors.Is-matchable
+// after crossing the panic boundary.
+type abortCause struct{ val any }
+
 // recordPanic stores the first panic raised on a worker goroutine.
 func (e *Engine) recordPanic(r any) {
-	e.panicVal.CompareAndSwap(nil, fmt.Sprintf("%v", r))
+	e.panicVal.CompareAndSwap(nil, &abortCause{val: r})
 }
 
 // abortErr reports the recorded worker panic, if any.
 func (e *Engine) abortErr() error {
 	if v := e.panicVal.Load(); v != nil {
-		return fmt.Errorf("core: run aborted by worker panic: %v", v)
+		c := v.(*abortCause)
+		if err, ok := c.val.(error); ok {
+			return fmt.Errorf("core: run aborted by worker panic: %w", err)
+		}
+		return fmt.Errorf("core: run aborted by worker panic: %v", c.val)
 	}
 	return nil
 }
@@ -500,8 +513,14 @@ func (e *Engine) Run(p Program) (RunStats, error) {
 		}
 	}
 	hook, _ := alg.(IterationHook)
+	var deadlineErr error
 	for {
 		if maxIters > 0 && e.iteration >= maxIters {
+			break
+		}
+		if deadlineErr = stopErr(e.ctx, e.iteration); deadlineErr != nil {
+			// The boundary is quiescent (every phase barriered), so the
+			// run ends cleanly with the stats accumulated so far.
 			break
 		}
 		if atomic.LoadInt64(&e.nextCount) == 0 {
@@ -605,6 +624,9 @@ func (e *Engine) Run(p Program) (RunStats, error) {
 		// mid-flight inconsistent); the shared substrate is unaffected.
 		// Callers discard this Engine and spawn a fresh run.
 		return st, err
+	}
+	if deadlineErr != nil {
+		return st, deadlineErr
 	}
 	return st, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -54,6 +55,12 @@ type Program interface {
 type ExecutionEngine interface {
 	// Kind reports the execution model.
 	Kind() EngineKind
+	// SetContext attaches a context bounding the run (deadlines,
+	// cancellation); call before Run. Engines check it at iteration
+	// (and, for SpMV, stripe) boundaries and stop with an error
+	// satisfying errors.Is against context.Canceled or
+	// context.DeadlineExceeded. Nil (the default) runs unbounded.
+	SetContext(ctx context.Context)
 	// Run executes a program to completion. Each engine runs its own
 	// program form: the vertex engine requires a core.Algorithm, the
 	// SpMV engine a core.SpMVProgram.

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"flashgraph/internal/graph"
+	"flashgraph/internal/safs"
+	"flashgraph/internal/ssd"
+)
+
+// faultSubstrate builds a Shared over an array whose every store is
+// FaultStore-wrapped. Stores start disarmed so the image loads
+// faithfully; armDuringLoad flips that for classes (torn writes) that
+// only fire on the load path.
+func faultSubstrate(t *testing.T, img *graph.Image, fc ssd.FaultConfig, armDuringLoad bool) (*Shared, []*ssd.FaultStore) {
+	t.Helper()
+	stores := make([]ssd.Store, 4)
+	var faults []*ssd.FaultStore
+	for i := range stores {
+		dfc := fc
+		dfc.Seed = uint64(i + 1)
+		f := ssd.NewFaultStore(ssd.NewMemStore(), dfc)
+		f.SetEnabled(armDuringLoad)
+		faults = append(faults, f)
+		stores[i] = f
+	}
+	arr := ssd.NewArrayWithStores(ssd.ArrayParams{
+		Devices: 4, StripeSize: 32 * 4096,
+		// RetryMax 8: transient rates below keep rate^9 per transfer far
+		// out of reach, so "absorbed" is a deterministic claim, not a
+		// probable one.
+		Device: ssd.DeviceParams{RetryBase: time.Microsecond, RetryMax: 8},
+	}, stores)
+	t.Cleanup(arr.Close)
+	// Tiny cache (4 pages): even the compact delta/block images can't
+	// become fully resident during setup, so runs must reach the
+	// (faulty) devices. Page size stays at the default 4096 — the
+	// checksum extent size — so the async read path verifies every page.
+	fs := safs.New(arr, safs.Config{CacheBytes: 16 << 10})
+	shared, err := NewShared(img, Config{Threads: 4, FS: fs, RangeShift: 4})
+	if err != nil {
+		t.Fatalf("NewShared under faults: %v", err)
+	}
+	for _, f := range faults {
+		f.SetEnabled(true)
+	}
+	return shared, faults
+}
+
+// testSweep is a minimal SpMV program: one full out-direction sweep
+// accumulating per-row neighbor counts (block-delivery-safe: each
+// block delivers a disjoint column range).
+type testSweep struct {
+	rows []int64
+}
+
+func (p *testSweep) Init(eng ExecutionEngine) { p.rows = make([]int64, eng.NumVertices()) }
+func (p *testSweep) BeginIteration(eng ExecutionEngine, iter int) []graph.EdgeDir {
+	if iter > 0 {
+		return nil
+	}
+	return []graph.EdgeDir{graph.OutEdges}
+}
+func (p *testSweep) ApplyRow(dir graph.EdgeDir, row graph.VertexID, cols []graph.VertexID) {
+	p.rows[row] += int64(len(cols))
+}
+func (p *testSweep) EndIteration(eng ExecutionEngine, iter int) bool { return true }
+
+// TestFaultInjectionAcrossEncodings is the integrity matrix: every
+// fault class against every on-SSD encoding, each on the engine that
+// serves it. Transient classes (EIO, short read, latency, torn write)
+// must be absorbed invisibly — the run completes and the answer is
+// bit-identical to the fault-free reference. Silent bit flips must
+// never produce a wrong answer: the run either fails with a typed
+// safs.ErrCorrupted or (the flip landing on never-read bytes) matches
+// the reference exactly.
+func TestFaultInjectionAcrossEncodings(t *testing.T) {
+	classes := []struct {
+		name       string
+		fc         ssd.FaultConfig
+		blockFC    *ssd.FaultConfig // override for block images (few, large reads)
+		duringLoad bool             // arm while LoadToFS writes (torn writes fire there)
+		corrupting bool             // may legitimately fail the run, but only typed
+	}{
+		// Transient rates stay low enough that RetryMax+1 attempts in a
+		// row all faulting (rate^9 per transfer) is out of reach at this
+		// op count — the absorption claim must hold, not hold probably.
+		// Block images are served by a handful of stripe-wide reads, too
+		// few for probabilistic rates; there the override faults every op
+		// until a budget smaller than the retry allowance is spent, which
+		// guarantees injection deterministically.
+		{name: "eio", fc: ssd.FaultConfig{EIORate: 0.3, MaxFaults: 30},
+			blockFC: &ssd.FaultConfig{EIORate: 1, MaxFaults: 3}},
+		{name: "short-read", fc: ssd.FaultConfig{ShortReadRate: 0.3, MaxFaults: 30},
+			blockFC: &ssd.FaultConfig{ShortReadRate: 1, MaxFaults: 3}},
+		{name: "latency", fc: ssd.FaultConfig{LatencyRate: 0.5, LatencySpike: 50 * time.Microsecond, MaxFaults: 30},
+			blockFC: &ssd.FaultConfig{LatencyRate: 1, LatencySpike: 50 * time.Microsecond, MaxFaults: 3}},
+		// Torn writes: rate 1 with a fault budget smaller than the retry
+		// allowance — the first write transfer tears exactly MaxFaults
+		// times, then the spent budget lets a retry land. Deterministic
+		// by construction, independent of the RNG.
+		{name: "torn-write", fc: ssd.FaultConfig{TornWriteRate: 1, MaxFaults: 3}, duringLoad: true},
+		{name: "bit-flip", fc: ssd.FaultConfig{BitFlipRate: 1, MaxFaults: 2}, corrupting: true},
+	}
+
+	for _, enc := range []graph.Encoding{graph.EncodingRaw, graph.EncodingDelta, graph.EncodingBlock} {
+		img, a := buildEncodedImage(t, 11, 16, 5, 0, enc)
+		for _, cl := range classes {
+			t.Run(enc.String()+"/"+cl.name, func(t *testing.T) {
+				fc := cl.fc
+				if enc == graph.EncodingBlock && cl.blockFC != nil {
+					fc = *cl.blockFC
+				}
+				shared, faults := faultSubstrate(t, img, fc, cl.duringLoad)
+				var runErr error
+				if enc == graph.EncodingBlock {
+					// Block images serve only the SpMV engine.
+					eng, err := shared.NewEngine(EngineSpMV)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sweep := &testSweep{}
+					_, runErr = eng.Run(sweep)
+					if runErr == nil {
+						for v := range a.Out {
+							if sweep.rows[v] != int64(len(a.Out[v])) {
+								t.Fatalf("vertex %d: row sum %d, want %d", v, sweep.rows[v], len(a.Out[v]))
+							}
+						}
+					}
+				} else {
+					eng := shared.NewRun()
+					bfs := &testBFS{src: 0}
+					_, runErr = eng.Run(bfs)
+					if runErr == nil {
+						want := refBFSLevels(a, 0)
+						for v := range want {
+							if bfs.level[v] != want[v] {
+								t.Fatalf("vertex %d: level %d, want %d (silent wrong result)", v, bfs.level[v], want[v])
+							}
+						}
+					}
+				}
+
+				injected := int64(0)
+				for _, f := range faults {
+					injected += f.Stats().Total()
+				}
+				if injected == 0 {
+					t.Fatal("no faults injected; the case proves nothing")
+				}
+				if cl.corrupting {
+					// A corrupted run may only fail typed — never lie.
+					if runErr != nil && !errors.Is(runErr, safs.ErrCorrupted) {
+						t.Fatalf("bit flip surfaced as untyped error: %v", runErr)
+					}
+				} else if runErr != nil {
+					t.Fatalf("transient class %s not absorbed: %v", cl.name, runErr)
+				}
+			})
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,6 +40,7 @@ type SpMVEngine struct {
 
 	prog      SpMVProgram
 	iteration int
+	ctx       context.Context // optional run bound; checked per iteration and stripe
 
 	reads     int64 // stripe reads issued
 	bytesRead int64
@@ -170,6 +172,9 @@ func (e *SpMVEngine) Run(p Program) (RunStats, error) {
 	var runErr error
 	for {
 		if maxIters > 0 && e.iteration >= maxIters {
+			break
+		}
+		if runErr = stopErr(e.ctx, e.iteration); runErr != nil {
 			break
 		}
 		dirs := prog.BeginIteration(e, e.iteration)
@@ -320,6 +325,9 @@ func (e *SpMVEngine) eachStripe(dir graph.EdgeDir, exts []extent, process func(r
 	if e.cfg.InMemory {
 		data := e.data(dir)
 		for r, x := range exts {
+			if err := stopErr(e.ctx, e.iteration); err != nil {
+				return err
+			}
 			if err := process(r, data[x.off:x.off+x.size]); err != nil {
 				return err
 			}
@@ -369,6 +377,10 @@ func (e *SpMVEngine) eachStripe(dir graph.EdgeDir, exts []extent, process func(r
 	for fl := range out {
 		if fl.err != nil {
 			return fl.err
+		}
+		if err := stopErr(e.ctx, e.iteration); err != nil {
+			// The deferred close(done) stops the prefetcher.
+			return err
 		}
 		e.reads++
 		e.bytesRead += int64(len(fl.buf))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -383,8 +384,10 @@ func (w *worker) issueMerged(group []edgeReq, end int64) {
 	copy(items, group)
 	w.ioctx.ReadTask(f, start, end-start, func(view *safs.View, err error) {
 		if err != nil {
-			// Device errors are fatal to the run; surface loudly.
-			panic("core: edge-list read failed: " + err.Error())
+			// Device errors are fatal to the run; surface loudly — as an
+			// error value, so the failure's type (corruption vs transient
+			// exhaustion) survives recordPanic into the run's result.
+			panic(fmt.Errorf("core: edge-list read failed: %w", err))
 		}
 		ctx := w.partCtx
 		var scratch []byte

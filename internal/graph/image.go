@@ -121,6 +121,14 @@ type Image struct {
 	OutIndex *Index
 	InIndex  *Index // nil if undirected
 
+	// Persisted per-extent CRC32C data checksums (checksum trailer);
+	// nil for images written before the trailer existed. LoadToFS arms
+	// SAFS read verification with them and computes load-time sums for
+	// images that lack them.
+	OutSums        []uint32
+	InSums         []uint32
+	ChecksumExtent int
+
 	// File backing (OpenImageFile): edge data stays on disk and is
 	// streamed from backing at outOff/inOff.
 	backing io.ReaderAt
@@ -310,16 +318,31 @@ const loadChunk = 1 << 20
 // (FlashGraph's only SSD write: loading a graph for processing). Data
 // is streamed in fixed-size chunks, so loading a file-backed image
 // never materializes edge lists in RAM.
+//
+// The copy doubles as the integrity handoff: per-extent CRC32C sums
+// are computed over the streamed bytes, cross-checked against the
+// image's persisted trailer when one exists (detecting host-file rot
+// before a single corrupted byte reaches the SSDs), and armed on the
+// created files so every subsequent SAFS read verifies end to end.
 func (img *Image) LoadToFS(fs *safs.FS, name string) (*FSFiles, error) {
 	copyIn := func(name string, dir EdgeDir) (*safs.File, error) {
 		r, size, err := img.edgeReader(dir)
 		if err != nil {
 			return nil, err
 		}
+		persisted := img.OutSums
+		if dir == InEdges {
+			persisted = img.InSums
+		}
+		extent := ChecksumExtentSize
+		if persisted != nil && img.ChecksumExtent > 0 {
+			extent = img.ChecksumExtent
+		}
 		f, err := fs.Create(name, size)
 		if err != nil {
 			return nil, err
 		}
+		sum := newExtentSummer(extent)
 		buf := make([]byte, loadChunk)
 		for off := int64(0); off < size; {
 			n := int64(len(buf))
@@ -329,11 +352,26 @@ func (img *Image) LoadToFS(fs *safs.FS, name string) (*FSFiles, error) {
 			if _, err := io.ReadFull(r, buf[:n]); err != nil {
 				return nil, fmt.Errorf("graph: loading %q: %w", name, err)
 			}
+			sum.update(buf[:n])
 			if err := f.WriteAt(buf[:n], off); err != nil {
 				return nil, err
 			}
 			off += n
 		}
+		sums := sum.finish()
+		if persisted != nil {
+			if len(sums) != len(persisted) {
+				return nil, fmt.Errorf("graph: loading %q: streamed %d extents, trailer records %d",
+					name, len(sums), len(persisted))
+			}
+			for i := range sums {
+				if sums[i] != persisted[i] {
+					return nil, fmt.Errorf("graph: loading %q: %w: extent %d checksum %08x, image trailer records %08x",
+						name, safs.ErrCorrupted, i, sums[i], persisted[i])
+				}
+			}
+		}
+		f.SetChecksums(sums, extent)
 		return f, nil
 	}
 	out, err := copyIn(name+".adj-out", OutEdges)
@@ -438,6 +476,16 @@ func Decode(r io.Reader) (*Image, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: in-edge file: %w", err)
 			}
+		}
+		// Optional checksum trailer follows the data; its absence (clean
+		// EOF) is how every pre-trailer image stays readable.
+		ext, outSums, inSums, ok, err := readChecksumTrailer(br, int64(hdr.outLen), int64(hdr.inLen))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			img.ChecksumExtent = ext
+			img.OutSums, img.InSums = outSums, inSums
 		}
 		return img, nil
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // OpenImageFile opens an image written by Encode/WriteImageFile
@@ -70,6 +71,21 @@ func openImage(f *os.File) (*Image, error) {
 				return nil, fmt.Errorf("in-edge file: %w", err)
 			}
 		}
+		// Optional checksum trailer after the data sections. Prior
+		// readers never seek past inOff+inLen, so its presence cannot
+		// break them; its absence means a pre-trailer image.
+		trailerOff := img.inOff + int64(hdr.inLen)
+		if fi, err := f.Stat(); err == nil && fi.Size() > trailerOff {
+			tr := io.NewSectionReader(f, trailerOff, fi.Size()-trailerOff)
+			ext, outSums, inSums, ok, err := readChecksumTrailer(tr, int64(hdr.outLen), int64(hdr.inLen))
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				img.ChecksumExtent = ext
+				img.OutSums, img.InSums = outSums, inSums
+			}
+		}
 		return img, nil
 	}
 	img.OutIndex, err = scanIndex(
@@ -91,27 +107,63 @@ func openImage(f *os.File) (*Image, error) {
 
 // WriteImageFile streams iw's image into a new file at path. The
 // write is sequential (two passes per direction over iw's sources)
-// and holds only the compact indexes in memory.
+// and holds only the compact indexes in memory. The file appears
+// atomically: bytes land in a temp file in the same directory, which
+// is fsynced and renamed over path only once complete — a crash or
+// kill -9 mid-build leaves no partially visible image behind.
 func WriteImageFile(path string, iw *ImageWriter) (*ImageInfo, error) {
-	f, err := os.Create(path)
+	var info *ImageInfo
+	err := AtomicWriteFile(path, func(w io.Writer) error {
+		var err error
+		info, err = iw.WriteImage(w)
+		return err
+	})
 	if err != nil {
-		return nil, fmt.Errorf("graph: creating image: %w", err)
-	}
-	bw := bufio.NewWriterSize(f, 1<<20)
-	info, err := iw.WriteImage(bw)
-	if err != nil {
-		f.Close()
-		os.Remove(path)
 		return nil, err
 	}
-	if err := bw.Flush(); err != nil {
+	return info, nil
+}
+
+// AtomicWriteFile writes a file at path crash-safely: write streams
+// into a buffered temp file in path's directory, which is fsynced,
+// closed, and renamed over path; the directory is then fsynced so the
+// rename itself is durable. A failure (or a crash at any point) never
+// leaves a partial file visible at path.
+func AtomicWriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("graph: creating temp image: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
-		os.Remove(path)
-		return nil, fmt.Errorf("graph: flushing image: %w", err)
+		os.Remove(tmp)
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := write(bw); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(fmt.Errorf("graph: flushing image: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("graph: syncing image: %w", err))
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(path)
-		return nil, fmt.Errorf("graph: closing image: %w", err)
+		os.Remove(tmp)
+		return fmt.Errorf("graph: closing image: %w", err)
 	}
-	return info, nil
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("graph: publishing image: %w", err)
+	}
+	// Best effort: sync the directory entry so the rename survives a
+	// power cut (unsupported on some filesystems; the data already is).
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }

@@ -454,13 +454,23 @@ func (iw *ImageWriter) WriteImage(w io.Writer) (*ImageInfo, error) {
 			return nil, fmt.Errorf("graph: writing in-edge index: %w", err)
 		}
 	}
-	if err := iw.encodeDirection(w, iw.Out, true, info.OutIndex); err != nil {
+	// The record passes stream through a CRC tee, so the per-extent
+	// data checksums persisted in the trailer come out of the encoder's
+	// existing single pass — no re-read of what was just written.
+	outCRC := newCRCWriter(w)
+	if err := iw.encodeDirection(outCRC, iw.Out, true, info.OutIndex); err != nil {
 		return nil, fmt.Errorf("graph: out-edge record pass: %w", err)
 	}
+	var inSums []uint32
 	if iw.Directed {
-		if err := iw.encodeDirection(w, iw.In, false, info.InIndex); err != nil {
+		inCRC := newCRCWriter(w)
+		if err := iw.encodeDirection(inCRC, iw.In, false, info.InIndex); err != nil {
 			return nil, fmt.Errorf("graph: in-edge record pass: %w", err)
 		}
+		inSums = inCRC.s.finish()
+	}
+	if err := writeChecksumTrailer(w, outCRC.s.finish(), inSums); err != nil {
+		return nil, fmt.Errorf("graph: writing checksum trailer: %w", err)
 	}
 	return info, nil
 }

@@ -96,6 +96,13 @@ func legacyEncodeContainer(img *Image) []byte {
 	}
 	buf.Write(img.OutData)
 	buf.Write(img.InData)
+	var inSums []uint32
+	if img.Directed {
+		inSums = ChecksumData(img.InData)
+	}
+	if err := writeChecksumTrailer(&buf, ChecksumData(img.OutData), inSums); err != nil {
+		panic(err)
+	}
 	return buf.Bytes()
 }
 

@@ -66,6 +66,7 @@ type Page struct {
 
 	refs int32  // pin count (atomic)
 	hot  uint32 // CLOCK reference bit (atomic)
+	dead uint32 // load failed (atomic): frame holds no valid bytes
 }
 
 // Key returns the page's identity.
@@ -105,7 +106,16 @@ func (p *Page) OnReady(fn func(error)) {
 // Complete transitions a loading page to ready and fires all waiters.
 // The loader (the caller that received loader=true from Acquire) must
 // call it exactly once after filling Data.
+//
+// A failed load (err != nil) marks the frame dead: its error is
+// delivered to every waiter of THIS load, but the frame never
+// satisfies a future lookup — the next Acquire of the key misses and
+// retries the device, so a transient I/O error is not cached into a
+// permanent one.
 func (p *Page) Complete(err error) {
+	if err != nil {
+		atomic.StoreUint32(&p.dead, 1)
+	}
 	p.mu.Lock()
 	p.state = stateReady
 	p.err = err
@@ -232,7 +242,11 @@ func (c *Cache) Acquire(key Key) (p *Page, loader, ok bool) {
 	defer s.mu.Unlock()
 
 	for _, f := range s.frames {
-		if f.key == key {
+		// A dead frame (failed load) never matches: the lookup falls
+		// through to the miss path and reloads. The dead frame itself is
+		// reclaimed by the eviction scan below once its error waiters
+		// unpin it.
+		if f.key == key && atomic.LoadUint32(&f.dead) == 0 {
 			f.pin()
 			atomic.StoreUint32(&f.hot, 1)
 			atomic.AddInt64(&c.hits, 1)
@@ -264,12 +278,14 @@ func (c *Cache) Acquire(key Key) (p *Page, loader, ok bool) {
 		if f.pinned() {
 			continue
 		}
-		if atomic.SwapUint32(&f.hot, 0) == 1 {
-			continue // second chance
-		}
-		if tries < n && s.next()&1 == 0 {
-			continue // probabilistically spared (thrash resistance)
-		}
+		if atomic.LoadUint32(&f.dead) == 0 {
+			if atomic.SwapUint32(&f.hot, 0) == 1 {
+				continue // second chance
+			}
+			if tries < n && s.next()&1 == 0 {
+				continue // probabilistically spared (thrash resistance)
+			}
+		} // dead frames hold no valid bytes: evict on sight
 		// Evict: replace the frame wholesale so any stale references to
 		// the old Page keep seeing its old identity/content.
 		atomic.AddInt64(&c.evictions, 1)
@@ -293,7 +309,7 @@ func (c *Cache) Peek(key Key) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, f := range s.frames {
-		if f.key == key {
+		if f.key == key && atomic.LoadUint32(&f.dead) == 0 {
 			f.mu.Lock()
 			ready := f.state == stateReady
 			f.mu.Unlock()

@@ -2,6 +2,7 @@ package pagecache
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -405,4 +406,40 @@ func TestQuickResidencyAfterFill(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestFailedLoadNotCached is the dead-frame rule: a load completed with
+// an error never satisfies a later lookup — the next Acquire of the
+// same key is a fresh loader miss, so a transient device error cannot
+// be cached into a permanent one. Waiters of the failed load itself
+// still see its error.
+func TestFailedLoadNotCached(t *testing.T) {
+	c := small()
+	key := Key{FileID: 3, PageNo: 9}
+	p := mustAcquireLoader(t, c, key)
+	var sawErr error
+	p.OnReady(func(err error) { sawErr = err })
+	loadErr := errors.New("ssd: injected load failure")
+	p.Complete(loadErr)
+	if sawErr != loadErr {
+		t.Fatalf("waiter of the failed load saw %v, want %v", sawErr, loadErr)
+	}
+	p.Unpin()
+
+	if c.Peek(key) {
+		t.Fatal("Peek found the dead frame")
+	}
+	p2 := mustAcquireLoader(t, c, key)
+	copy(p2.Data(), []byte("fresh"))
+	p2.Complete(nil)
+	p2.Unpin()
+
+	p3, loader, ok := c.Acquire(key)
+	if !ok || loader {
+		t.Fatalf("after clean reload: loader=%v ok=%v, want hit", loader, ok)
+	}
+	if string(p3.Data()[:5]) != "fresh" {
+		t.Fatal("reload served stale bytes")
+	}
+	p3.Unpin()
 }

@@ -351,3 +351,78 @@ func TestQuotaRetryAfterCeil(t *testing.T) {
 		}
 	}
 }
+
+// TestMultiQueueRemove: Remove deletes a queued element without
+// touching slot accounting (a queued element never held a slot), in
+// both FIFO and class-ranked modes, and reports false for elements
+// already popped or never pushed — the contract cancel-while-queued
+// rests on.
+func TestMultiQueueRemove(t *testing.T) {
+	for _, qos := range []bool{false, true} {
+		name := "fifo"
+		if qos {
+			name = "qos"
+		}
+		t.Run(name, func(t *testing.T) {
+			q := NewMultiQueue[int](Config{Enabled: qos}, 1, 16)
+			for _, v := range []int{1, 2, 3} {
+				if err := q.Push(ClassBatch, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !q.Remove(ClassBatch, func(v int) bool { return v == 2 }) {
+				t.Fatal("Remove did not find the queued middle element")
+			}
+			if q.Remove(ClassBatch, func(v int) bool { return v == 2 }) {
+				t.Fatal("Remove found an already-removed element")
+			}
+			if got := q.Queued(); got != 2 {
+				t.Fatalf("Queued() = %d after removal, want 2", got)
+			}
+			var order []int
+			for i := 0; i < 2; i++ {
+				v, rank, ok := q.Pop()
+				if !ok {
+					t.Fatal("pop failed")
+				}
+				order = append(order, v)
+				q.Done(rank)
+			}
+			if order[0] != 1 || order[1] != 3 {
+				t.Fatalf("dequeue order %v, want [1 3]", order)
+			}
+			// A popped element is gone from the queue: the caller must
+			// fall back to its running-cancel path.
+			if q.Remove(ClassBatch, func(v int) bool { return v == 1 }) {
+				t.Fatal("Remove found an element already handed out by Pop")
+			}
+		})
+	}
+}
+
+// TestMultiQueueRemoveUnblocksDrain: removing the last queued element
+// while draining wakes blocked Pop waiters so workers can exit.
+func TestMultiQueueRemoveUnblocksDrain(t *testing.T) {
+	q := NewMultiQueue[int](Config{Enabled: true}, 1, 16)
+	q.Push(ClassBatch, 7)
+	// Occupy the only slot so the element stays queued.
+	// (Push a second and pop it first.)
+	q2 := make(chan struct{})
+	q.Drain()
+	go func() {
+		// Blocks until the queue empties under drain.
+		_, _, ok := q.Pop()
+		if ok {
+			// The queued element may legitimately be handed out before
+			// Remove wins the race; Done releases it either way.
+			q.Done(ClassBatch.Rank())
+		}
+		close(q2)
+	}()
+	q.Remove(ClassBatch, func(v int) bool { return v == 7 })
+	select {
+	case <-q2:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Pop waiter not woken after Remove emptied a draining queue")
+	}
+}

@@ -150,6 +150,34 @@ func (q *MultiQueue[T]) pickLocked() int {
 	return best
 }
 
+// Remove deletes the first queued element of class c matching the
+// predicate, reporting whether one was found. A removed element never
+// occupied an execution slot, so there is no Done to pair with — this
+// is how cancel-while-queued releases its queue spot. Elements already
+// handed out by Pop are not found (the caller falls back to its
+// running-query cancel path).
+func (q *MultiQueue[T]) Remove(c Class, match func(T) bool) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	i := 0
+	if !q.fifo {
+		i = c.Rank()
+	}
+	for j := q.heads[i]; j < len(q.queues[i]); j++ {
+		if match(q.queues[i][j]) {
+			q.queues[i] = append(q.queues[i][:j], q.queues[i][j+1:]...)
+			q.queued--
+			if q.draining {
+				// The removal may have emptied the queue: wake Pop
+				// waiters so draining workers can exit.
+				q.cond.Broadcast()
+			}
+			return true
+		}
+	}
+	return false
+}
+
 // Done releases the execution slot a Pop with this rank occupied.
 func (q *MultiQueue[T]) Done(rank int) {
 	q.mu.Lock()

@@ -114,6 +114,12 @@ type File struct {
 	name string
 	base int64
 	size int64
+
+	// Per-extent CRC32C read verification (see integrity.go); nil sums
+	// means reads are unverified. Set once via SetChecksums after the
+	// file is written, before the first read.
+	sums    []uint32
+	extSize int64
 }
 
 // Create allocates a file of the given size (rounded up to whole pages).
@@ -158,13 +164,18 @@ func (f *File) WriteAt(p []byte, off int64) error {
 	return f.fs.array.WriteAt(p, f.base+off)
 }
 
-// ReadAt reads synchronously, bypassing the cache (setup and testing
-// paths; the engine uses IOContext.ReadTask).
+// ReadAt reads synchronously, bypassing the cache (setup paths and the
+// SpMV engine's stripe sweeps; the vertex engine uses
+// IOContext.ReadTask). When the file carries checksums every extent
+// the read touches is verified before returning.
 func (f *File) ReadAt(p []byte, off int64) error {
 	if off < 0 || off+int64(len(p)) > f.size {
 		return fmt.Errorf("safs: read [%d,%d) outside file %q of size %d", off, off+int64(len(p)), f.name, f.size)
 	}
-	return f.fs.array.ReadAt(p, f.base+off)
+	if err := f.fs.array.ReadAt(p, f.base+off); err != nil {
+		return err
+	}
+	return f.VerifyRange(p, off)
 }
 
 // TaskFunc is a user task attached to an async read. It runs against the
@@ -217,8 +228,7 @@ func (b *bypassPage) Complete(err error) {
 
 // load is one page that needs device I/O.
 type load struct {
-	fileID uint32
-	base   int64 // array base of the file
+	file   *File
 	pageNo int64
 	page   pageHandle
 }
@@ -359,7 +369,7 @@ func (ctx *IOContext) ReadTask(f *File, off, length int64, task TaskFunc) {
 		atomic.AddInt32(&pending, 1)
 		h.OnReady(done)
 		if loader {
-			ctx.staged = append(ctx.staged, load{fileID: f.id, base: f.base, pageNo: pn, page: h})
+			ctx.staged = append(ctx.staged, load{file: f, pageNo: pn, page: h})
 		}
 	}
 	if ctx.fs.merge != MergeSAFS {
@@ -375,8 +385,8 @@ func (ctx *IOContext) Flush() {
 	if ctx.fs.merge == MergeSAFS {
 		sort.Slice(ctx.staged, func(i, j int) bool {
 			a, b := ctx.staged[i], ctx.staged[j]
-			if a.fileID != b.fileID {
-				return a.fileID < b.fileID
+			if a.file.id != b.file.id {
+				return a.file.id < b.file.id
 			}
 			return a.pageNo < b.pageNo
 		})
@@ -403,7 +413,7 @@ func (ctx *IOContext) flushStaged() {
 	for i := 0; i < len(staged); {
 		j := i + 1
 		for !perPage && j < len(staged) &&
-			staged[j].fileID == staged[i].fileID &&
+			staged[j].file == staged[i].file &&
 			staged[j].pageNo == staged[j-1].pageNo+1 {
 			j++
 		}
@@ -412,10 +422,19 @@ func (ctx *IOContext) flushStaged() {
 		for k, ld := range group {
 			vec[k] = ld.page.Data()
 		}
-		off := group[0].base + group[0].pageNo*ps
+		off := group[0].file.base + group[0].pageNo*ps
 		done := func(err error) {
+			// Verify each landed page before anyone can observe it:
+			// Complete publishes the frame to every waiter, so a
+			// corrupt page must carry its CorruptionError from the
+			// start. Per-page verdicts — one flipped bit fails only
+			// the page it hit, not the whole merged run.
 			for _, ld := range group {
-				ld.page.Complete(err)
+				e := err
+				if e == nil {
+					e = ld.file.verifyPage(ld.pageNo, ld.page.Data())
+				}
+				ld.page.Complete(e)
 			}
 		}
 		if batched {

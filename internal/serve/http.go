@@ -18,6 +18,7 @@ import (
 //	POST /queries                        submit {"version":1,"graph":"g","algo":"bfs","params":{"src":0}}
 //	GET  /queries                        list all queries
 //	GET  /queries/{id}                   one query (?wait=1 blocks until finished)
+//	DELETE /queries/{id}                 cancel: queued queries leave the queue, running ones stop at the next boundary
 //	GET  /queries/{id}/result            typed result summary (scalars, vector metadata, checksum)
 //	GET  /queries/{id}/result/lookup     point lookup: ?vertex=V[&vector=name]
 //	GET  /queries/{id}/result/topk       paginated top-K: ?k=K[&offset=N][&vector=name]
@@ -25,7 +26,8 @@ import (
 //	GET  /graphs                         the catalog of served graphs
 //	GET  /algos                          the algorithm registry: name, doc, caps, param schema
 //	GET  /stats                          scheduler + substrate counters
-//	GET  /healthz                        liveness
+//	GET  /healthz                        liveness + per-device health (degraded SSDs, I/O errors, retries)
+//	GET  /readyz                         readiness: 503 while draining, 200 otherwise
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 
@@ -81,7 +83,7 @@ func Handler(s *Server) http.Handler {
 				httpError(w, statusFor(err), err.Error())
 				return
 			}
-			writeJSON(w, http.StatusOK, q)
+			writeQuery(w, q)
 			return
 		}
 		q, ok := s.Get(id)
@@ -89,7 +91,23 @@ func Handler(s *Server) http.Handler {
 			httpError(w, http.StatusNotFound, "unknown query id")
 			return
 		}
-		writeJSON(w, http.StatusOK, q)
+		writeQuery(w, q)
+	})
+
+	mux.HandleFunc("DELETE /queries/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := queryID(w, r)
+		if !ok {
+			return
+		}
+		if err := s.Cancel(id); err != nil {
+			httpError(w, statusFor(err), err.Error())
+			return
+		}
+		if q, ok := s.Get(id); ok {
+			writeJSON(w, http.StatusOK, q)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "state": "evicted"})
 	})
 
 	mux.HandleFunc("GET /queries/{id}/result", func(w http.ResponseWriter, r *http.Request) {
@@ -199,6 +217,8 @@ func Handler(s *Server) http.Handler {
 				out["array"] = map[string]any{
 					"reads": as.Reads, "bytes_read": as.BytesRead,
 					"busy_ns": int64(as.Busy),
+					"retries": as.Retries, "io_errors": as.Errors,
+					"degraded_devices": as.DegradedDevices,
 				}
 			}
 		}
@@ -206,10 +226,55 @@ func Handler(s *Server) http.Handler {
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// Liveness plus device health: the process answers as long as it
+		// is alive (200 even when degraded — a degraded SSD sheds its own
+		// load via fail-fast submits; killing the pod would lose the
+		// still-healthy devices), with per-array health visible for
+		// operators and probes that want to alert on it.
+		resp := map[string]any{"status": "ok"}
+		if sh, err := s.Shared(""); err == nil {
+			if fs := sh.FS(); fs != nil {
+				as := fs.Array().Stats()
+				resp["degraded_devices"] = as.DegradedDevices
+				resp["io_errors"] = as.Errors
+				resp["retries"] = as.Retries
+				if as.DegradedDevices > 0 {
+					resp["status"] = "degraded"
+				}
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Readiness gates traffic: 503 once draining (or closed) so load
+		// balancers fail over during shutdown while in-flight queries
+		// finish; ready otherwise — the catalog is open from construction.
+		if s.Stats().Draining {
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "graphs": len(s.Graphs())})
 	})
 
 	return mux
+}
+
+// writeQuery writes a query snapshot with a status reflecting its
+// outcome: 504 for a deadline-stopped query, 500 for a checksum
+// (corruption) failure, 200 otherwise — failure stays loud even for
+// clients that only check status codes.
+func writeQuery(w http.ResponseWriter, q Query) {
+	status := http.StatusOK
+	if q.State == StateFailed {
+		switch {
+		case q.Timeout:
+			status = http.StatusGatewayTimeout
+		case q.Corrupted:
+			status = http.StatusInternalServerError
+		}
+	}
+	writeJSON(w, status, q)
 }
 
 func queryID(w http.ResponseWriter, r *http.Request) (int64, bool) {

@@ -31,6 +31,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,6 +43,7 @@ import (
 	"flashgraph/internal/graph"
 	"flashgraph/internal/qos"
 	"flashgraph/internal/result"
+	"flashgraph/internal/safs"
 )
 
 // State is a query's lifecycle position.
@@ -84,6 +86,9 @@ var (
 	// vectors were evicted by the retained-result byte budget (the
 	// summary in Query.Result survives).
 	ErrResultReleased = errors.New("serve: result vectors released by byte budget")
+	// ErrCanceled is the failure recorded on a query stopped by Cancel
+	// (DELETE /queries/{id} over HTTP) before or during execution.
+	ErrCanceled = errors.New("serve: query canceled")
 )
 
 // Config sizes the scheduler.
@@ -175,6 +180,13 @@ type Request struct {
 	// capabilities and effective parameters (qos.InferClass). The HTTP
 	// layer also accepts ?class= on POST /queries.
 	Class string `json:"class,omitempty"`
+	// TimeoutMs bounds the query's execution time in milliseconds
+	// (0 = unbounded). The deadline starts when the query is dispatched
+	// to an engine — queue wait does not count — and is enforced at
+	// iteration/stripe boundaries, so a runaway query stops at the next
+	// quiescent point, fails with a deadline error, and reports 504 over
+	// HTTP while the server keeps serving its siblings.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
 // Validate checks the request's shape — version, algorithm presence,
@@ -192,6 +204,9 @@ func (r Request) Validate() error {
 		if _, err := qos.ParseClass(r.Class); err != nil {
 			return fmt.Errorf("serve: %w", err)
 		}
+	}
+	if r.TimeoutMs < 0 {
+		return fmt.Errorf("serve: negative timeout_ms %d", r.TimeoutMs)
 	}
 	return nil
 }
@@ -221,6 +236,16 @@ type Query struct {
 	// queryable (lookup / top-K) or have been released by the byte
 	// budget.
 	ResultRetained bool `json:"result_retained,omitempty"`
+	// Timeout marks a failed query stopped by its TimeoutMs deadline
+	// (HTTP surfaces it as 504 Gateway Timeout).
+	Timeout bool `json:"timeout,omitempty"`
+	// Canceled marks a failed query stopped by Cancel / DELETE.
+	Canceled bool `json:"canceled,omitempty"`
+	// Corrupted marks a failed query that hit a data-integrity error
+	// (safs.ErrCorrupted): the stored bytes failed checksum verification
+	// — the error is loud, never a silent wrong answer. HTTP surfaces it
+	// as 500.
+	Corrupted bool `json:"corrupted,omitempty"`
 }
 
 // QueueWait returns how long the query waited for a slot.
@@ -255,6 +280,12 @@ type query struct {
 	followers  []*query // coalesced submissions resolved at completion
 	inRetained bool     // charged to the serve result budget
 
+	// Cancellation (guarded by Server.mu): cancel is set at dispatch,
+	// cancelRequested records a Cancel that raced the dispatch window so
+	// the run starts pre-canceled.
+	cancel          context.CancelFunc
+	cancelRequested bool
+
 	mu        sync.Mutex
 	state     State
 	submitted time.Time
@@ -263,6 +294,9 @@ type query struct {
 	stats     core.RunStats
 	summary   map[string]any
 	errMsg    string
+	timeout   bool              // failed by TimeoutMs deadline
+	canceled  bool              // failed by Cancel
+	corrupted bool              // failed by a checksum-verification error
 	cache     string            // "", CacheHit, CacheCoalesced
 	rs        *result.ResultSet // full vectors; nil once budget-evicted
 	rsBytes   int64
@@ -291,6 +325,9 @@ func (q *query) snapshot() Query {
 		QueueWaitMS:    float64(wait) / float64(time.Millisecond),
 		Cache:          q.cache,
 		ResultRetained: q.rs != nil,
+		Timeout:        q.timeout,
+		Canceled:       q.canceled,
+		Corrupted:      q.corrupted,
 	}
 }
 
@@ -810,12 +847,20 @@ func (s *Server) runLoop() {
 			return
 		}
 		now := time.Now()
+		ctx, cancel := context.WithCancel(context.Background())
 		s.mu.Lock()
 		s.running++
 		if s.running > s.peakRunning {
 			s.peakRunning = s.running
 		}
 		s.recordWaitLocked(q.class, now.Sub(q.submitted))
+		// Arm cancellation inside s.mu: Cancel either finds q still in
+		// the queue (and removes it) or finds q.cancel set — a Cancel
+		// that raced the dispatch window left cancelRequested instead.
+		q.cancel = cancel
+		if q.cancelRequested {
+			cancel()
+		}
 		s.mu.Unlock()
 
 		q.mu.Lock()
@@ -823,7 +868,8 @@ func (s *Server) runLoop() {
 		q.started = now
 		q.mu.Unlock()
 
-		st, err := s.execute(q)
+		st, err := s.execute(q, ctx)
+		cancel()
 
 		// Build the result set and its summary outside q.mu: checksums
 		// and top-N walk full O(V) result vectors, and snapshot readers
@@ -841,6 +887,9 @@ func (s *Server) runLoop() {
 		if err != nil {
 			q.state = StateFailed
 			q.errMsg = err.Error()
+			q.timeout = errors.Is(err, context.DeadlineExceeded)
+			q.canceled = errors.Is(err, context.Canceled)
+			q.corrupted = errors.Is(err, safs.ErrCorrupted)
 		} else {
 			q.state = StateDone
 			q.stats = st
@@ -902,6 +951,9 @@ func (s *Server) finishFollowerLocked(f *query, finished time.Time, rs *result.R
 	if err != nil {
 		f.state = StateFailed
 		f.errMsg = err.Error()
+		f.timeout = errors.Is(err, context.DeadlineExceeded)
+		f.canceled = errors.Is(err, context.Canceled) || errors.Is(err, ErrCanceled)
+		f.corrupted = errors.Is(err, safs.ErrCorrupted)
 	} else {
 		f.state = StateDone
 		f.stats = st
@@ -1019,21 +1071,117 @@ func (s *Server) evictHistoryLocked() {
 // execute runs one query on the engine prepare resolved for it,
 // converting engine panics (e.g. a fatal device read error, or an
 // algorithm rejecting the graph) into a failed query instead of killing
-// the scheduler slot.
-func (s *Server) execute(q *query) (st core.RunStats, err error) {
+// the scheduler slot. ctx carries cancellation from Cancel; the
+// request's TimeoutMs deadline is layered on here, so queue wait never
+// counts against it. The engine checks the context at iteration/stripe
+// boundaries, so a stop lands at a quiescent point.
+func (s *Server) execute(q *query, ctx context.Context) (st core.RunStats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("query panicked: %v", r)
 		}
 	}()
+	if q.req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(q.req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
 	eng, err := q.shared.NewEngine(q.engine)
 	if err != nil {
 		return core.RunStats{}, err
 	}
 	defer eng.Close()
+	eng.SetContext(ctx)
 	st, err = eng.Run(q.prog)
 	st.Algorithm = q.req.Algo
 	return st, err
+}
+
+// Cancel stops a query. A queued query is removed from the admission
+// queue (its spot frees immediately — it never occupied an execution
+// slot) and fails with ErrCanceled, along with any coalesced followers
+// attached to it; a coalesced follower detaches and fails alone,
+// leaving its leader running; a running query has its context canceled
+// and stops at the next iteration/stripe boundary, failing with a
+// context.Canceled error. Cancel on a finished query is a no-op;
+// unknown IDs report ErrUnknownQuery.
+func (s *Server) Cancel(id int64) error {
+	s.mu.Lock()
+	q, ok := s.queries[id]
+	if !ok {
+		s.mu.Unlock()
+		return ErrUnknownQuery
+	}
+	q.mu.Lock()
+	state := q.state
+	q.mu.Unlock()
+	if state == StateDone || state == StateFailed {
+		s.mu.Unlock()
+		return nil // idempotent: already finished
+	}
+	q.cancelRequested = true
+	if cancel := q.cancel; cancel != nil {
+		// Running (or mid-dispatch with the context armed): stop it at
+		// the next boundary; the scheduler slot records the outcome.
+		s.mu.Unlock()
+		cancel()
+		return nil
+	}
+	// Queued: remove from the admission queue so the spot frees now.
+	if s.mq.Remove(q.class, func(x *query) bool { return x == q }) {
+		now := time.Now()
+		if q.hasKey {
+			delete(s.inflight, flightKey{q.key, q.class})
+		}
+		followers := q.followers
+		q.followers = nil
+		s.finishCanceledLocked(q, now)
+		for _, f := range followers {
+			s.finishFollowerLocked(f, now, nil, nil, core.RunStats{}, ErrCanceled)
+		}
+		s.evictHistoryLocked()
+		s.mu.Unlock()
+		close(q.done)
+		for _, f := range followers {
+			close(f.done)
+		}
+		return nil
+	}
+	// Not in the queue and no cancel armed: either a coalesced follower
+	// (detach it from its leader and fail it alone) or a query inside
+	// the dispatch window (cancelRequested is set; the dispatch arms a
+	// pre-canceled context).
+	if q.hasKey {
+		if leader, ok := s.inflight[flightKey{q.key, q.class}]; ok && leader != q {
+			for i, f := range leader.followers {
+				if f == q {
+					leader.followers = append(leader.followers[:i], leader.followers[i+1:]...)
+					s.finishCanceledLocked(q, time.Now())
+					s.evictHistoryLocked()
+					s.mu.Unlock()
+					close(q.done)
+					return nil
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// finishCanceledLocked records a never-run query's cancellation
+// (called with s.mu held; the caller closes q.done after releasing it).
+func (s *Server) finishCanceledLocked(q *query, now time.Time) {
+	q.mu.Lock()
+	q.state = StateFailed
+	q.errMsg = ErrCanceled.Error()
+	q.canceled = true
+	q.finished = now
+	q.prog = nil
+	q.mu.Unlock()
+	s.failed++
+	s.classFail[q.class.Rank()]++
+	s.finished = append(s.finished, q.id)
 }
 
 // Get snapshots a query by ID.

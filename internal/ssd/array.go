@@ -276,9 +276,15 @@ type ArrayStats struct {
 	BatchSubmits  int64
 	BatchedReqs   int64
 	CoalescedReqs int64
-	QueuePeak     int64         // max across devices
-	Busy          time.Duration // summed across devices
-	PerDevice     []DeviceStats
+	QueuePeak     int64 // max across devices
+	// Retries/Errors sum the devices' transient-retry and post-retry
+	// failure counts; DegradedDevices counts devices currently tripped
+	// into fail-fast mode.
+	Retries         int64
+	Errors          int64
+	DegradedDevices int
+	Busy            time.Duration // summed across devices
+	PerDevice       []DeviceStats
 }
 
 // MergeRatio reports batched requests per served device request across
@@ -308,6 +314,11 @@ func (a *Array) Stats() ArrayStats {
 		if ds.QueuePeak > s.QueuePeak {
 			s.QueuePeak = ds.QueuePeak
 		}
+		s.Retries += ds.Retries
+		s.Errors += ds.Errors
+		if ds.Degraded {
+			s.DegradedDevices++
+		}
 		s.Busy += ds.Busy
 		s.PerDevice = append(s.PerDevice, ds)
 	}
@@ -318,5 +329,14 @@ func (a *Array) Stats() ArrayStats {
 func (a *Array) ResetStats() {
 	for _, d := range a.devices {
 		d.ResetStats()
+	}
+}
+
+// ResetHealth clears every device's degraded flag and failure streak —
+// the operator's "the cable is reseated, try again" lever. Counters
+// other than the streak are untouched.
+func (a *Array) ResetHealth() {
+	for _, d := range a.devices {
+		d.ResetHealth()
 	}
 }

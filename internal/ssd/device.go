@@ -27,6 +27,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"flashgraph/internal/util"
 )
 
 // Op distinguishes request types.
@@ -95,6 +97,21 @@ type DeviceParams struct {
 	// accounts virtual busy time but never sleeps, which makes unit tests
 	// fast while preserving the accounting used by the benchmark harness.
 	Throttle bool
+	// RetryMax is how many times a transient transfer error (one that
+	// errors.Is-matches ErrTransient: injected EIO, short read, torn
+	// write) is retried before surfacing. Default 3; negative disables
+	// retry.
+	RetryMax int
+	// RetryBase is the backoff before the first retry; each further
+	// retry doubles it, with ±50% deterministic jitter. Default 100µs.
+	RetryBase time.Duration
+	// RetryCap bounds the backoff growth. Default 5ms.
+	RetryCap time.Duration
+	// DegradeThreshold trips the device into a degraded state after
+	// this many consecutive post-retry request failures; once degraded
+	// the device fails new submissions fast with ErrDegraded instead of
+	// queueing them. Default 16; negative disables tripping.
+	DegradeThreshold int
 }
 
 func (p *DeviceParams) setDefaults() {
@@ -115,6 +132,18 @@ func (p *DeviceParams) setDefaults() {
 	}
 	if p.MaxAhead == 0 {
 		p.MaxAhead = 500 * time.Microsecond
+	}
+	if p.RetryMax == 0 {
+		p.RetryMax = 3
+	}
+	if p.RetryBase == 0 {
+		p.RetryBase = 100 * time.Microsecond
+	}
+	if p.RetryCap == 0 {
+		p.RetryCap = 5 * time.Millisecond
+	}
+	if p.DegradeThreshold == 0 {
+		p.DegradeThreshold = 16
 	}
 }
 
@@ -137,6 +166,13 @@ type DeviceStats struct {
 	// QueuePeak is the high-water mark of the submission queue length —
 	// the depth the io_uring-shaped path actually achieved.
 	QueuePeak int64
+	// Health counters: Retries counts transient-error resubmissions the
+	// device absorbed; Errors counts requests that still failed after
+	// retry; Degraded reports whether the device tripped its health
+	// threshold and is failing submissions fast.
+	Retries  int64
+	Errors   int64
+	Degraded bool
 	// Busy is accumulated virtual service time: the time the modeled
 	// device spent transferring. Utilization over a wall-clock interval t
 	// is Busy/t.
@@ -177,6 +213,16 @@ type Device struct {
 	// counters (atomics; Busy in nanoseconds)
 	reads, writes, bytesRead, bytesWrite, seqReads, vecReads, busyNS int64
 	batchSubmits, batchedReqs, coalescedReqs, queuePeak              int64
+	retries, ioErrors                                                int64
+
+	// health (atomics): consecutive post-retry failures, and the
+	// tripped degraded flag (0/1).
+	consecFails int64
+	degraded    int32
+
+	// backoffRNG jitters retry delays; touched only by the I/O
+	// goroutine. Seeded from the device name for reproducible runs.
+	backoffRNG *util.RNG
 }
 
 // ErrClosed is returned for requests submitted after Close.
@@ -185,10 +231,15 @@ var ErrClosed = errors.New("ssd: device closed")
 // NewDevice creates a device over store and starts its I/O goroutine.
 func NewDevice(params DeviceParams, store Store) *Device {
 	params.setDefaults()
+	seed := uint64(0)
+	for _, c := range params.Name {
+		seed = seed*31 + uint64(c)
+	}
 	d := &Device{
-		params: params,
-		store:  store,
-		queue:  make(chan *Request, params.QueueDepth),
+		params:     params,
+		store:      store,
+		queue:      make(chan *Request, params.QueueDepth),
+		backoffRNG: util.NewRNG(seed),
 	}
 	d.vec, _ = store.(VecReader)
 	d.wg.Add(1)
@@ -200,6 +251,13 @@ func NewDevice(params DeviceParams, store Store) *Device {
 // request's Done callback fires from the I/O goroutine (or inline with
 // ErrClosed after Close).
 func (d *Device) Submit(req *Request) {
+	if atomic.LoadInt32(&d.degraded) != 0 {
+		// Tripped health threshold: fail fast instead of queueing work
+		// against a device that is eating every request. Done fires
+		// inline on the submitter's goroutine, like the closed path.
+		req.Done(fmt.Errorf("%s: %w", d.params.Name, ErrDegraded))
+		return
+	}
 	d.closeMu.RLock()
 	if d.isClosed {
 		d.closeMu.RUnlock()
@@ -318,6 +376,9 @@ func (d *Device) Stats() DeviceStats {
 		BatchedReqs:   atomic.LoadInt64(&d.batchedReqs),
 		CoalescedReqs: atomic.LoadInt64(&d.coalescedReqs),
 		QueuePeak:     atomic.LoadInt64(&d.queuePeak),
+		Retries:       atomic.LoadInt64(&d.retries),
+		Errors:        atomic.LoadInt64(&d.ioErrors),
+		Degraded:      atomic.LoadInt32(&d.degraded) != 0,
 		Busy:          time.Duration(atomic.LoadInt64(&d.busyNS)),
 	}
 }
@@ -334,7 +395,12 @@ func (d *Device) ResetStats() {
 	atomic.StoreInt64(&d.batchedReqs, 0)
 	atomic.StoreInt64(&d.coalescedReqs, 0)
 	atomic.StoreInt64(&d.queuePeak, 0)
+	atomic.StoreInt64(&d.retries, 0)
+	atomic.StoreInt64(&d.ioErrors, 0)
 	atomic.StoreInt64(&d.busyNS, 0)
+	// The degraded flag and consecutive-failure streak deliberately
+	// survive stat resets: they are health state, not counters — use
+	// ResetHealth to clear them.
 }
 
 // serviceTime models the cost of one request given whether it directly
@@ -350,6 +416,58 @@ func (d *Device) serviceTime(req *Request, sequential bool) time.Duration {
 		t *= time.Duration(d.params.WritePenalty)
 	}
 	return t
+}
+
+// Degraded reports whether the device has tripped its health threshold.
+func (d *Device) Degraded() bool { return atomic.LoadInt32(&d.degraded) != 0 }
+
+// ResetHealth clears the degraded flag and the consecutive-failure
+// counter (operator intervention: the device was replaced or the fault
+// cleared).
+func (d *Device) ResetHealth() {
+	atomic.StoreInt64(&d.consecFails, 0)
+	atomic.StoreInt32(&d.degraded, 0)
+}
+
+// transferRetry performs the data movement, resubmitting on transient
+// errors with capped exponential backoff plus ±50% jitter. It also
+// feeds the health tracker: a request that fails even after retries
+// counts toward the consecutive-failure trip threshold, and a success
+// resets it.
+func (d *Device) transferRetry(req *Request) (int, error) {
+	n, err := d.transfer(req)
+	if err == nil && n < req.length() {
+		// Stores zero-fill reads past EOF and report full length, so a
+		// short count with a nil error is a broken transfer, not EOF —
+		// surface it typed instead of letting callers see a silently
+		// zero-padded (or stale) tail.
+		err = &ShortReadError{Off: req.Offset, Want: req.length(), Got: n}
+	}
+	for attempt := 0; err != nil && IsTransient(err) && attempt < d.params.RetryMax; attempt++ {
+		atomic.AddInt64(&d.retries, 1)
+		delay := d.params.RetryBase << uint(attempt)
+		if delay > d.params.RetryCap {
+			delay = d.params.RetryCap
+		}
+		if delay <= 0 {
+			delay = time.Microsecond
+		}
+		// Jitter in [0.5, 1.5)×delay de-synchronizes retry storms
+		// across devices; deterministic per device for reproducibility.
+		delay = delay/2 + time.Duration(d.backoffRNG.Uint64n(uint64(delay)))
+		time.Sleep(delay)
+		n, err = d.transfer(req)
+	}
+	if err != nil {
+		atomic.AddInt64(&d.ioErrors, 1)
+		fails := atomic.AddInt64(&d.consecFails, 1)
+		if t := d.params.DegradeThreshold; t > 0 && fails >= int64(t) {
+			atomic.StoreInt32(&d.degraded, 1)
+		}
+	} else {
+		atomic.StoreInt64(&d.consecFails, 0)
+	}
+	return n, err
 }
 
 // transfer performs the data movement for req against the store.
@@ -410,7 +528,7 @@ func (d *Device) run() {
 			}
 		}
 
-		n, err := d.transfer(req)
+		n, err := d.transferRetry(req)
 		switch req.Op {
 		case OpRead:
 			atomic.AddInt64(&d.reads, 1)

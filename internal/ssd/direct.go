@@ -238,12 +238,15 @@ func DropOSCache(f *os.File) error {
 }
 
 // readVecFallback fills vec with sequential ReadAt calls — the
-// portable path behind readVec, with the same EOF semantics.
+// portable path behind readVec, with the same EOF semantics: only a
+// confirmed end-of-file earns the zero-filled tail; a transfer that
+// stops short of EOF returns a typed ShortReadError instead.
 func readVecFallback(f *os.File, vec [][]byte, off int64) (int, error) {
 	total := 0
 	for _, b := range vec {
 		total += len(b)
 	}
+	start := off
 	got := 0
 	for _, b := range vec {
 		n, err := f.ReadAt(b, off)
@@ -253,11 +256,30 @@ func readVecFallback(f *os.File, vec [][]byte, off int64) (int, error) {
 		got += n
 		off += int64(n)
 		if n < len(b) {
+			if err := checkVecEOF(f, start, got); err != nil {
+				return got, err
+			}
 			break
 		}
 	}
 	zeroFillVec(vec, got)
 	return total, nil
+}
+
+// checkVecEOF validates a scatter read that stopped after got bytes: if
+// position off+got is at or past the end of f the stop is genuine EOF
+// (zero-fill is correct); otherwise the transfer was truncated mid-file
+// and the caller must surface a typed short read rather than fabricate
+// a zero tail.
+func checkVecEOF(f *os.File, off int64, got int) error {
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if pos := off + int64(got); pos < fi.Size() {
+		return &ShortReadError{Off: off, Want: int(fi.Size() - off), Got: got}
+	}
+	return nil
 }
 
 // zeroFillVec zeroes every byte of vec from scatter position got on.

@@ -1,0 +1,41 @@
+package ssd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTransient marks I/O errors that are worth retrying: the request
+// failed, but an identical resubmission may succeed (EIO from a flaky
+// link, a short read from an interrupted transfer, a torn write).
+// Errors wrap it so callers and the device retry loop classify with
+// errors.Is, never by string.
+var ErrTransient = errors.New("ssd: transient I/O error")
+
+// ErrDegraded is returned (fail fast, without queueing) for requests
+// submitted to a device that tripped its health threshold. It is NOT
+// transient: retrying against the same device cannot help, and the
+// serving tier should surface the failure instead of hammering a dying
+// SSD.
+var ErrDegraded = errors.New("ssd: device degraded")
+
+// IsTransient reports whether err is a retryable I/O failure.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// ShortReadError reports a read that returned fewer bytes than
+// requested at an offset that is NOT past the end of the store — a
+// truncated transfer, never legitimate EOF zero-fill. It wraps
+// ErrTransient: resubmitting the request is the correct recovery.
+type ShortReadError struct {
+	Off  int64 // requested offset
+	Want int   // bytes requested
+	Got  int   // bytes actually transferred
+}
+
+func (e *ShortReadError) Error() string {
+	return fmt.Sprintf("ssd: short read at %d: got %d of %d bytes", e.Off, e.Got, e.Want)
+}
+
+// Unwrap marks short reads transient so errors.Is(err, ErrTransient)
+// holds and the device retry loop resubmits them.
+func (e *ShortReadError) Unwrap() error { return ErrTransient }

@@ -33,8 +33,12 @@ func fadviseDontNeed(f *os.File, off, length int64) {
 
 // readVec fills vec from the contiguous range of f starting at off with
 // preadv(2): one kernel submission per iovMax buffers instead of one
-// pread per buffer. Bytes past EOF read as zeros and the full scatter
-// length is reported, matching FileStore.ReadAt.
+// pread per buffer. A short preadv mid-vector resubmits the remaining
+// iovecs at the advanced position. Bytes past EOF read as zeros and the
+// full scatter length is reported, matching FileStore.ReadAt — but only
+// a genuine EOF earns the zero-fill: a transfer that stalls before the
+// end of the file surfaces as a typed ShortReadError, never a silently
+// zero-padded tail.
 func readVec(f *os.File, vec [][]byte, off int64) (int, error) {
 	total := 0
 	for _, b := range vec {
@@ -57,7 +61,10 @@ func readVec(f *os.File, vec [][]byte, off int64) (int, error) {
 			return got, err
 		}
 		if n == 0 {
-			break // EOF
+			if err := checkVecEOF(f, off, got); err != nil {
+				return got, err
+			}
+			break // confirmed EOF
 		}
 		got += n
 	}
